@@ -1,0 +1,67 @@
+"""Experiment E8: area recovery (the paper's concluding extension).
+
+Benchmarks the recovery pass and asserts its contract: the delay target
+is met exactly while area never increases, and a 10% delay slack buys
+further area.
+"""
+
+import pytest
+
+from repro.core.area_recovery import recover_area
+from repro.core.dag_mapper import map_dag
+from repro.network.simulate import check_equivalent
+from repro.timing.sta import analyze
+
+_EPS = 1e-6
+
+_CIRCUITS = ["C2670s", "C880s", "C1908s"]
+
+
+@pytest.mark.parametrize("name", _CIRCUITS)
+def test_area_recovery_at_optimum(benchmark, name, lib2_patterns,
+                                  get_subject, get_network):
+    subject = get_subject(name)
+    net = get_network(name)
+    dag = map_dag(subject, lib2_patterns)
+
+    recovered = benchmark.pedantic(
+        lambda: recover_area(dag.labels, lib2_patterns), rounds=1, iterations=1
+    )
+
+    report = analyze(recovered)
+    assert report.delay <= dag.delay + _EPS  # optimum preserved
+    assert recovered.area() <= dag.area + _EPS
+    check_equivalent(net, recovered)
+    benchmark.extra_info.update(
+        {
+            "area_plain": round(dag.area, 1),
+            "area_recovered": round(recovered.area(), 1),
+            "delay": round(dag.delay, 3),
+        }
+    )
+
+
+@pytest.mark.parametrize("name", _CIRCUITS)
+def test_area_recovery_with_slack(benchmark, name, lib2_patterns,
+                                  get_subject, get_network):
+    subject = get_subject(name)
+    net = get_network(name)
+    dag = map_dag(subject, lib2_patterns)
+    target = dag.delay * 1.10
+
+    recovered = benchmark.pedantic(
+        lambda: recover_area(dag.labels, lib2_patterns, target=target),
+        rounds=1,
+        iterations=1,
+    )
+
+    report = analyze(recovered)
+    assert report.delay <= target + _EPS
+    assert recovered.area() <= dag.area + _EPS
+    check_equivalent(net, recovered)
+    benchmark.extra_info.update(
+        {
+            "area_plain": round(dag.area, 1),
+            "area_slack10": round(recovered.area(), 1),
+        }
+    )

@@ -1,0 +1,34 @@
+"""Experiment E6: FlowMap depth-optimal LUT mapping (Section 2 substrate).
+
+Benchmarks the max-flow labeling engine for several LUT sizes and
+asserts optimality by agreement with the independent cut-enumeration
+engine, plus functional equivalence of the LUT network.
+"""
+
+import pytest
+
+from repro.bench import circuits
+from repro.fpga.flowmap import cutmap, flowmap
+from repro.network.simulate import check_equivalent
+
+_WORKLOADS = {
+    "alu8": lambda: circuits.alu(8),
+    "mult6": lambda: circuits.array_multiplier(6),
+    "sec16": lambda: circuits.sec_corrector(16),
+}
+
+
+@pytest.mark.parametrize("name", list(_WORKLOADS))
+@pytest.mark.parametrize("k", [4, 5])
+def test_flowmap(benchmark, name, k):
+    net = _WORKLOADS[name]()
+
+    result = benchmark.pedantic(lambda: flowmap(net, k=k), rounds=1, iterations=1)
+
+    oracle = cutmap(net, k=k)
+    assert result.depth == oracle.depth  # both engines are depth-optimal
+    check_equivalent(net, result.network)
+    assert all(len(l.inputs) <= k for l in result.network.luts)
+    benchmark.extra_info.update(
+        {"depth": result.depth, "luts": result.lut_count()}
+    )

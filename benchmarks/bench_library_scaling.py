@@ -1,0 +1,32 @@
+"""Experiment E19 (Section 3.4): runtime vs library size (the p in O(s*p)).
+
+Benchmarks mapping a fixed subject against growing prefixes of the rich
+44-3 library.  Asserted shape: delay is monotone non-increasing as gates
+are added (a larger library can only help) and cpu per pattern node stays
+bounded.
+"""
+
+import pytest
+
+from repro.harness.experiment import library_scaling_experiment
+
+_EPS = 1e-9
+
+
+def test_library_scaling(benchmark):
+    rows = benchmark.pedantic(
+        lambda: library_scaling_experiment(name="C880s"),
+        rounds=1,
+        iterations=1,
+    )
+    delays = [r["delay"] for r in rows]
+    assert all(delays[i + 1] <= delays[i] + _EPS for i in range(len(delays) - 1))
+    cpn = [r["cpu"] / r["pattern_nodes"] for r in rows]
+    assert max(cpn) <= 10 * min(cpn) + _EPS  # bounded per-pattern cost
+    benchmark.extra_info.update(
+        {
+            "gates": [r["gates"] for r in rows],
+            "cpu": [round(r["cpu"], 3) for r in rows],
+            "delay": delays,
+        }
+    )

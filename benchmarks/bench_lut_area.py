@@ -1,0 +1,43 @@
+"""Experiment E15 (conclusions, Cong & Ding [3]): LUT area/depth trade-off.
+
+Benchmarks the depth-bounded area-recovery pass for LUT mapping — the
+algorithm the paper cites as the model for its own area-delay extension —
+and asserts its contract: optimal depth preserved at zero slack, never
+more LUTs than plain FlowMap.
+"""
+
+import pytest
+
+from repro.bench import circuits
+from repro.fpga.depth_area import flowmap_area
+from repro.fpga.flowmap import flowmap
+from repro.network.simulate import check_equivalent
+
+_WORKLOADS = {
+    "alu8": lambda: circuits.alu(8),
+    "mult6": lambda: circuits.array_multiplier(6),
+}
+
+
+@pytest.mark.parametrize("name", list(_WORKLOADS))
+@pytest.mark.parametrize("slack", [0, 1])
+def test_lut_area_recovery(benchmark, name, slack):
+    net = _WORKLOADS[name]()
+    plain = flowmap(net, k=4)
+
+    recovered = benchmark.pedantic(
+        lambda: flowmap_area(net, k=4, depth_slack=slack),
+        rounds=1,
+        iterations=1,
+    )
+
+    assert recovered.depth <= plain.depth + slack
+    assert recovered.lut_count() <= plain.lut_count()
+    check_equivalent(net, recovered.network)
+    benchmark.extra_info.update(
+        {
+            "plain_luts": plain.lut_count(),
+            "recovered_luts": recovered.lut_count(),
+            "depth": recovered.depth,
+        }
+    )

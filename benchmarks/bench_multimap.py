@@ -1,0 +1,37 @@
+"""Experiment E17 (Section 4, Lehman et al.): multiple decompositions.
+
+Benchmarks the composite per-output mapping over balanced and linear
+subject graphs; the composite must dominate every single decomposition —
+the measurable core of "the two techniques can be combined to produce
+even better results".
+"""
+
+import pytest
+
+from repro.core.multimap import map_multi_decomposition
+from repro.network.simulate import check_equivalent
+
+_EPS = 1e-9
+_CIRCUITS = ["C880s", "C2670s"]
+
+
+@pytest.mark.parametrize("name", _CIRCUITS)
+def test_multimap(benchmark, name, lib2_patterns, get_network):
+    net = get_network(name)
+
+    result = benchmark.pedantic(
+        lambda: map_multi_decomposition(net, lib2_patterns),
+        rounds=1,
+        iterations=1,
+    )
+
+    check_equivalent(net, result.netlist)
+    for single in result.per_style.values():
+        assert result.delay <= single.delay + _EPS
+    benchmark.extra_info.update(
+        {
+            "composite": round(result.delay, 3),
+            "balanced": round(result.per_style["balanced"].delay, 3),
+            "linear": round(result.per_style["linear"].delay, 3),
+        }
+    )

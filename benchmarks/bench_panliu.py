@@ -1,0 +1,40 @@
+"""Experiment E16 (Section 4): the Pan-Liu style decision procedure.
+
+Benchmarks the binary-searched coupled mapping+retiming labeling and
+asserts the paper's ordering: the coupled optimum is never worse than the
+three-step retime-map-retime pipeline.
+"""
+
+import pytest
+
+from repro.bench import circuits
+from repro.sequential.panliu import min_sequential_period
+from repro.sequential.seqmap import map_sequential
+
+_WORKLOADS = {
+    "acc6": lambda: circuits.accumulator(6),
+    "mult4_p2": lambda: circuits.register_boundaries(
+        circuits.array_multiplier(4), output_stages=2
+    ),
+}
+
+
+@pytest.mark.parametrize("name", list(_WORKLOADS))
+def test_panliu_coupled_period(benchmark, name, lib2_patterns):
+    net = _WORKLOADS[name]()
+    three_step = map_sequential(net, lib2_patterns, mode="dag")
+
+    phi_star, labels = benchmark.pedantic(
+        lambda: min_sequential_period(net, lib2_patterns),
+        rounds=1,
+        iterations=1,
+    )
+
+    assert phi_star <= three_step.retimed_period + 0.05
+    assert labels is not None
+    benchmark.extra_info.update(
+        {
+            "coupled_period": round(phi_star, 3),
+            "three_step_period": round(three_step.retimed_period, 3),
+        }
+    )

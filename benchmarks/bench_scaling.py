@@ -1,0 +1,39 @@
+"""Experiment E10 (Section 3.4): mapper runtime is linear in subject size.
+
+Benchmarks the DAG mapper over a multiplier family of growing size with
+the library fixed.  The per-gate cost must stay bounded: the largest
+instance's cpu/gate may not exceed a small multiple of the smallest's,
+which is what O(s * p) predicts when p is constant.
+"""
+
+import pytest
+
+from repro.bench import circuits
+from repro.core.dag_mapper import map_dag
+from repro.network.decompose import decompose_network
+
+_SIZES = [2, 4, 6, 8]
+_per_gate = {}
+
+
+@pytest.mark.parametrize("width", _SIZES)
+def test_scaling(benchmark, width, lib2_patterns):
+    subject = decompose_network(circuits.array_multiplier(width))
+
+    result = benchmark.pedantic(
+        lambda: map_dag(subject, lib2_patterns), rounds=1, iterations=1
+    )
+
+    _per_gate[width] = result.cpu_seconds / max(1, subject.n_gates)
+    benchmark.extra_info.update(
+        {
+            "subject_gates": subject.n_gates,
+            "cpu_per_gate_us": round(1e6 * _per_gate[width], 1),
+        }
+    )
+    if len(_per_gate) == len(_SIZES):
+        smallest = _per_gate[_SIZES[0]]
+        largest = _per_gate[_SIZES[-1]]
+        # A 16x node-count growth must not blow up per-node cost; allow a
+        # generous constant for cache effects and cone-size variance.
+        assert largest <= smallest * 8

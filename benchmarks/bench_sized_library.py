@@ -1,0 +1,43 @@
+"""Experiment E18 (Section 5): discrete gate sizing is expensive.
+
+Benchmarks mapping against the lib2-like library replicated in 1, 2 and 3
+drive strengths.  Asserted shape: the load-independent optimum never
+changes (the fastest strength dominates) while matching work grows with
+the strength count — the cost the paper cites when it prefers one delay
+per gate plus continuous sizing.
+"""
+
+import pytest
+
+from repro.core.dag_mapper import map_dag
+from repro.library.builtin import lib2_sized
+from repro.library.patterns import PatternSet
+
+_results = {}
+_COUNTS = [1, 2, 3]
+
+
+@pytest.mark.parametrize("count", _COUNTS)
+def test_sized_library(benchmark, count, get_subject):
+    subject = get_subject("C2670s")
+    strengths = tuple(2 ** i for i in range(count))
+    patterns = PatternSet(lib2_sized(strengths), max_variants=8)
+
+    result = benchmark.pedantic(
+        lambda: map_dag(subject, patterns), rounds=1, iterations=1
+    )
+
+    _results[count] = result
+    if 1 in _results:
+        # Intrinsic optimum is strength-invariant.
+        assert result.delay == pytest.approx(_results[1].delay)
+        # Matching work grows with the strength count.
+        if count > 1:
+            assert result.n_matches > _results[1].n_matches
+    benchmark.extra_info.update(
+        {
+            "library_gates": len(patterns.library),
+            "delay": round(result.delay, 3),
+            "matches": result.n_matches,
+        }
+    )

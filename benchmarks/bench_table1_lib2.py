@@ -1,0 +1,48 @@
+"""Paper Table 1 (experiment E1): tree vs DAG covering, lib2-like library.
+
+Each benchmark measures one DAG-covering run on one suite circuit; the
+tree-covering baseline runs once per circuit for the comparison columns.
+The paper's qualitative claims are asserted on every row:
+
+* DAG delay <= tree delay (provable, the paper's theorem);
+* both mappings are functionally equivalent to the source network.
+"""
+
+import pytest
+
+from repro.bench.suite import SUITE, TABLE1_NAMES
+from repro.core.dag_mapper import map_dag
+from repro.core.tree_mapper import map_tree
+from repro.network.simulate import check_equivalent
+
+_EPS = 1e-9
+_tree_cache = {}
+
+
+@pytest.mark.parametrize("name", TABLE1_NAMES)
+def test_table1_row(benchmark, name, lib2_patterns, get_subject, get_network):
+    subject = get_subject(name)
+    net = get_network(name)
+    if name not in _tree_cache:
+        _tree_cache[name] = map_tree(subject, lib2_patterns)
+    tree = _tree_cache[name]
+
+    dag = benchmark.pedantic(
+        lambda: map_dag(subject, lib2_patterns), rounds=1, iterations=1
+    )
+
+    assert dag.delay <= tree.delay + _EPS
+    check_equivalent(net, dag.netlist)
+    check_equivalent(net, tree.netlist)
+
+    benchmark.extra_info.update(
+        {
+            "iscas": SUITE[name].iscas,
+            "subject_gates": subject.n_gates,
+            "tree_delay": round(tree.delay, 3),
+            "dag_delay": round(dag.delay, 3),
+            "tree_area": round(tree.area, 1),
+            "dag_area": round(dag.area, 1),
+            "improvement_pct": round(100 * (tree.delay - dag.delay) / tree.delay, 1),
+        }
+    )

@@ -1,0 +1,45 @@
+"""Paper Table 2 (experiment E2): tree vs DAG covering, 44-1 (7 gates).
+
+Measured on the same five circuits as the paper's Table 2.  Expected
+shape: DAG wins on delay everywhere, area grows (duplication), and the
+improvement is *smaller* than Table 3's — the small library limits what
+DAG covering can exploit.
+"""
+
+import pytest
+
+from repro.bench.suite import SUITE, TABLE23_NAMES
+from repro.core.dag_mapper import map_dag
+from repro.core.tree_mapper import map_tree
+from repro.network.simulate import check_equivalent
+
+_EPS = 1e-9
+_tree_cache = {}
+
+
+@pytest.mark.parametrize("name", TABLE23_NAMES)
+def test_table2_row(benchmark, name, lib44_1_patterns, get_subject, get_network):
+    subject = get_subject(name)
+    net = get_network(name)
+    if name not in _tree_cache:
+        _tree_cache[name] = map_tree(subject, lib44_1_patterns)
+    tree = _tree_cache[name]
+
+    dag = benchmark.pedantic(
+        lambda: map_dag(subject, lib44_1_patterns), rounds=1, iterations=1
+    )
+
+    assert dag.delay <= tree.delay + _EPS
+    check_equivalent(net, dag.netlist)
+
+    benchmark.extra_info.update(
+        {
+            "iscas": SUITE[name].iscas,
+            "subject_gates": subject.n_gates,
+            "tree_delay": round(tree.delay, 3),
+            "dag_delay": round(dag.delay, 3),
+            "tree_area": round(tree.area, 1),
+            "dag_area": round(dag.area, 1),
+            "improvement_pct": round(100 * (tree.delay - dag.delay) / tree.delay, 1),
+        }
+    )

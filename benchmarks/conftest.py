@@ -1,0 +1,56 @@
+"""Shared fixtures for the benchmark harness.
+
+Pattern sets and subject graphs are cached per session so each benchmark
+measures only the mapping run it is named after.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import pytest
+
+from repro.bench.suite import SUITE
+from repro.library.builtin import lib2_like, lib44_1, lib44_3, mini_library
+from repro.library.patterns import PatternSet
+from repro.network.decompose import decompose_network
+
+
+@pytest.fixture(scope="session")
+def lib2_patterns():
+    return PatternSet(lib2_like(), max_variants=8)
+
+
+@pytest.fixture(scope="session")
+def lib44_1_patterns():
+    return PatternSet(lib44_1(), max_variants=8)
+
+
+@pytest.fixture(scope="session")
+def lib44_3_patterns():
+    return PatternSet(lib44_3(), max_variants=4)
+
+
+@pytest.fixture(scope="session")
+def mini_patterns():
+    return PatternSet(mini_library(), max_variants=8)
+
+
+@functools.lru_cache(maxsize=None)
+def _cached_network(name: str):
+    return SUITE[name].build()
+
+
+@functools.lru_cache(maxsize=None)
+def _cached_subject(name: str):
+    return decompose_network(_cached_network(name))
+
+
+@pytest.fixture(scope="session")
+def get_network():
+    return _cached_network
+
+
+@pytest.fixture(scope="session")
+def get_subject():
+    return _cached_subject

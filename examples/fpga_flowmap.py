@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""FlowMap demo: depth-optimal k-LUT mapping (the paper's Section 2 basis).
+
+Maps an ALU and a multiplier for several LUT sizes with both labeling
+engines (max-flow and explicit cut enumeration) and shows that the depths
+agree — the optimality cross-check — while verifying each LUT network by
+simulation.
+
+Run:  python examples/fpga_flowmap.py
+"""
+
+from repro.bench import circuits
+from repro.fpga import cutmap, flowmap
+from repro.network.simulate import check_equivalent
+
+
+def main() -> None:
+    workloads = {
+        "alu8": circuits.alu(8),
+        "mult6": circuits.array_multiplier(6),
+        "cla16": circuits.carry_lookahead_adder(16),
+    }
+    print(f"{'circuit':8s} {'k':>2s} {'depth':>5s} {'luts':>5s} "
+          f"{'cut-depth':>9s} {'agree':>5s} {'cpu':>6s}")
+    for name, net in workloads.items():
+        for k in (3, 4, 5, 6):
+            flow = flowmap(net, k=k)
+            cuts = cutmap(net, k=k)
+            check_equivalent(net, flow.network)
+            agree = "yes" if flow.depth == cuts.depth else "NO!"
+            print(f"{name:8s} {k:2d} {flow.depth:5d} {flow.lut_count():5d} "
+                  f"{cuts.depth:9d} {agree:>5s} {flow.cpu_seconds:6.2f}")
+    print("\nBoth engines produce the optimal depth (Cong & Ding's theorem);")
+    print("larger k gives shallower networks, the LUT count is a by-product.")
+
+
+if __name__ == "__main__":
+    main()

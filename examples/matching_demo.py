@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""The paper's Figures 1 and 2 as executable demonstrations.
+
+Figure 1 — standard vs extended matches: a pattern that matches a
+reconvergent subject node only when the one-to-one requirement is dropped
+(Definition 3).
+
+Figure 2 — node duplication: a two-level library gate that tree covering
+cannot use (the subject's middle node has external fanout, so no *exact*
+match exists) while DAG covering duplicates the middle cone and uses the
+gate at both outputs, reducing delay and relocating the multi-fanout
+points.
+
+Run:  python examples/matching_demo.py
+"""
+
+from repro.core.match import Matcher, MatchKind
+from repro.core.dag_mapper import map_dag
+from repro.core.tree_mapper import map_tree
+from repro.figures import figure1, figure2
+from repro.library.patterns import PatternSet
+
+
+def demo_figure1() -> None:
+    print("=" * 64)
+    print("Figure 1: standard match vs extended match")
+    print("=" * 64)
+    fig = figure1()
+    print(f"subject graph : {fig.subject.stats()}")
+    print(f"probe node    : {fig.top!r} (INV over NAND2(n, n))")
+    print(f"pattern       : NOR2 as INV(NAND2(INV(a), INV(b))) "
+          f"({fig.pattern.n_internal} internal nodes)")
+
+    patterns = PatternSet(fig.library)
+    for kind in (MatchKind.STANDARD, MatchKind.EXTENDED):
+        matcher = Matcher(patterns, kind)
+        matcher.attach(fig.subject)
+        matches = matcher.matches_at(fig.top)
+        nor_matches = [m for m in matches if m.gate.name == "nor2"]
+        print(f"{kind.value:9s} matches of nor2 at the probe node: "
+              f"{len(nor_matches)}")
+        for match in nor_matches:
+            print(f"    {match}")
+    print("-> the NOR2 pattern matches only as an *extended* match: both")
+    print("   pattern inverters map onto the single subject inverter,")
+    print("   which Definition 1's one-to-one requirement forbids.\n")
+
+
+def demo_figure2() -> None:
+    print("=" * 64)
+    print("Figure 2: duplication of subject-graph nodes in DAG mapping")
+    print("=" * 64)
+    fig = figure2()
+    print(f"subject graph : {fig.subject.stats()}")
+    uses = len(fig.middle.fanouts)
+    print(f"middle node   : {fig.middle!r} with fanout {uses}")
+
+    tree = map_tree(fig.subject, fig.library)
+    dag = map_dag(fig.subject, fig.library)
+
+    print(f"\ntree mapping  : delay={tree.delay:.1f} area={tree.area:.0f}")
+    for gate in tree.netlist.gates:
+        print(f"    {gate}")
+    print(f"DAG mapping   : delay={dag.delay:.1f} area={dag.area:.0f}")
+    for gate in dag.netlist.gates:
+        print(f"    {gate}")
+
+    big_tree = [g for g in tree.netlist.gates if g.gate.name == "big"]
+    big_dag = [g for g in dag.netlist.gates if g.gate.name == "big"]
+    print(f"\nuses of the two-level gate 'big': tree={len(big_tree)}, "
+          f"DAG={len(big_dag)}")
+    print(f"multi-fanout signals in subject : "
+          f"{[n.uid for n in fig.subject.multi_fanout_nodes()]}")
+    print(f"multi-fanout signals in DAG map : "
+          f"{sorted(dag.netlist.multi_fanout_signals())}")
+    print("-> DAG covering duplicated the middle cone into both 'big'")
+    print("   instances; the fanout point moved from the middle node onto")
+    print("   the primary inputs, exactly as in the paper's Figure 2.")
+
+
+if __name__ == "__main__":
+    demo_figure1()
+    demo_figure2()

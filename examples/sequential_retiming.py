@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Sequential mapping with retiming (the paper's Section 4 extension).
+
+Wraps combinational datapaths in boundary registers, maps the
+combinational core with tree and DAG covering, and retimes the mapped
+netlists to their minimum cycle time — the Pan-Liu retime-map-retime
+transformation.  Retiming moves the boundary registers into the logic,
+so the final period is far below the raw mapped delay; DAG covering's
+faster cores translate into faster clocks.
+
+Run:  python examples/sequential_retiming.py
+"""
+
+from repro.bench import circuits
+from repro.library.builtin import lib2_like
+from repro.library.patterns import PatternSet
+from repro.sequential.panliu import min_sequential_period
+from repro.sequential.seqmap import map_sequential
+
+
+def main() -> None:
+    patterns = PatternSet(lib2_like(), max_variants=8)
+    workloads = {
+        "lfsr16": circuits.lfsr(16),
+        "acc8": circuits.accumulator(8),
+        "mult5 (3-stage)": circuits.register_boundaries(
+            circuits.array_multiplier(5), output_stages=3
+        ),
+        "cla12 (2-stage)": circuits.register_boundaries(
+            circuits.carry_lookahead_adder(12), output_stages=2
+        ),
+    }
+    print(f"{'circuit':16s} {'mode':5s} {'period0':>8s} {'period*':>8s} "
+          f"{'gain%':>6s} {'regs':>9s}")
+    for name, net in workloads.items():
+        for mode in ("tree", "dag"):
+            res = map_sequential(net, patterns, mode=mode)
+            print(
+                f"{name:16s} {mode:5s} {res.mapped_period:8.2f} "
+                f"{res.retimed_period:8.2f} {100 * res.improvement:6.1f} "
+                f"{res.registers_before:4d}->{res.registers_after:<4d}"
+            )
+        phi_star, _ = min_sequential_period(net, patterns)
+        print(f"{name:16s} {'P-L':5s} {'':>8s} {phi_star:8.2f}   "
+              f"(coupled mapping+retiming, Section 4 decision procedure)")
+    print("\nperiod0 = cycle time of the mapped circuit as built;")
+    print("period* = after minimum-period retiming (Leiserson-Saxe);")
+    print("P-L     = Pan-Liu style binary search, mapping coupled with")
+    print("          retiming — never worse than the three-step flow.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""repro — Delay-Optimal Technology Mapping by DAG Covering (DAC 1998).
+
+A complete, self-contained Python reproduction of Kukimoto, Brayton &
+Sawkar's DAC'98 paper, including every substrate it depends on: Boolean
+networks, BLIF and genlib I/O, NAND2-INV technology decomposition, pattern
+generation, Rudell graph matching, tree-covering and DAG-covering mappers,
+static timing analysis, FlowMap for k-LUT FPGAs, retiming-based sequential
+mapping, synthetic ISCAS-85-equivalent benchmarks, and the experiment
+harness that regenerates the paper's tables and figures.
+
+Quickstart::
+
+    from repro import lib2_like, decompose_network, map_dag, map_tree
+    from repro.bench import circuits
+
+    net = circuits.carry_lookahead_adder(16)
+    subject = decompose_network(net)
+    library = lib2_like()
+    dag = map_dag(subject, library)
+    tree = map_tree(subject, library)
+    assert dag.delay <= tree.delay
+"""
+
+from repro.network import (
+    BooleanNetwork,
+    SubjectGraph,
+    TruthTable,
+    decompose_network,
+    parse_expr,
+    read_blif,
+    write_blif,
+)
+from repro.network.simulate import check_equivalent
+from repro.library import (
+    GateLibrary,
+    PatternSet,
+    lib2_like,
+    lib44_1,
+    lib44_3,
+    mini_library,
+    parse_genlib,
+    read_genlib,
+    unit_nand_library,
+)
+from repro.core import (
+    MappingResult,
+    MatchKind,
+    map_dag,
+    map_tree,
+    recover_area,
+)
+from repro.timing import analyze
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BooleanNetwork",
+    "SubjectGraph",
+    "TruthTable",
+    "decompose_network",
+    "parse_expr",
+    "read_blif",
+    "write_blif",
+    "check_equivalent",
+    "GateLibrary",
+    "PatternSet",
+    "lib2_like",
+    "lib44_1",
+    "lib44_3",
+    "mini_library",
+    "parse_genlib",
+    "read_genlib",
+    "unit_nand_library",
+    "MappingResult",
+    "MatchKind",
+    "map_dag",
+    "map_tree",
+    "recover_area",
+    "analyze",
+    "__version__",
+]

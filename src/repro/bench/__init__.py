@@ -1,0 +1,23 @@
+"""Benchmark circuits: synthetic ISCAS-85 equivalents and the suite.
+
+The paper evaluates on MCNC/ISCAS-85 netlists (C2670...C7552) which are
+not redistributable here; :mod:`repro.bench.circuits` generates
+parameterised structural equivalents (array multipliers, carry-lookahead
+adders, ALUs, error-correcting parity networks, priority-interrupt logic,
+comparators) whose reconvergent, multi-fanout structure exercises the same
+mapping behaviour.  :mod:`repro.bench.suite` names the concrete instances
+used by the table experiments, and :mod:`repro.bench.reference` provides
+arithmetic reference models for functional verification.
+"""
+
+from repro.bench import circuits, reference
+from repro.bench.suite import SUITE, BenchCircuit, get_circuit, suite_circuits
+
+__all__ = [
+    "circuits",
+    "reference",
+    "SUITE",
+    "BenchCircuit",
+    "get_circuit",
+    "suite_circuits",
+]

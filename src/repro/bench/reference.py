@@ -1,0 +1,286 @@
+"""Arithmetic reference models for the benchmark generators.
+
+Each ``*_ref`` factory returns a function mapping an input assignment
+(signal name -> 0/1) to the expected output assignment, computed with
+plain Python integer arithmetic.  The test suite drives the generated
+networks and these models with the same random vectors and requires exact
+agreement — the functional ground truth for the whole benchmark family.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.bench.circuits import hamming_layout
+
+Assignment = Dict[str, int]
+Ref = Callable[[Assignment], Assignment]
+
+__all__ = [
+    "get_word",
+    "put_word",
+    "ripple_adder_ref",
+    "multiplier_ref",
+    "alu_ref",
+    "parity_ref",
+    "sec_ref",
+    "priority_interrupt_ref",
+    "comparator_ref",
+    "mux_tree_ref",
+    "decoder_ref",
+    "adder_comparator_mix_ref",
+    "c17_ref",
+    "crc_step_ref",
+    "lfsr_step",
+    "accumulator_step",
+    "johnson_step",
+    "mac_step",
+]
+
+
+def get_word(inputs: Assignment, prefix: str, width: int) -> int:
+    """Pack bits ``prefix0..prefix{w-1}`` (LSB first) into an integer."""
+    value = 0
+    for i in range(width):
+        value |= (inputs[f"{prefix}{i}"] & 1) << i
+    return value
+
+
+def put_word(out: Assignment, prefix: str, width: int, value: int) -> None:
+    for i in range(width):
+        out[f"{prefix}{i}"] = (value >> i) & 1
+
+
+def ripple_adder_ref(width: int) -> Ref:
+    """Also valid for the CLA and carry-select adders (same function)."""
+
+    def ref(inputs: Assignment) -> Assignment:
+        total = (
+            get_word(inputs, "a", width)
+            + get_word(inputs, "b", width)
+            + inputs["cin"]
+        )
+        out: Assignment = {}
+        put_word(out, "s", width, total)
+        out["cout"] = (total >> width) & 1
+        return out
+
+    return ref
+
+
+def multiplier_ref(width_a: int, width_b: Optional[int] = None) -> Ref:
+    width_b = width_b if width_b is not None else width_a
+
+    def ref(inputs: Assignment) -> Assignment:
+        product = get_word(inputs, "a", width_a) * get_word(inputs, "b", width_b)
+        out: Assignment = {}
+        put_word(out, "p", width_a + width_b, product)
+        return out
+
+    return ref
+
+
+def alu_ref(width: int) -> Ref:
+    def ref(inputs: Assignment) -> Assignment:
+        a = get_word(inputs, "a", width)
+        b = get_word(inputs, "b", width)
+        s0, s1, cin = inputs["s0"], inputs["s1"], inputs["cin"]
+        mask = (1 << width) - 1
+        out: Assignment = {}
+        if s1 == 0:
+            operand = (b ^ (mask if s0 else 0)) & mask
+            total = a + operand + cin
+            f = total & mask
+            out["cout"] = (total >> width) & 1
+        else:
+            f = (a & b) if s0 == 0 else (a | b)
+            out["cout"] = 0
+        put_word(out, "f", width, f)
+        out["zero"] = int(f == 0)
+        return out
+
+    return ref
+
+
+def parity_ref(width: int) -> Ref:
+    def ref(inputs: Assignment) -> Assignment:
+        return {"parity": bin(get_word(inputs, "d", width)).count("1") & 1}
+
+    return ref
+
+
+def sec_ref(data_bits: int) -> Ref:
+    r, positions = hamming_layout(data_bits)
+
+    def ref(inputs: Assignment) -> Assignment:
+        data = [inputs[f"d{i}"] for i in range(data_bits)]
+        checks = [inputs[f"c{j}"] for j in range(r)]
+        out: Assignment = {}
+        syndrome = 0
+        for j in range(r):
+            bit = checks[j]
+            for i, pos in enumerate(positions):
+                if (pos >> j) & 1:
+                    bit ^= data[i]
+            out[f"y{j}"] = bit
+            syndrome |= bit << j
+        for i, pos in enumerate(positions):
+            out[f"o{i}"] = data[i] ^ int(syndrome == pos)
+        return out
+
+    return ref
+
+
+def priority_interrupt_ref(channels: int) -> Ref:
+    bits = max(1, (channels - 1).bit_length())
+
+    def ref(inputs: Assignment) -> Assignment:
+        active = [
+            inputs[f"r{i}"] & (1 - inputs[f"m{i}"]) for i in range(channels)
+        ]
+        winner = -1
+        for i in range(channels - 1, -1, -1):
+            if active[i]:
+                winner = i
+                break
+        out: Assignment = {"any": int(winner >= 0)}
+        for k in range(bits):
+            out[f"v{k}"] = (winner >> k) & 1 if winner >= 0 else 0
+        out["gp"] = int(winner >= 0)  # grants are one-hot
+        return out
+
+    return ref
+
+
+def comparator_ref(width: int) -> Ref:
+    def ref(inputs: Assignment) -> Assignment:
+        a = get_word(inputs, "a", width)
+        b = get_word(inputs, "b", width)
+        return {"eq": int(a == b), "lt": int(a < b), "gt": int(a > b)}
+
+    return ref
+
+
+def mux_tree_ref(select_bits: int) -> Ref:
+    def ref(inputs: Assignment) -> Assignment:
+        sel = get_word(inputs, "s", select_bits)
+        return {"y": inputs[f"d{sel}"]}
+
+    return ref
+
+
+def decoder_ref(width: int) -> Ref:
+    def ref(inputs: Assignment) -> Assignment:
+        sel = get_word(inputs, "s", width)
+        en = inputs["en"]
+        return {
+            f"q{code}": int(en and sel == code) for code in range(1 << width)
+        }
+
+    return ref
+
+
+def adder_comparator_mix_ref(width: int) -> Ref:
+    def ref(inputs: Assignment) -> Assignment:
+        a = get_word(inputs, "a", width)
+        b = get_word(inputs, "b", width)
+        t = get_word(inputs, "t", width)
+        total = a + b + inputs["cin"]
+        s = total & ((1 << width) - 1)
+        out: Assignment = {}
+        put_word(out, "s", width, s)
+        out["cout"] = (total >> width) & 1
+        out["eq"] = int(s == t)
+        out["lt"] = int(s < t)
+        out["pa"] = bin(a).count("1") & 1
+        out["pb"] = bin(b).count("1") & 1
+        return out
+
+    return ref
+
+
+def c17_ref() -> Ref:
+    def ref(inputs: Assignment) -> Assignment:
+        g1, g2, g3 = inputs["g1"], inputs["g2"], inputs["g3"]
+        g6, g7 = inputs["g6"], inputs["g7"]
+        g10 = 1 - (g1 & g3)
+        g11 = 1 - (g3 & g6)
+        g16 = 1 - (g2 & g11)
+        g19 = 1 - (g11 & g7)
+        return {"g22": 1 - (g10 & g16), "g23": 1 - (g16 & g19)}
+
+    return ref
+
+
+def crc_step_ref(width: int, data_bits: int, poly: Optional[int] = None) -> Ref:
+    """Bitwise-serial model of :func:`repro.bench.circuits.crc_step`."""
+    if poly is None:
+        poly = 0x07 if width == 8 else (1 << max(0, width // 2)) | 1
+
+    def ref(inputs: Assignment) -> Assignment:
+        state = get_word(inputs, "s", width)
+        mask = (1 << width) - 1
+        for step in range(data_bits - 1, -1, -1):
+            feedback = ((state >> (width - 1)) & 1) ^ inputs[f"d{step}"]
+            state = (state << 1) & mask
+            if feedback:
+                state ^= poly
+        out: Assignment = {}
+        put_word(out, "ns", width, state)
+        return out
+
+    return ref
+
+
+# ----------------------------------------------------------------------
+# Sequential step models
+# ----------------------------------------------------------------------
+
+
+def lfsr_step(
+    width: int, taps: Optional[Sequence[int]] = None
+) -> Callable[[List[int], int], List[int]]:
+    """Next-state function of :func:`repro.bench.circuits.lfsr`."""
+    taps = list(taps) if taps is not None else [width - 1, 0]
+
+    def step(state: List[int], sin: int) -> List[int]:
+        fb = sin
+        for t in taps:
+            fb ^= state[t]
+        return [fb] + state[:-1]
+
+    return step
+
+
+def accumulator_step(width: int) -> Callable[[List[int], int], List[int]]:
+    """Next-state function of :func:`repro.bench.circuits.accumulator`."""
+
+    def step(state: List[int], value: int) -> List[int]:
+        acc = sum(bit << i for i, bit in enumerate(state))
+        total = (acc + value) & ((1 << width) - 1)
+        return [(total >> i) & 1 for i in range(width)]
+
+    return step
+
+
+def johnson_step(width: int) -> Callable[[List[int], int], List[int]]:
+    """Next-state function of :func:`repro.bench.circuits.johnson_counter`."""
+
+    def step(state: List[int], enable: int) -> List[int]:
+        if not enable:
+            return list(state)
+        return [1 - state[-1]] + state[:-1]
+
+    return step
+
+
+def mac_step(width: int) -> Callable[[List[int], int, int], List[int]]:
+    """Next-state function of :func:`repro.bench.circuits.multiply_accumulate`."""
+    total = 2 * width
+
+    def step(state: List[int], a: int, b: int) -> List[int]:
+        acc = sum(bit << i for i, bit in enumerate(state))
+        value = (acc + a * b) & ((1 << total) - 1)
+        return [(value >> i) & 1 for i in range(total)]
+
+    return step

@@ -1,0 +1,163 @@
+"""The named benchmark suite used by the table experiments.
+
+Each entry pairs an ISCAS-85 circuit from the paper's tables with our
+synthetic structural equivalent (see DESIGN.md section 3 for why the
+substitution preserves the experiment).  Default parameters are sized so
+a pure-Python mapper finishes the full table in minutes; the ``scale``
+knob grows instances toward the originals' node counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.bench import circuits, reference
+from repro.network.bnet import BooleanNetwork
+
+__all__ = ["BenchCircuit", "SUITE", "EXTRA", "ALL_CIRCUITS", "TABLE1_NAMES",
+           "TABLE23_NAMES", "get_circuit", "get_reference", "suite_circuits"]
+
+
+@dataclass(frozen=True)
+class BenchCircuit:
+    """One suite entry: a generator plus its reference model."""
+
+    name: str
+    iscas: str
+    description: str
+    build: Callable[[], BooleanNetwork]
+    ref: Optional[Callable] = None
+
+
+def _entry(name, iscas, description, build, ref=None):
+    return BenchCircuit(name, iscas, description, build, ref)
+
+
+SUITE: Dict[str, BenchCircuit] = {
+    entry.name: entry
+    for entry in [
+        _entry(
+            "C432s", "C432", "27-channel priority interrupt controller",
+            lambda: circuits.priority_interrupt(27),
+            reference.priority_interrupt_ref(27),
+        ),
+        _entry(
+            "C499s", "C499", "SEC decoder, 26 data bits",
+            lambda: circuits.sec_corrector(26),
+            reference.sec_ref(26),
+        ),
+        _entry(
+            "C880s", "C880", "8-bit 4-function ALU",
+            lambda: circuits.alu(8),
+            reference.alu_ref(8),
+        ),
+        _entry(
+            "C1355s", "C1355", "SEC decoder, 32 data bits",
+            lambda: circuits.sec_corrector(32),
+            reference.sec_ref(32),
+        ),
+        _entry(
+            "C1908s", "C1908", "SEC decoder, 16 data bits",
+            lambda: circuits.sec_corrector(16),
+            reference.sec_ref(16),
+        ),
+        _entry(
+            "C2670s", "C2670", "12-bit adder + comparator + parity",
+            lambda: circuits.adder_comparator_mix(12),
+            reference.adder_comparator_mix_ref(12),
+        ),
+        _entry(
+            "C3540s", "C3540", "16-bit 4-function ALU",
+            lambda: circuits.alu(16),
+            reference.alu_ref(16),
+        ),
+        _entry(
+            "C5315s", "C5315", "24-bit adder + comparator + parity",
+            lambda: circuits.adder_comparator_mix(24),
+            reference.adder_comparator_mix_ref(24),
+        ),
+        _entry(
+            "C6288s", "C6288", "8x8 array multiplier (C6288 is 16x16)",
+            lambda: circuits.array_multiplier(8),
+            reference.multiplier_ref(8),
+        ),
+        _entry(
+            "C7552s", "C7552", "32-bit adder + comparator + parity",
+            lambda: circuits.adder_comparator_mix(32),
+            reference.adder_comparator_mix_ref(32),
+        ),
+    ]
+}
+
+#: Table 1 (lib2) maps the full suite, as the paper's Table 1 does.
+TABLE1_NAMES: List[str] = list(SUITE)
+
+#: Additional named workloads beyond the paper's tables: structural
+#: alternatives (Wallace vs array multiplier, adder families, routing
+#: logic) used by the extension experiments and available from the CLI.
+EXTRA: Dict[str, BenchCircuit] = {
+    entry.name: entry
+    for entry in [
+        _entry(
+            "wallace8", "C6288*", "8x8 Wallace-tree multiplier "
+            "(array multiplier's structural twin)",
+            lambda: circuits.wallace_multiplier(8),
+            reference.multiplier_ref(8),
+        ),
+        _entry(
+            "barrel5", "-", "32-bit logarithmic barrel rotator",
+            lambda: circuits.barrel_shifter(5),
+            None,
+        ),
+        _entry(
+            "cla16", "-", "16-bit carry-lookahead adder",
+            lambda: circuits.carry_lookahead_adder(16),
+            reference.ripple_adder_ref(16),
+        ),
+        _entry(
+            "csel16", "-", "16-bit carry-select adder",
+            lambda: circuits.carry_select_adder(16),
+            reference.ripple_adder_ref(16),
+        ),
+        _entry(
+            "dec6", "-", "6-to-64 decoder with enable",
+            lambda: circuits.decoder(6),
+            reference.decoder_ref(6),
+        ),
+        _entry(
+            "mux5", "-", "32-to-1 multiplexer tree",
+            lambda: circuits.mux_tree(5),
+            reference.mux_tree_ref(5),
+        ),
+        _entry(
+            "C6288full", "C6288", "16x16 array multiplier at the real "
+            "C6288 scale (~5300 subject nodes)",
+            lambda: circuits.array_multiplier(16),
+            reference.multiplier_ref(16),
+        ),
+    ]
+}
+
+#: Everything addressable by name (tables suite + extras).
+ALL_CIRCUITS: Dict[str, BenchCircuit] = {**SUITE, **EXTRA}
+
+#: Tables 2 and 3 use the five large circuits, matching the paper.
+TABLE23_NAMES: List[str] = ["C2670s", "C3540s", "C5315s", "C6288s", "C7552s"]
+
+
+def get_circuit(name: str) -> BooleanNetwork:
+    """Build a suite or extra circuit by name."""
+    return ALL_CIRCUITS[name].build()
+
+
+def get_reference(name: str):
+    """Reference model of a named circuit (None when not applicable)."""
+    return ALL_CIRCUITS[name].ref
+
+
+def suite_circuits(names: Optional[List[str]] = None):
+    """Yield (entry, network) pairs for the requested suite subset."""
+    for name in names or TABLE1_NAMES:
+        entry = ALL_CIRCUITS[name]
+        yield entry, entry.build()

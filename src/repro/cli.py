@@ -1,0 +1,416 @@
+"""Command-line interface: ``repro-map`` (or ``python -m repro``).
+
+Subcommands::
+
+    map         map a BLIF file with the DAG or tree mapper
+    flowmap     k-LUT FPGA mapping (FlowMap)
+    table       regenerate one of the paper's Tables 1-3
+    bench       list or emit the benchmark suite as BLIF
+    libgen      emit a built-in library as genlib text
+    experiments run the full experiment battery (tables + ablations)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench.suite import ALL_CIRCUITS, SUITE, TABLE23_NAMES
+from repro.core.dag_mapper import map_dag
+from repro.core.match import MatchKind
+from repro.core.netlist import mapped_to_network
+from repro.core.tree_mapper import map_tree
+from repro.fpga.flowmap import flowmap
+from repro.harness import experiment as exp
+from repro.harness.tables import format_comparison_table, format_rows
+from repro.library.builtin import lib2_like, lib44_1, lib44_3, mini_library
+from repro.library.genlib import dumps_genlib, read_genlib
+from repro.network.blif import read_blif, write_blif
+from repro.network.decompose import decompose_network
+from repro.network.simulate import check_equivalent
+
+_BUILTIN_LIBS = {
+    "lib2": lib2_like,
+    "44-1": lib44_1,
+    "44-3": lib44_3,
+    "mini": mini_library,
+}
+
+
+def _load_library(spec: str):
+    if spec in _BUILTIN_LIBS:
+        return _BUILTIN_LIBS[spec]()
+    return read_genlib(spec)
+
+
+def _parse_arrivals(spec: Optional[str]) -> Optional[dict]:
+    """Parse ``--arrivals a=1.5,b=2`` into a dict."""
+    if not spec:
+        return None
+    arrivals = {}
+    for item in spec.split(","):
+        if "=" not in item:
+            raise SystemExit(f"bad --arrivals item {item!r}; use pin=time")
+        name, value = item.split("=", 1)
+        arrivals[name.strip()] = float(value)
+    return arrivals
+
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    net = read_blif(args.blif)
+    library = _load_library(args.library)
+    subject = decompose_network(net, style=args.decompose)
+    kind = MatchKind(args.match)
+    arrivals = _parse_arrivals(args.arrivals)
+    if args.mode == "dag":
+        result = map_dag(subject, library, kind=kind,
+                         max_variants=args.variants, arrival_times=arrivals)
+    else:
+        result = map_tree(subject, library, max_variants=args.variants,
+                          arrival_times=arrivals)
+    if args.verify:
+        check_equivalent(net, result.netlist)
+    print(f"circuit   : {net.name}")
+    print(f"mode      : {result.mode} ({result.match_kind} matches)")
+    print(f"library   : {result.library}")
+    print(f"subject   : {subject.n_gates} NAND2/INV nodes")
+    print(f"delay     : {result.delay:.3f}")
+    print(f"area      : {result.area:.2f} ({result.netlist.gate_count()} gates)")
+    print(f"cpu       : {result.cpu_seconds:.3f}s ({result.n_matches} matches)")
+    if args.verify:
+        print("verified  : equivalent to the source network")
+    if args.path:
+        from repro.timing.sta import analyze
+
+        report = analyze(result.netlist)
+        print(f"critical path to {report.worst_po()!r}:")
+        driver = {g.output: g for g in result.netlist.gates}
+        for signal in report.critical_path:
+            gate = driver.get(signal)
+            what = f"{gate.gate.name}" if gate else "primary input"
+            print(f"  {report.arrivals[signal]:8.3f}  {signal:12s} {what}")
+    if args.dot:
+        from repro.network.dot import netlist_to_dot
+        from repro.timing.sta import analyze
+
+        report = analyze(result.netlist)
+        with open(args.dot, "w", encoding="utf-8") as handle:
+            handle.write(
+                netlist_to_dot(result.netlist,
+                               critical_path=report.critical_path)
+            )
+        print(f"dot       : {args.dot}")
+    if args.output:
+        from repro.network.mapped_io import write_mapped_blif, write_verilog
+
+        if args.format == "gate":
+            write_mapped_blif(result.netlist, args.output)
+        elif args.format == "verilog":
+            write_verilog(result.netlist, args.output)
+        else:
+            write_blif(mapped_to_network(result.netlist), args.output)
+        print(f"written   : {args.output} ({args.format})")
+    return 0
+
+
+def _cmd_flowmap(args: argparse.Namespace) -> int:
+    net = read_blif(args.blif)
+    if args.area:
+        from repro.fpga.depth_area import flowmap_area
+
+        result = flowmap_area(net, k=args.k, depth_slack=args.slack)
+    else:
+        result = flowmap(net, k=args.k)
+    if args.verify:
+        check_equivalent(net, result.network)
+    print(f"circuit : {net.name}")
+    print(f"k       : {result.k}")
+    print(f"engine  : {result.engine}")
+    print(f"depth   : {result.depth}")
+    print(f"luts    : {result.lut_count()}")
+    print(f"cpu     : {result.cpu_seconds:.3f}s")
+    if args.verify:
+        print("verified: equivalent to the source network")
+    if args.output:
+        from repro.fpga.lutnet import lutnet_to_network
+
+        write_blif(lutnet_to_network(result.network), args.output)
+        print(f"written : {args.output}")
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    names = TABLE23_NAMES if args.fast else None
+    if args.number == 1:
+        rows = exp.table1(names=names, verify=not args.no_verify)
+        title = "Table 1: tree vs DAG mapping, lib2-like library"
+    elif args.number == 2:
+        rows = exp.table2(verify=not args.no_verify)
+        title = "Table 2: tree vs DAG mapping, 44-1 library (7 gates)"
+    else:
+        rows = exp.table3(verify=not args.no_verify)
+        title = "Table 3: tree vs DAG mapping, 44-3 library (rich)"
+    print(format_comparison_table(rows, title))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.name is None:
+        for entry in ALL_CIRCUITS.values():
+            print(f"{entry.name:9s} (≈{entry.iscas}) {entry.description}")
+        return 0
+    entry = ALL_CIRCUITS[args.name]
+    net = entry.build()
+    if args.output:
+        write_blif(net, args.output)
+        print(f"written {args.output}: {net.stats()}")
+    else:
+        print(net.stats())
+    return 0
+
+
+def _cmd_libgen(args: argparse.Namespace) -> int:
+    library = _BUILTIN_LIBS[args.name]()
+    text = dumps_genlib(library)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"written {args.output}: {len(library)} gates")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    """Combinational equivalence check between two BLIF files."""
+    from repro.network.simulate import exhaustive_equivalence, random_equivalence
+    from repro.network.simulate import input_names
+
+    net_a = read_blif(args.blif_a)
+    net_b = read_blif(args.blif_b)
+    if len(input_names(net_a)) <= 16:
+        cex = exhaustive_equivalence(net_a, net_b)
+        method = "exhaustive"
+    else:
+        cex = random_equivalence(net_a, net_b, vectors=args.vectors)
+        method = f"random ({args.vectors} vectors)"
+    if cex is None:
+        print(f"EQUIVALENT ({method})")
+        return 0
+    print(f"NOT EQUIVALENT: {cex}")
+    return 1
+
+
+def _cmd_seqmap(args: argparse.Namespace) -> int:
+    from repro.sequential.panliu import min_sequential_period
+    from repro.sequential.seqmap import map_sequential
+
+    net = read_blif(args.blif)
+    if net.is_combinational():
+        print("note: the circuit has no latches; periods equal the "
+              "combinational delay")
+    library = _load_library(args.library)
+    result = map_sequential(net, library, mode=args.mode,
+                            max_variants=args.variants)
+    print(f"circuit        : {net.name} ({len(net.latches)} latches)")
+    print(f"mode           : {args.mode}")
+    print(f"comb. delay    : {result.comb.delay:.3f}")
+    print(f"mapped period  : {result.mapped_period:.3f}")
+    print(f"retimed period : {result.retimed_period:.3f} "
+          f"({100 * result.improvement:.1f}% gain)")
+    print(f"registers      : {result.registers_before} -> "
+          f"{result.registers_after}")
+    if args.coupled:
+        phi, _ = min_sequential_period(net, library,
+                                       max_variants=args.variants)
+        print(f"coupled period : {phi:.3f} (Pan-Liu decision procedure)")
+    return 0
+
+
+def _cmd_libstats(args: argparse.Namespace) -> int:
+    from repro.library.patterns import PatternSet
+    from repro.network.npn import npn_classes
+
+    library = _load_library(args.library)
+    patterns = PatternSet(library, max_variants=args.variants)
+    print(f"library     : {library.name}")
+    print(f"gates       : {len(library)} (max {library.max_inputs()} inputs)")
+    areas = library.total_area_range()
+    print(f"area range  : {areas[0]:g} .. {areas[1]:g}")
+    small = [g.tt for g in library if g.n_inputs <= 4]
+    if small:
+        classes = npn_classes(small)
+        print(f"NPN classes : {len(classes)} among the {len(small)} gates "
+              f"with <= 4 inputs")
+    print(f"patterns    : {len(patterns)} "
+          f"({patterns.total_nodes} nodes, max depth {patterns.max_depth})")
+    if patterns.skipped:
+        print(f"skipped     : {', '.join(patterns.skipped)} "
+              f"(constants/buffers have no pattern)")
+    by_inputs: dict = {}
+    for gate in library:
+        by_inputs[gate.n_inputs] = by_inputs.get(gate.n_inputs, 0) + 1
+    dist = ", ".join(f"{n}-input: {c}" for n, c in sorted(by_inputs.items()))
+    print(f"input dist  : {dist}")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    sections: List[str] = []
+    names = TABLE23_NAMES if args.fast else None
+    sections.append(
+        format_comparison_table(
+            exp.table1(names=names), "Table 1: lib2-like library"
+        )
+    )
+    sections.append(format_comparison_table(exp.table2(), "Table 2: 44-1 library"))
+    sections.append(format_comparison_table(exp.table3(), "Table 3: 44-3 library"))
+    sections.append(
+        format_rows(exp.match_class_ablation(), "E9: standard vs extended matches")
+    )
+    sections.append(format_rows(exp.scaling_experiment(), "E10: runtime scaling"))
+    sections.append(format_rows(exp.flowmap_experiment(), "E6: FlowMap"))
+    sections.append(format_rows(exp.sequential_experiment(), "E7: sequential"))
+    sections.append(
+        format_rows(exp.area_recovery_experiment(), "E8: area recovery")
+    )
+    sections.append(
+        format_rows(exp.load_model_experiment(), "E11: load-model gap")
+    )
+    sections.append(
+        format_rows(exp.buffering_experiment(), "E12: fanout buffering")
+    )
+    sections.append(
+        format_rows(
+            exp.decomposition_sensitivity_experiment(),
+            "E13: decomposition sensitivity",
+        )
+    )
+    sections.append(
+        format_rows(exp.area_delay_curve(), "E14: area-delay trade-off curve")
+    )
+    sections.append(
+        format_rows(exp.panliu_experiment(), "E16: Pan-Liu coupled period")
+    )
+    sections.append(
+        format_rows(exp.multimap_experiment(), "E17: multiple decompositions")
+    )
+    sections.append(
+        format_rows(exp.sized_library_experiment(), "E18: discrete sizing cost")
+    )
+    sections.append(
+        format_rows(exp.library_scaling_experiment(), "E19: library-size scaling")
+    )
+    text = "\n\n".join(sections)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"written {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-map",
+        description="Delay-optimal technology mapping by DAG covering (DAC'98 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_map = sub.add_parser("map", help="map a BLIF netlist to a gate library")
+    p_map.add_argument("blif")
+    p_map.add_argument("--library", "-l", default="lib2",
+                       help="builtin name (lib2, 44-1, 44-3, mini) or genlib path")
+    p_map.add_argument("--mode", choices=("dag", "tree"), default="dag")
+    p_map.add_argument("--match", choices=("standard", "exact", "extended"),
+                       default="standard")
+    p_map.add_argument("--variants", type=int, default=8,
+                       help="pattern decomposition variants per gate")
+    p_map.add_argument("--decompose", choices=("balanced", "linear"),
+                       default="balanced",
+                       help="subject-graph decomposition style")
+    p_map.add_argument("--arrivals",
+                       help="PI arrival times, e.g. 'a=1.5,b=2' "
+                            "(unlisted inputs arrive at 0)")
+    p_map.add_argument("--output", "-o", help="write the mapped netlist")
+    p_map.add_argument("--format", choices=("logic", "gate", "verilog"),
+                       default="logic",
+                       help="output format: logic BLIF (.names), mapped "
+                            "BLIF (.gate) or structural Verilog")
+    p_map.add_argument("--verify", action="store_true",
+                       help="simulate mapped vs source network")
+    p_map.add_argument("--path", action="store_true",
+                       help="print the critical path with arrival times")
+    p_map.add_argument("--dot", metavar="FILE",
+                       help="write a Graphviz view with the critical path "
+                            "highlighted")
+    p_map.set_defaults(func=_cmd_map)
+
+    p_fm = sub.add_parser("flowmap", help="k-LUT FPGA mapping (FlowMap)")
+    p_fm.add_argument("blif")
+    p_fm.add_argument("-k", type=int, default=4)
+    p_fm.add_argument("--area", action="store_true",
+                      help="run the depth-bounded area-recovery engine")
+    p_fm.add_argument("--slack", type=int, default=0,
+                      help="extra LUT levels allowed with --area")
+    p_fm.add_argument("--output", "-o", help="write the LUT netlist as BLIF")
+    p_fm.add_argument("--verify", action="store_true")
+    p_fm.set_defaults(func=_cmd_flowmap)
+
+    p_tab = sub.add_parser("table", help="regenerate a paper table")
+    p_tab.add_argument("number", type=int, choices=(1, 2, 3))
+    p_tab.add_argument("--fast", action="store_true",
+                       help="table 1 only: use the 5-circuit subset")
+    p_tab.add_argument("--no-verify", action="store_true")
+    p_tab.set_defaults(func=_cmd_table)
+
+    p_bench = sub.add_parser("bench", help="list or emit benchmark circuits")
+    p_bench.add_argument("name", nargs="?", choices=list(ALL_CIRCUITS))
+    p_bench.add_argument("--output", "-o")
+    p_bench.set_defaults(func=_cmd_bench)
+
+    p_lib = sub.add_parser("libgen", help="emit a builtin library as genlib")
+    p_lib.add_argument("name", choices=list(_BUILTIN_LIBS))
+    p_lib.add_argument("--output", "-o")
+    p_lib.set_defaults(func=_cmd_libgen)
+
+    p_ver = sub.add_parser("verify",
+                           help="equivalence-check two BLIF files")
+    p_ver.add_argument("blif_a")
+    p_ver.add_argument("blif_b")
+    p_ver.add_argument("--vectors", type=int, default=4096)
+    p_ver.set_defaults(func=_cmd_verify)
+
+    p_seq = sub.add_parser("seqmap",
+                           help="sequential mapping + retiming (Section 4)")
+    p_seq.add_argument("blif", help="BLIF file with .latch statements")
+    p_seq.add_argument("--library", "-l", default="lib2")
+    p_seq.add_argument("--mode", choices=("dag", "tree"), default="dag")
+    p_seq.add_argument("--variants", type=int, default=8)
+    p_seq.add_argument("--coupled", action="store_true",
+                       help="also run the Pan-Liu coupled binary search")
+    p_seq.set_defaults(func=_cmd_seqmap)
+
+    p_stats = sub.add_parser("libstats", help="summarise a gate library")
+    p_stats.add_argument("--library", "-l", default="lib2",
+                         help="builtin name or genlib path")
+    p_stats.add_argument("--variants", type=int, default=8)
+    p_stats.set_defaults(func=_cmd_libstats)
+
+    p_exp = sub.add_parser("experiments", help="run the full experiment battery")
+    p_exp.add_argument("--output", "-o")
+    p_exp.add_argument("--fast", action="store_true")
+    p_exp.set_defaults(func=_cmd_experiments)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""The paper's contribution: delay-optimal DAG covering, plus baselines.
+
+* :mod:`repro.core.match` — Rudell's graph match with the paper's three
+  match classes (standard / exact / extended, Definitions 1-3).
+* :mod:`repro.core.labeling` — FlowMap-style optimal-delay labeling over
+  library matches (Section 3.1).
+* :mod:`repro.core.cover` — queue-based construction of the mapped
+  netlist with implicit node duplication (Section 3.3).
+* :mod:`repro.core.dag_mapper` — the proposed DAG mapper.
+* :mod:`repro.core.tree_mapper` — the conventional tree-covering baseline.
+* :mod:`repro.core.area_recovery` — the area/delay trade-off extension
+  sketched in the paper's conclusions.
+"""
+
+from repro.core.match import Match, MatchKind, Matcher, verify_match
+from repro.core.netlist import MappedGate, MappedNetlist
+from repro.core.labeling import Labels, compute_labels
+from repro.core.cover import build_cover
+from repro.core.dag_mapper import map_dag
+from repro.core.tree_mapper import map_tree
+from repro.core.area_recovery import recover_area
+from repro.core.multimap import MultiMapResult, map_multi_decomposition
+from repro.core.result import MappingResult
+
+__all__ = [
+    "Match",
+    "MatchKind",
+    "Matcher",
+    "verify_match",
+    "MappedGate",
+    "MappedNetlist",
+    "Labels",
+    "compute_labels",
+    "build_cover",
+    "map_dag",
+    "map_tree",
+    "recover_area",
+    "MappingResult",
+    "MultiMapResult",
+    "map_multi_decomposition",
+]

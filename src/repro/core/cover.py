@@ -1,0 +1,78 @@
+"""Cover construction: labels -> mapped netlist (the paper's Section 3.3).
+
+Once a (best delay, best gate) pair is stored at every node, the mapped
+network is built exactly as in FlowMap: a queue is seeded with all primary
+outputs; for each popped node the best gate at that node is instantiated,
+and every fanin (match leaf) that is neither a primary input nor already
+implemented is enqueued.  Intermediate subject nodes that are interior to
+several chosen matches are *duplicated implicitly* — they simply never get
+a gate of their own — which is the mechanism that lets DAG covering beat
+tree covering (paper Figure 2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Optional
+
+from repro.core.labeling import Labels
+from repro.core.match import Match
+from repro.core.netlist import MappedNetlist
+from repro.errors import MappingError
+from repro.network.subject import SubjectNode
+
+__all__ = ["build_cover", "signal_name"]
+
+
+def signal_name(node: SubjectNode) -> str:
+    """Stable signal name for a subject node in the mapped netlist."""
+    return node.name if node.is_pi and node.name else f"n{node.uid}"
+
+
+def build_cover(
+    labels: Labels,
+    name: Optional[str] = None,
+    selection: Optional[Dict[int, Match]] = None,
+) -> MappedNetlist:
+    """Build the mapped netlist from labeling results.
+
+    Args:
+        labels: output of :func:`repro.core.labeling.compute_labels`.
+        name: netlist name (defaults to the subject's name).
+        selection: optional per-node match override (uid -> match), used
+            by area recovery to substitute slower-but-smaller matches.
+    """
+    subject = labels.subject
+    netlist = MappedNetlist(name or f"{subject.name}_mapped")
+    for pi in subject.pis:
+        netlist.add_pi(pi.name)
+
+    implemented: set = set()
+    queue = deque()
+    for _, driver in subject.pos:
+        queue.append(driver)
+
+    while queue:
+        node = queue.popleft()
+        if node.is_pi or node.uid in implemented:
+            continue
+        implemented.add(node.uid)
+        match = None
+        if selection is not None:
+            match = selection.get(node.uid)
+        if match is None:
+            match = labels.best[node.uid]
+        if match is None:
+            raise MappingError(f"no selected match at node {node!r}")
+        gate = match.gate
+        pin_to_leaf = {pin: leaf for pin, leaf in match.leaves()}
+        inputs = [signal_name(pin_to_leaf[pin]) for pin in gate.inputs]
+        netlist.add_gate(gate, inputs, signal_name(node))
+        for leaf in pin_to_leaf.values():
+            if not leaf.is_pi and leaf.uid not in implemented:
+                queue.append(leaf)
+
+    for po_name, driver in subject.pos:
+        netlist.add_po(po_name, signal_name(driver))
+    netlist.check()
+    return netlist

@@ -1,0 +1,350 @@
+"""Graph matching between pattern graphs and subject graphs.
+
+Implements Rudell's *graph match* algorithm with the three match classes
+of the paper's Section 3.2:
+
+* **standard match** (Definition 1): a one-to-one mapping of pattern nodes
+  into subject nodes preserving edges and the in-degree of internal nodes.
+  Interior subject nodes *may* have fanout escaping the match.
+* **exact match** (Definition 2): a standard match whose interior nodes
+  additionally have their full fanout inside the match (out-degree
+  equality).  This is the class conventional tree covering is restricted
+  to.
+* **extended match** (Definition 3): a standard match without the
+  one-to-one requirement, which lets the matcher *unfold* the subject DAG
+  by duplicating subject nodes (paper Figure 1).  Unfolding implies one
+  condition Definition 3's text leaves implicit: at every pattern node
+  the children map bijectively onto the subject node's fanins (two
+  pattern children may share a subject node only when the subject node
+  itself appears twice in the fanin list) — otherwise a "match" could
+  implement the wrong function.
+
+Input permutations of a pattern are explored here (both orders of every
+NAND2 node), which is what expands the pattern set in the sense of the
+paper's footnote 2.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import MappingError
+from repro.library.patterns import PatternGraph, PatternNode, PatternSet
+from repro.network.subject import NodeType, SubjectGraph, SubjectNode
+
+__all__ = ["MatchKind", "Match", "Matcher", "verify_match"]
+
+
+class MatchKind(enum.Enum):
+    """The three match classes of Definitions 1-3."""
+
+    STANDARD = "standard"
+    EXACT = "exact"
+    EXTENDED = "extended"
+
+
+class Match:
+    """A successful match of a pattern graph rooted at a subject node.
+
+    Attributes:
+        pattern: the matched :class:`PatternGraph`.
+        root: the subject node implementing the gate output.
+        binding: pattern node uid -> subject node, for every pattern node.
+    """
+
+    __slots__ = ("pattern", "root", "binding")
+
+    def __init__(
+        self,
+        pattern: PatternGraph,
+        root: SubjectNode,
+        binding: Dict[int, SubjectNode],
+    ):
+        self.pattern = pattern
+        self.root = root
+        self.binding = binding
+
+    @property
+    def gate(self):
+        return self.pattern.gate
+
+    def leaves(self) -> List[Tuple[str, SubjectNode]]:
+        """(pin name, subject node) for every pattern leaf."""
+        return [
+            (leaf.pin, self.binding[leaf.uid]) for leaf in self.pattern.leaves
+        ]
+
+    def leaf_nodes(self) -> List[SubjectNode]:
+        return [self.binding[leaf.uid] for leaf in self.pattern.leaves]
+
+    def internal_nodes(self) -> List[SubjectNode]:
+        """Subject nodes covered by internal pattern nodes (root included)."""
+        out = []
+        seen = set()
+        for pnode in self.pattern.nodes:
+            if pnode.is_leaf:
+                continue
+            snode = self.binding[pnode.uid]
+            if snode.uid not in seen:
+                seen.add(snode.uid)
+                out.append(snode)
+        return out
+
+    def identity(self) -> Tuple:
+        """Key identifying functionally identical matches for dedup.
+
+        Pins are reduced to their interchangeability classes: two matches
+        that differ only by swapping symmetric, timing-identical pins
+        implement the same gate instance with the same cost.
+        """
+        classes = self.pattern.pin_classes
+        return (
+            self.pattern.gate.name,
+            self.root.uid,
+            frozenset(
+                (classes.get(pin, pin), node.uid) for pin, node in self.leaves()
+            ),
+        )
+
+    def __repr__(self) -> str:
+        pins = ", ".join(f"{pin}->{node.uid}" for pin, node in self.leaves())
+        return f"Match({self.gate.name} @ {self.root.uid}; {pins})"
+
+
+class Matcher:
+    """Enumerates matches of a pattern set on a subject graph."""
+
+    def __init__(self, patterns: PatternSet, kind: MatchKind = MatchKind.STANDARD):
+        self.patterns = patterns
+        self.kind = kind
+        # Pattern-side fanout counts, needed for the exact-match condition.
+        self._pattern_fanout: Dict[int, Dict[int, int]] = {}
+        for idx, pattern in enumerate(patterns.patterns):
+            counts: Dict[int, int] = {}
+            for node in pattern.nodes:
+                for fanin in node.fanins:
+                    counts[fanin.uid] = counts.get(fanin.uid, 0) + 1
+            self._pattern_fanout[id(pattern)] = counts
+
+    # ------------------------------------------------------------------
+    def attach(self, subject: SubjectGraph) -> None:
+        """Precompute subject-side data (fanout-use counts, depths)."""
+        self._uses: List[int] = [0] * len(subject.nodes)
+        for node in subject.nodes:
+            for fanin in node.fanins:
+                self._uses[fanin.uid] += 1
+        for _, driver in subject.pos:
+            self._uses[driver.uid] += 1
+        self._depth: List[int] = [0] * len(subject.nodes)
+        for node in subject.nodes:
+            if node.fanins:
+                self._depth[node.uid] = 1 + max(
+                    self._depth[f.uid] for f in node.fanins
+                )
+        # Structural-feasibility memo: (pattern node id, subject uid) ->
+        # can the pattern subtree embed at the subject node, ignoring
+        # binding constraints?  A necessary condition that is computed at
+        # most once per pair — this is what keeps the labeling within the
+        # paper's O(s*p) bound in practice.
+        self._feasible_cache: Dict[Tuple[int, int], bool] = {}
+
+    def _feasible(self, pnode: PatternNode, snode: SubjectNode) -> bool:
+        """Binding-independent embeddability of a pattern subtree."""
+        if pnode.is_leaf:
+            return True
+        key = (id(pnode), snode.uid)
+        cached = self._feasible_cache.get(key)
+        if cached is not None:
+            return cached
+        if pnode.kind is not snode.kind:
+            result = False
+        elif pnode.kind is NodeType.INV:
+            result = self._feasible(pnode.fanins[0], snode.fanins[0])
+        else:
+            p0, p1 = pnode.fanins
+            s0, s1 = snode.fanins
+            result = (
+                self._feasible(p0, s0) and self._feasible(p1, s1)
+            ) or (
+                s0 is not s1
+                and self._feasible(p0, s1)
+                and self._feasible(p1, s0)
+            )
+        self._feasible_cache[key] = result
+        return result
+
+    def matches_at(self, snode: SubjectNode) -> List[Match]:
+        """All (deduplicated) matches of the pattern set rooted at ``snode``.
+
+        :meth:`attach` must have been called with the subject graph first.
+        """
+        if snode.is_pi:
+            return []
+        results: List[Match] = []
+        seen: set = set()
+        depth = self._depth[snode.uid]
+        for pattern in self.patterns.for_root(snode.kind):
+            if pattern.depth > depth:
+                continue  # the pattern cannot fit above the PIs
+            for binding in self._enumerate(pattern, snode):
+                match = Match(pattern, snode, binding)
+                key = match.identity()
+                if key not in seen:
+                    seen.add(key)
+                    results.append(match)
+        return results
+
+    # ------------------------------------------------------------------
+    def _enumerate(
+        self, pattern: PatternGraph, root: SubjectNode
+    ) -> Iterator[Dict[int, SubjectNode]]:
+        """Yield complete bindings of ``pattern`` rooted at ``root``."""
+        injective = self.kind is not MatchKind.EXTENDED
+        exact = self.kind is MatchKind.EXACT
+        pattern_fanout = self._pattern_fanout[id(pattern)]
+        swap_safe = pattern.swap_safe
+        binding: Dict[int, SubjectNode] = {}
+        images: Dict[int, int] = {}  # subject uid -> pattern uid
+
+        def assign(obligations: List[Tuple[PatternNode, SubjectNode]]) -> Iterator[None]:
+            if not obligations:
+                yield None
+                return
+            (pnode, snode), rest = obligations[0], obligations[1:]
+            prior = binding.get(pnode.uid)
+            if prior is not None:
+                if prior is snode:
+                    yield from assign(rest)
+                return
+            if injective and snode.uid in images:
+                return
+            if pnode.is_leaf:
+                binding[pnode.uid] = snode
+                images[snode.uid] = pnode.uid
+                yield from assign(rest)
+                del binding[pnode.uid]
+                if images.get(snode.uid) == pnode.uid:
+                    del images[snode.uid]
+                return
+            if not self._feasible(pnode, snode):
+                return
+            if exact and pattern_fanout.get(pnode.uid, 0) > 0:
+                # Interior node: all subject fanout must stay inside the
+                # match, i.e. out-degree equality (Definition 2, cond. 3).
+                if self._uses[snode.uid] != pattern_fanout[pnode.uid]:
+                    return
+            binding[pnode.uid] = snode
+            images[snode.uid] = pnode.uid
+            try:
+                if pnode.kind is NodeType.INV:
+                    yield from assign(
+                        [(pnode.fanins[0], snode.fanins[0])] + rest
+                    )
+                else:
+                    p0, p1 = pnode.fanins
+                    s0, s1 = snode.fanins
+                    yield from assign([(p0, s0), (p1, s1)] + rest)
+                    if s0 is not s1 and pnode.uid not in swap_safe:
+                        # swap_safe: disjoint isomorphic tree children
+                        # make the swapped order redundant (it can only
+                        # reproduce cost-identical matches).
+                        yield from assign([(p0, s1), (p1, s0)] + rest)
+            finally:
+                del binding[pnode.uid]
+                if images.get(snode.uid) == pnode.uid:
+                    del images[snode.uid]
+
+        for _ in assign([(pattern.root, root)]):
+            yield dict(binding)
+
+    def subject_uses(self, snode: SubjectNode) -> int:
+        """Fanout-use count of a subject node (edges plus PO references)."""
+        return self._uses[snode.uid]
+
+
+def verify_match(
+    match: Match, subject: SubjectGraph, kind: MatchKind
+) -> List[str]:
+    """Independently check a match against Definitions 1-3.
+
+    Returns a list of violation descriptions (empty when valid).  Used by
+    the test suite as an oracle for the matcher.
+    """
+    problems: List[str] = []
+    pattern = match.pattern
+    binding = match.binding
+
+    for pnode in pattern.nodes:
+        if pnode.uid not in binding:
+            problems.append(f"pattern node {pnode.uid} unbound")
+    if problems:
+        return problems
+
+    # Condition 1: edge preservation.
+    subject_edges = set()
+    for snode in subject.nodes:
+        for fanin in snode.fanins:
+            subject_edges.add((fanin.uid, snode.uid))
+    for pnode in pattern.nodes:
+        for fanin in pnode.fanins:
+            edge = (binding[fanin.uid].uid, binding[pnode.uid].uid)
+            if edge not in subject_edges:
+                problems.append(
+                    f"pattern edge {fanin.uid}->{pnode.uid} not preserved"
+                )
+
+    # Condition 2: in-degree equality for internal pattern nodes, plus
+    # the per-node fanin bijection that DAG unfolding implies: the
+    # multiset of a pattern node's child images must equal the subject
+    # node's fanin multiset.  (Definition 3's literal text would admit
+    # two pattern children following the *same* subject edge — e.g.
+    # matching NAND2(m, m') onto NAND2(a, b) with both m, m' on a —
+    # which does not correspond to any unfolding of the subject DAG and
+    # implements the wrong function.  Standard/exact matches satisfy the
+    # bijection automatically through injectivity.)
+    for pnode in pattern.nodes:
+        if pnode.is_leaf:
+            continue
+        snode = binding[pnode.uid]
+        if len(pnode.fanins) != len(snode.fanins):
+            problems.append(f"in-degree mismatch at pattern node {pnode.uid}")
+            continue
+        child_images = sorted(binding[c.uid].uid for c in pnode.fanins)
+        subject_fanins = sorted(f.uid for f in snode.fanins)
+        if child_images != subject_fanins:
+            problems.append(
+                f"fanin multiset mismatch at pattern node {pnode.uid}: "
+                f"children map to {child_images}, subject has {subject_fanins}"
+            )
+
+    # One-to-one for standard/exact.
+    if kind is not MatchKind.EXTENDED:
+        images = [binding[p.uid].uid for p in pattern.nodes]
+        if len(set(images)) != len(images):
+            problems.append("mapping is not one-to-one")
+
+    # Out-degree equality for exact matches (interior nodes only).
+    if kind is MatchKind.EXACT:
+        pattern_fanout: Dict[int, int] = {}
+        for pnode in pattern.nodes:
+            for fanin in pnode.fanins:
+                pattern_fanout[fanin.uid] = pattern_fanout.get(fanin.uid, 0) + 1
+        uses: Dict[int, int] = {}
+        for snode in subject.nodes:
+            for fanin in snode.fanins:
+                uses[fanin.uid] = uses.get(fanin.uid, 0) + 1
+        for _, driver in subject.pos:
+            uses[driver.uid] = uses.get(driver.uid, 0) + 1
+        for pnode in pattern.nodes:
+            if pnode.is_leaf or pattern_fanout.get(pnode.uid, 0) == 0:
+                continue
+            if uses.get(binding[pnode.uid].uid, 0) != pattern_fanout[pnode.uid]:
+                problems.append(
+                    f"out-degree mismatch at pattern node {pnode.uid}"
+                )
+
+    # The root must implement the gate output at the designated node.
+    if binding[pattern.root.uid] is not match.root:
+        problems.append("root binding mismatch")
+    return problems

@@ -1,0 +1,210 @@
+"""Mapped (technology-bound) netlists: instances of library gates.
+
+The output of both mappers is a :class:`MappedNetlist`: a DAG of library
+gate instances over named signals.  It supports the common simulation
+protocol (``sim_inputs`` / ``sim_outputs`` / ``simulate``) so equivalence
+against the source network can be checked, and it is the input to static
+timing analysis (:mod:`repro.timing.sta`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import NetworkError
+from repro.library.gate import Gate
+
+__all__ = ["MappedGate", "MappedNetlist"]
+
+
+class MappedGate:
+    """One gate instance: ``output = gate(inputs...)`` (pin order)."""
+
+    __slots__ = ("instance", "gate", "inputs", "output")
+
+    def __init__(self, instance: str, gate: Gate, inputs: Sequence[str], output: str):
+        if len(inputs) != gate.n_inputs:
+            raise NetworkError(
+                f"instance {instance!r}: {len(inputs)} connections for "
+                f"{gate.n_inputs}-input gate {gate.name!r}"
+            )
+        self.instance = instance
+        self.gate = gate
+        self.inputs = tuple(inputs)
+        self.output = output
+
+    def __repr__(self) -> str:
+        args = ", ".join(self.inputs)
+        return f"{self.output} = {self.gate.name}({args})"
+
+
+class MappedNetlist:
+    """A technology-mapped netlist of library gate instances."""
+
+    def __init__(self, name: str = "mapped"):
+        self.name = name
+        self.pis: List[str] = []
+        #: (PO name, driving signal) pairs.
+        self.pos: List[Tuple[str, str]] = []
+        self.gates: List[MappedGate] = []
+        self._driver: Dict[str, MappedGate] = {}
+        self._pi_set: set = set()
+
+    # ------------------------------------------------------------------
+    def add_pi(self, name: str) -> str:
+        if name in self._pi_set:
+            raise NetworkError(f"duplicate PI {name!r}")
+        self.pis.append(name)
+        self._pi_set.add(name)
+        return name
+
+    def add_gate(
+        self, gate: Gate, inputs: Sequence[str], output: str, instance: Optional[str] = None
+    ) -> MappedGate:
+        if output in self._driver or output in self._pi_set:
+            raise NetworkError(f"signal {output!r} already driven")
+        instance = instance or f"g{len(self.gates)}"
+        mapped = MappedGate(instance, gate, inputs, output)
+        self.gates.append(mapped)
+        self._driver[output] = mapped
+        return mapped
+
+    def add_po(self, name: str, signal: str) -> None:
+        self.pos.append((name, signal))
+
+    # ------------------------------------------------------------------
+    def driver(self, signal: str) -> Optional[MappedGate]:
+        return self._driver.get(signal)
+
+    def is_pi(self, signal: str) -> bool:
+        return signal in self._pi_set
+
+    def topological_gates(self) -> List[MappedGate]:
+        """Gate instances sorted so inputs are driven before use."""
+        order: List[MappedGate] = []
+        state: Dict[str, int] = {}
+
+        def visit(signal: str) -> None:
+            stack = [(signal, False)]
+            while stack:
+                sig, expanded = stack.pop()
+                if sig in self._pi_set or state.get(sig) == 1:
+                    continue
+                gate = self._driver.get(sig)
+                if gate is None:
+                    raise NetworkError(f"undriven signal {sig!r}")
+                if expanded:
+                    state[sig] = 1
+                    order.append(gate)
+                    continue
+                if state.get(sig) == 0:
+                    raise NetworkError(f"combinational cycle through {sig!r}")
+                state[sig] = 0
+                stack.append((sig, True))
+                for fanin in gate.inputs:
+                    if state.get(fanin) != 1:
+                        stack.append((fanin, False))
+        for gate in self.gates:
+            visit(gate.output)
+        return order
+
+    def fanout_counts(self) -> Dict[str, int]:
+        """Signal -> number of uses (gate pins plus PO references)."""
+        counts: Dict[str, int] = {}
+        for gate in self.gates:
+            for fanin in gate.inputs:
+                counts[fanin] = counts.get(fanin, 0) + 1
+        for _, signal in self.pos:
+            counts[signal] = counts.get(signal, 0) + 1
+        return counts
+
+    def area(self) -> float:
+        """Total cell area."""
+        return sum(g.gate.area for g in self.gates)
+
+    def gate_count(self) -> int:
+        return len(self.gates)
+
+    def gate_histogram(self) -> Dict[str, int]:
+        hist: Dict[str, int] = {}
+        for gate in self.gates:
+            hist[gate.gate.name] = hist.get(gate.gate.name, 0) + 1
+        return dict(sorted(hist.items()))
+
+    def multi_fanout_signals(self) -> List[str]:
+        """Signals with fanout >= 2 in the *mapped* circuit.
+
+        The paper's Section 3.5 points out that DAG mapping creates
+        fanout points that did not exist in the subject graph (and
+        removes others); this accessor lets experiments observe that.
+        """
+        return [s for s, c in self.fanout_counts().items() if c >= 2]
+
+    # ------------------------------------------------------------------
+    # Simulation protocol (see repro.network.simulate)
+    # ------------------------------------------------------------------
+    def sim_inputs(self) -> List[str]:
+        return list(self.pis)
+
+    def sim_outputs(self) -> List[str]:
+        return [name for name, _ in self.pos]
+
+    def simulate(self, inputs: Dict[str, int], mask: int) -> Dict[str, int]:
+        values: Dict[str, int] = {}
+        for name in self.pis:
+            if name not in inputs:
+                raise NetworkError(f"missing input word for {name!r}")
+            values[name] = inputs[name] & mask
+        for gate in self.topological_gates():
+            words = [values[f] for f in gate.inputs]
+            values[gate.output] = gate.gate.eval_words(words, mask)
+        return {name: values[signal] for name, signal in self.pos}
+
+    def check(self) -> None:
+        """Validate structural integrity."""
+        self.topological_gates()
+        for name, signal in self.pos:
+            if signal not in self._driver and signal not in self._pi_set:
+                raise NetworkError(f"PO {name!r} reads undriven signal {signal!r}")
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "gates": len(self.gates),
+            "area": self.area(),
+            "pis": len(self.pis),
+            "pos": len(self.pos),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"MappedNetlist({self.name!r}, gates={len(self.gates)}, "
+            f"area={self.area():g})"
+        )
+
+
+def mapped_to_network(netlist: MappedNetlist):
+    """Convert a mapped netlist to a :class:`BooleanNetwork`.
+
+    Gate instances become logic nodes carrying the gate's truth table, so
+    the result can be written to BLIF, re-decomposed, or equivalence
+    checked with the generic machinery.  PO names are preserved; when a
+    PO name differs from its driving signal a buffer node is inserted.
+    """
+    from repro.network.bnet import BooleanNetwork
+    from repro.network.functions import TruthTable
+
+    net = BooleanNetwork(netlist.name)
+    for pi in netlist.pis:
+        net.add_pi(pi)
+    for gate in netlist.topological_gates():
+        net.add_node(gate.output, gate.gate.tt, gate.inputs)
+    for name, signal in netlist.pos:
+        if name == signal:
+            net.add_po(name)
+        elif not net.has_signal(name):
+            net.add_node(name, TruthTable(1, 0b10), [signal])
+            net.add_po(name)
+        else:
+            net.add_po(signal)
+    net.check()
+    return net

@@ -1,0 +1,57 @@
+"""Mapping result record shared by the DAG and tree mappers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.labeling import Labels
+from repro.core.netlist import MappedNetlist
+
+__all__ = ["MappingResult"]
+
+
+@dataclass
+class MappingResult:
+    """Everything an experiment needs about one mapping run.
+
+    Attributes:
+        netlist: the mapped circuit.
+        labels: the labeling that produced it.
+        delay: optimal arrival reported by labeling (== STA delay under
+            the load-independent model; asserted by the mappers).
+        area: total cell area of the netlist.
+        cpu_seconds: wall-clock mapping time (labeling + cover).
+        mode: 'dag' or 'tree'.
+        match_kind: the match class used.
+        library: library name.
+        n_matches: matches enumerated during labeling (work measure).
+    """
+
+    netlist: MappedNetlist
+    labels: Labels
+    delay: float
+    area: float
+    cpu_seconds: float
+    mode: str
+    match_kind: str
+    library: str
+    n_matches: int
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "mode": self.mode,
+            "library": self.library,
+            "delay": round(self.delay, 4),
+            "area": round(self.area, 2),
+            "gates": self.netlist.gate_count(),
+            "cpu_s": round(self.cpu_seconds, 3),
+            "matches": self.n_matches,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"MappingResult(mode={self.mode}, delay={self.delay:.3f}, "
+            f"area={self.area:.1f}, gates={self.netlist.gate_count()}, "
+            f"cpu={self.cpu_seconds:.3f}s)"
+        )

@@ -1,0 +1,50 @@
+"""Exception hierarchy for the repro package.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch one base class.  Parse errors carry location information where
+available.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ParseError(ReproError):
+    """A textual input (expression, BLIF, genlib) could not be parsed.
+
+    Attributes:
+        line: 1-based line number of the offending token, when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None):
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line
+
+
+class NetworkError(ReproError):
+    """The Boolean network is malformed or an operation on it is invalid."""
+
+
+class LibraryError(ReproError):
+    """A gate library is malformed or unusable."""
+
+
+class LibraryIncompleteError(LibraryError):
+    """The library cannot cover some subject node (needs INV and NAND2)."""
+
+
+class MappingError(ReproError):
+    """Technology mapping failed (e.g. no match at a node)."""
+
+
+class TimingError(ReproError):
+    """Static timing analysis failed (e.g. combinational cycle)."""
+
+
+class RetimingError(ReproError):
+    """Retiming is infeasible or the sequential graph is malformed."""

@@ -1,0 +1,139 @@
+"""The paper's two illustrative figures as executable scenarios.
+
+* :func:`figure1` — "Standard Match vs. Extended Match": a subject graph
+  and a pattern graph such that the pattern has an *extended* match at the
+  subject's top node (by mapping two pattern nodes onto one subject node,
+  i.e. unfolding the DAG) but no *standard* match there.
+* :func:`figure2` — "Duplication of Subject-Graph Nodes in DAG Mapping":
+  a two-output subject graph whose middle node has fanout 2, plus a
+  library containing a two-level pattern.  Tree covering cannot use the
+  pattern (no exact match spans the fanout point); DAG covering uses it
+  at both outputs by duplicating the middle cone, lowering delay and
+  moving the multiple-fanout points onto the primary inputs.
+
+Both scenarios are used by the examples, the figure benchmarks and the
+test suite (experiments E4/E5 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.library.gate import GateLibrary
+from repro.library.genlib import parse_genlib
+from repro.library.patterns import PatternGraph, PatternSet, generate_patterns
+from repro.network.subject import SubjectGraph, SubjectNode
+
+__all__ = ["Figure1", "Figure2", "figure1", "figure2"]
+
+
+@dataclass
+class Figure1:
+    """Figure 1 scenario: subject graph, probe node, and the pattern."""
+
+    subject: SubjectGraph
+    top: SubjectNode
+    library: GateLibrary
+    pattern: PatternGraph
+
+
+def figure1() -> Figure1:
+    """Build the Figure 1 scenario.
+
+    Subject: a single inverter ``n`` feeds *both* inputs of a NAND2 whose
+    output is inverted (a reconvergent DAG)::
+
+        base = NAND2(a, b);  n = INV(base);  t = NAND2(n, n);  top = INV(t)
+
+    Pattern: NOR2 in NAND-INV form, ``INV(NAND2(m, m'))`` with ``m`` and
+    ``m'`` two *distinct* inverter nodes over leaves.  An extended match
+    exists at ``top`` by mapping both ``m`` and ``m'`` onto the single
+    subject inverter ``n`` (and both leaves onto ``base``); a standard
+    match does not exist because that mapping is not one-to-one — the
+    paper's Figure 1 situation.
+    """
+    subject = SubjectGraph("figure1")
+    a = subject.add_pi("a")
+    b = subject.add_pi("b")
+    base = subject.add_nand2(a, b)         # context below the inverter
+    n = subject.add_inv(base)              # the node 'n' of the figure
+    t = subject.add_nand2(n, n, share=False)
+    top = subject.add_inv(t)
+    subject.set_po("out", top)
+
+    library = parse_genlib(
+        "\n".join(
+            [
+                "GATE inv 1 O=!a;",
+                "  PIN * UNKNOWN 1 999 1 0 1 0",
+                "GATE nand2 2 O=!(a*b);",
+                "  PIN * UNKNOWN 1 999 1 0 1 0",
+                "GATE nor2 2 O=!(a+b);",
+                "  PIN * UNKNOWN 1 999 1 0 1 0",
+            ]
+        ),
+        name="figure1-lib",
+    )
+    nor_patterns = generate_patterns(library.gate("nor2"))
+    assert len(nor_patterns) == 1
+    return Figure1(subject, top, library, nor_patterns[0])
+
+
+@dataclass
+class Figure2:
+    """Figure 2 scenario: subject, its fanout node, and the library."""
+
+    subject: SubjectGraph
+    middle: SubjectNode
+    library: GateLibrary
+
+    def pattern_gate_name(self) -> str:
+        return "aoi21"
+
+
+def figure2() -> Figure2:
+    """Build the Figure 2 scenario.
+
+    Subject graph (two outputs sharing a middle cone)::
+
+        u = NAND2(a, b)          <- the 'middle node' with fanout 2
+        o1 = NAND2(u, c)
+        o2 = NAND2(u, d)
+
+    ``o1 = !(!(a*b) * c) = a*b + !c`` is exactly an AOI/OAI-style
+    two-level function, so a library gate ``oai21 = !((x+y)*z)`` —
+    equivalently ``NAND2(NAND2(x', y'), z)`` in NAND-INV form... the gate
+    we provide is ``aoi_like = !(!(a*b)*c)`` named ``big``, whose pattern
+    is the two-level ``NAND2(NAND2(a,b), c)``.  The pattern has *standard*
+    matches at both outputs (interior node u keeps its external fanout)
+    but no *exact* match (u's fanout count 2 differs from the pattern
+    interior's 1), so tree covering cannot use it while DAG covering
+    duplicates u and implements each output in a single fast gate.
+    """
+    subject = SubjectGraph("figure2")
+    a = subject.add_pi("a")
+    b = subject.add_pi("b")
+    c = subject.add_pi("c")
+    d = subject.add_pi("d")
+    middle = subject.add_nand2(a, b)
+    o1 = subject.add_nand2(middle, c)
+    o2 = subject.add_nand2(middle, d)
+    subject.set_po("o1", o1)
+    subject.set_po("o2", o2)
+
+    library = parse_genlib(
+        "\n".join(
+            [
+                "GATE inv 1 O=!a;",
+                "  PIN * UNKNOWN 1 999 1 0 1 0",
+                "GATE nand2 2 O=!(a*b);",
+                "  PIN * UNKNOWN 1 999 2 0 2 0",
+                # The two-level pattern gate: !( !(a*b) * c ) = a*b + !c.
+                # Faster than two chained NAND2s (3 < 2+2).
+                "GATE big 3 O=a*b+!c;",
+                "  PIN * UNKNOWN 1 999 3 0 3 0",
+            ]
+        ),
+        name="figure2-lib",
+    )
+    return Figure2(subject, middle, library)

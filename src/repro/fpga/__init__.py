@@ -1,0 +1,32 @@
+"""FlowMap for k-LUT FPGAs: the basis of the paper's algorithm (Section 2).
+
+The paper adapts Cong & Ding's FlowMap labeling from LUTs to library
+gates.  This subpackage implements the original: k-bounded decomposition
+(:mod:`repro.fpga.kbound`), max-flow computation
+(:mod:`repro.fpga.maxflow`), explicit k-feasible cut enumeration
+(:mod:`repro.fpga.cuts`, used as a cross-check and alternative engine),
+the FlowMap labeling + LUT cover (:mod:`repro.fpga.flowmap`) and the LUT
+netlist representation (:mod:`repro.fpga.lutnet`).
+"""
+
+from repro.fpga.maxflow import FlowNetwork, max_flow
+from repro.fpga.cuts import enumerate_cuts
+from repro.fpga.kbound import ensure_kbounded, subject_to_network
+from repro.fpga.lutnet import LUT, LUTNetwork, lutnet_to_network
+from repro.fpga.flowmap import FlowMapResult, flowmap, cutmap
+from repro.fpga.depth_area import flowmap_area
+
+__all__ = [
+    "FlowNetwork",
+    "max_flow",
+    "enumerate_cuts",
+    "ensure_kbounded",
+    "subject_to_network",
+    "LUT",
+    "LUTNetwork",
+    "lutnet_to_network",
+    "FlowMapResult",
+    "flowmap",
+    "cutmap",
+    "flowmap_area",
+]

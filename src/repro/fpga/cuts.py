@@ -1,0 +1,82 @@
+"""Bottom-up enumeration of k-feasible cuts.
+
+The pseudo-polynomial "brute force" the paper mentions (Section 2): all
+cuts of size <= k at every node, computed bottom-up by merging fanin cut
+sets with dominance pruning.  Used both as an independent oracle for
+FlowMap's flow-based labeling and as the engine of the alternative
+``cutmap`` mapper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Hashable, Iterable, List, Optional
+
+__all__ = ["enumerate_cuts"]
+
+Cut = FrozenSet[Hashable]
+
+
+def _merge(
+    fanin_cut_sets: List[List[Cut]], node: Hashable, k: int, max_cuts: int
+) -> List[Cut]:
+    """Cross-merge fanin cut sets, keeping irredundant cuts of size <= k."""
+    partial: List[Cut] = [frozenset()]
+    for cut_set in fanin_cut_sets:
+        next_partial: List[Cut] = []
+        seen = set()
+        for acc in partial:
+            for cut in cut_set:
+                merged = acc | cut
+                if len(merged) > k or merged in seen:
+                    continue
+                seen.add(merged)
+                next_partial.append(merged)
+        partial = next_partial
+        if not partial:
+            return []
+    # Dominance pruning: drop supersets of other cuts.
+    partial.sort(key=len)
+    kept: List[Cut] = []
+    for cut in partial:
+        if any(other <= cut for other in kept):
+            continue
+        kept.append(cut)
+        if len(kept) >= max_cuts:
+            break
+    return kept
+
+
+def enumerate_cuts(
+    topo_nodes: Iterable[Hashable],
+    fanins: Callable[[Hashable], List[Hashable]],
+    is_source: Callable[[Hashable], bool],
+    k: int,
+    max_cuts: int = 1000,
+) -> Dict[Hashable, List[Cut]]:
+    """All k-feasible cuts of every node in a DAG.
+
+    Args:
+        topo_nodes: nodes in topological order (sources first).
+        fanins: fanin accessor.
+        is_source: True for PIs (their only cut is the trivial one).
+        k: cut-size bound.
+        max_cuts: safety cap per node (dominance-pruned before capping).
+
+    Returns:
+        node -> list of cuts (frozensets of nodes); each node's trivial
+        cut ``{node}`` is always included (and listed first).
+    """
+    cuts: Dict[Hashable, List[Cut]] = {}
+    for node in topo_nodes:
+        trivial = frozenset([node])
+        if is_source(node):
+            cuts[node] = [trivial]
+            continue
+        fanin_sets = [cuts[f] for f in fanins(node)]
+        merged = _merge(fanin_sets, node, k, max_cuts)
+        result = [trivial]
+        for cut in merged:
+            if cut != trivial:
+                result.append(cut)
+        cuts[node] = result
+    return cuts

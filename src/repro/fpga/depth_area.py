@@ -1,0 +1,168 @@
+"""Area/depth trade-off for LUT mapping (Cong & Ding [3]).
+
+The paper's conclusions cite Cong & Ding's FlowMap-based area-delay
+trade-off as the blueprint for the library-mapping extension we implement
+in :mod:`repro.core.area_recovery`.  This module provides the original
+LUT-side pass: after depth labeling, rebuild the cover from the outputs
+under a depth budget, choosing at every needed node the k-cut with the
+smallest *area-flow* among those meeting the node's required depth.
+
+Area-flow of a node estimates the duplication-aware LUT count of its best
+cover: ``af(v) = min over cuts (1 + sum af(u) / fanout(u))``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import time
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.errors import MappingError
+from repro.fpga.cuts import enumerate_cuts
+from repro.fpga.flowmap import FlowMapResult, _build_cover
+from repro.fpga.kbound import ensure_kbounded
+from repro.network.bnet import BooleanNetwork
+
+__all__ = ["flowmap_area"]
+
+
+def flowmap_area(
+    net: BooleanNetwork,
+    k: int = 4,
+    depth_slack: int = 0,
+    name: Optional[str] = None,
+    max_cuts: int = 2000,
+) -> FlowMapResult:
+    """Depth-bounded, area-recovered k-LUT mapping.
+
+    Args:
+        net: circuit to map (k-bounded or decomposable).
+        k: LUT input bound.
+        depth_slack: extra LUT levels allowed beyond the optimal depth
+            (0 keeps depth optimality while recovering area).
+        name: LUT network name.
+        max_cuts: per-node cut cap for the enumerator.
+
+    Returns:
+        A :class:`FlowMapResult` whose network depth is at most
+        ``optimal + depth_slack`` and whose LUT count is no larger than
+        the plain depth-greedy cover's.
+    """
+    start = time.perf_counter()
+    net = ensure_kbounded(net, k)
+    sources = set(net.combinational_inputs())
+    topo = [n.name for n in net.topological_order()]
+    all_cuts = enumerate_cuts(
+        list(sources) + topo,
+        lambda sig: list(net.node(sig).fanins),
+        lambda sig: sig in sources,
+        k,
+        max_cuts=max_cuts,
+    )
+
+    # Fanout counts for the area-flow estimate.
+    uses: Dict[str, int] = {}
+    for sig in topo:
+        for fanin in net.node(sig).fanins:
+            uses[fanin] = uses.get(fanin, 0) + 1
+    for out in net.combinational_outputs():
+        uses[out] = uses.get(out, 0) + 1
+
+    # Bottom-up labels: optimal depth and unconstrained area-flow.
+    depth: Dict[str, int] = {s: 0 for s in sources}
+    area_flow: Dict[str, float] = {s: 0.0 for s in sources}
+    for sig in topo:
+        best_depth: Optional[int] = None
+        best_af = math.inf
+        for cut in all_cuts[sig]:
+            if cut == frozenset([sig]):
+                continue
+            height = max(depth[c] for c in cut)
+            af = 1.0 + sum(
+                area_flow[c] / max(1, uses.get(c, 1)) for c in cut
+            )
+            if best_depth is None or height + 1 < best_depth:
+                best_depth = height + 1
+            if af < best_af:
+                best_af = af
+        if best_depth is None:
+            raise MappingError(f"no non-trivial cut at {sig!r}")
+        depth[sig] = best_depth
+        area_flow[sig] = best_af
+
+    # Top-down cover with required depths (cf. core.area_recovery).
+    order_index = {sig: i for i, sig in enumerate(topo)}
+    required: Dict[str, int] = {}
+    optimal = 0
+    for out in net.combinational_outputs():
+        if out in sources:
+            continue
+        optimal = max(optimal, depth[out])
+    budget_root = optimal + depth_slack
+    for out in net.combinational_outputs():
+        if out in sources:
+            continue
+        required[out] = min(required.get(out, budget_root), budget_root)
+
+    cut_of: Dict[str, FrozenSet[str]] = {}
+    heap = [(-order_index[sig], sig) for sig in required]
+    heapq.heapify(heap)
+    in_heap = set(required)
+    while heap:
+        _, sig = heapq.heappop(heap)
+        in_heap.discard(sig)
+        budget = required[sig]
+        best_cut: Optional[FrozenSet[str]] = None
+        best_cost: Tuple[float, int] = (math.inf, 0)
+        for cut in all_cuts[sig]:
+            if cut == frozenset([sig]):
+                continue
+            height = max(depth[c] for c in cut)
+            if height + 1 > budget:
+                continue
+            estimate = 1.0 + sum(
+                area_flow[c]
+                for c in cut
+                if c not in sources and c not in cut_of
+            )
+            cost = (estimate, height)
+            if cost < best_cost:
+                best_cost = cost
+                best_cut = cut
+        if best_cut is None:
+            # The optimal-depth cut is always feasible.
+            raise MappingError(
+                f"no depth-{budget} cut at {sig!r} (internal error)"
+            )
+        cut_of[sig] = best_cut
+        for leaf in best_cut:
+            if leaf in sources:
+                continue
+            slack = budget - 1
+            if slack < required.get(leaf, math.inf):
+                required[leaf] = slack
+            if leaf not in in_heap and leaf not in cut_of:
+                heapq.heappush(heap, (-order_index[leaf], leaf))
+                in_heap.add(leaf)
+
+    luts = _build_cover(net, k, cut_of, sources, name or f"{net.name}_fm_area")
+
+    # Area-flow is a heuristic: on rare structures the greedy depth cover
+    # shares better.  Guarantee "never worse than plain FlowMap" (whose
+    # depth is optimal, hence within any slack budget).
+    from repro.fpga.flowmap import flowmap
+
+    plain = flowmap(net, k=k)
+    if plain.lut_count() < luts.lut_count():
+        luts = plain.network
+
+    elapsed = time.perf_counter() - start
+    return FlowMapResult(
+        network=luts,
+        labels=depth,
+        depth=luts.depth(),
+        k=k,
+        cpu_seconds=elapsed,
+        engine=f"area(slack={depth_slack})",
+    )

@@ -1,0 +1,313 @@
+"""FlowMap: depth-optimal k-LUT technology mapping (Cong & Ding).
+
+This is the algorithm the paper builds on (its Section 2): label every
+node of a k-bounded network with its optimal depth by solving a k-feasible
+min-cut problem on its fanin cone, then construct the LUT network backward
+from the primary outputs, duplicating logic as needed.
+
+Two labeling engines are provided:
+
+* :func:`flowmap` — the original max-flow formulation: at node ``t`` with
+  ``p = max(label(fanins))``, collapse ``{v : label(v) == p}`` with ``t``
+  and ask whether the collapsed cone has a cut of size <= k (node-split
+  unit capacities; flow value <= k iff yes).  ``label(t)`` is ``p`` or
+  ``p + 1`` accordingly — the optimal depth (Cong & Ding's theorem).
+* :func:`cutmap` — explicit k-cut enumeration with the same DP, the
+  pseudo-polynomial O(n^k) route the paper mentions; used as an
+  independent oracle (both must produce identical depths).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.errors import MappingError
+from repro.fpga.cuts import enumerate_cuts
+from repro.fpga.kbound import ensure_kbounded, max_fanin
+from repro.fpga.lutnet import LUTNetwork
+from repro.fpga.maxflow import FlowNetwork
+from repro.network.bnet import BooleanNetwork, Node
+from repro.network.functions import TruthTable
+
+__all__ = ["FlowMapResult", "flowmap", "cutmap"]
+
+
+@dataclass
+class FlowMapResult:
+    """Result of a k-LUT mapping run."""
+
+    network: LUTNetwork
+    labels: Dict[str, int]
+    depth: int
+    k: int
+    cpu_seconds: float
+    engine: str
+
+    def lut_count(self) -> int:
+        return self.network.lut_count()
+
+    def __repr__(self) -> str:
+        return (
+            f"FlowMapResult(engine={self.engine}, k={self.k}, "
+            f"depth={self.depth}, luts={self.lut_count()}, "
+            f"cpu={self.cpu_seconds:.3f}s)"
+        )
+
+
+# ----------------------------------------------------------------------
+# Shared infrastructure
+# ----------------------------------------------------------------------
+
+
+def _cone_of(net: BooleanNetwork, root: str, sources: Set[str]) -> List[str]:
+    """Signals in the fanin cone of ``root`` (root included, sources too)."""
+    seen: Set[str] = set()
+    stack = [root]
+    while stack:
+        sig = stack.pop()
+        if sig in seen:
+            continue
+        seen.add(sig)
+        if sig in sources:
+            continue
+        for fanin in net.node(sig).fanins:
+            stack.append(fanin)
+    return list(seen)
+
+
+def _cone_function(
+    net: BooleanNetwork, root: str, cut: FrozenSet[str]
+) -> Tuple[TruthTable, List[str]]:
+    """Truth table of ``root`` as a function of the cut signals."""
+    inputs = sorted(cut)
+    index = {sig: i for i, sig in enumerate(inputs)}
+    values: Dict[str, TruthTable] = {
+        sig: TruthTable.variable(i, len(inputs)) for sig, i in index.items()
+    }
+
+    def eval_signal(sig: str) -> TruthTable:
+        if sig in values:
+            return values[sig]
+        node = net.node(sig)
+        fanin_tts = [eval_signal(f) for f in node.fanins]
+        # Compose: substitute fanin tables into the node function.
+        out = TruthTable.const0(len(inputs))
+        for m in node.tt.minterms():
+            term = TruthTable.const1(len(inputs))
+            for j, fanin_tt in enumerate(fanin_tts):
+                lit = fanin_tt if (m >> j) & 1 else ~fanin_tt
+                term = term & lit
+                if term.is_const0():
+                    break
+            out = out | term
+        values[sig] = out
+        return out
+
+    return eval_signal(root), inputs
+
+
+def _build_cover(
+    net: BooleanNetwork,
+    k: int,
+    cut_of: Dict[str, FrozenSet[str]],
+    sources: Set[str],
+    name: str,
+) -> LUTNetwork:
+    """The paper's queue-based cover construction, for LUTs."""
+    luts = LUTNetwork(name, k=k)
+    for pi in net.combinational_inputs():
+        luts.add_pi(pi)
+    implemented: Set[str] = set()
+    queue: List[str] = []
+    for out in net.combinational_outputs():
+        queue.append(out)
+    while queue:
+        sig = queue.pop()
+        if sig in sources or sig in implemented:
+            continue
+        implemented.add(sig)
+        cut = cut_of[sig]
+        table, inputs = _cone_function(net, sig, cut)
+        luts.add_lut(sig, inputs, table)
+        for fanin in inputs:
+            if fanin not in sources and fanin not in implemented:
+                queue.append(fanin)
+    for out in net.combinational_outputs():
+        luts.add_po(out, out)
+    luts.check()
+    return luts
+
+
+# ----------------------------------------------------------------------
+# Flow-based labeling (the real FlowMap)
+# ----------------------------------------------------------------------
+
+
+def _min_height_cut(
+    net: BooleanNetwork,
+    root: str,
+    labels: Dict[str, int],
+    p: int,
+    k: int,
+    sources: Set[str],
+) -> Optional[FrozenSet[str]]:
+    """Find a k-feasible cut of ``root`` avoiding nodes labeled ``p``.
+
+    Nodes with label == p (and the root) are collapsed into the sink;
+    every other cone node is split with capacity 1.  Returns the cut or
+    None when max-flow exceeds k.
+    """
+    cone = _cone_of(net, root, sources)
+    cone_set = set(cone)
+    collapsed = {
+        sig for sig in cone if sig == root or labels[sig] == p
+    }
+    graph = FlowNetwork()
+    source, sink = ("S",), ("T",)
+    graph.add_node(source)
+    graph.add_node(sink)
+
+    def in_node(sig: str):
+        return ("i", sig)
+
+    def out_node(sig: str):
+        return ("o", sig)
+
+    inf = 10 ** 9
+    for sig in cone:
+        if sig in collapsed:
+            continue
+        graph.add_edge(in_node(sig), out_node(sig), 1)
+        if sig in sources:
+            graph.add_edge(source, in_node(sig), inf)
+    for sig in cone:
+        if sig in sources:
+            continue
+        target = sink if sig in collapsed else in_node(sig)
+        for fanin in net.node(sig).fanins:
+            if fanin not in cone_set:
+                continue
+            origin = sink if fanin in collapsed else out_node(fanin)
+            if origin == sink:
+                # A collapsed node feeding another collapsed node.
+                continue
+            graph.add_edge(origin, target, inf)
+
+    flow = graph.send(source, sink, k + 1)
+    if flow > k:
+        return None
+    reachable = graph.reachable_from(source)
+    cut = frozenset(
+        sig
+        for sig in cone
+        if sig not in collapsed
+        and in_node(sig) in reachable
+        and out_node(sig) not in reachable
+    )
+    if not cut or len(cut) > k:
+        # Degenerate cone (e.g. constant node with no sources): no cut.
+        return None
+    return cut
+
+
+def flowmap(
+    net: BooleanNetwork, k: int = 4, name: Optional[str] = None
+) -> FlowMapResult:
+    """Depth-optimal k-LUT mapping by the max-flow labeling of FlowMap."""
+    start = time.perf_counter()
+    net = ensure_kbounded(net, k)
+    sources = set(net.combinational_inputs())
+    labels: Dict[str, int] = {sig: 0 for sig in sources}
+    cut_of: Dict[str, FrozenSet[str]] = {}
+
+    for node in net.topological_order():
+        fanins = list(node.fanins)
+        if not fanins:
+            raise MappingError(
+                f"node {node.name!r} has no fanins; legalise constants first"
+            )
+        p = max(labels[f] for f in fanins)
+        if p == 0 and all(f in sources for f in fanins):
+            # All fanins are sources: the trivial cut has height 0.
+            labels[node.name] = 1
+            cut_of[node.name] = frozenset(fanins)
+            continue
+        cut = _min_height_cut(net, node.name, labels, p, k, sources)
+        if cut is not None:
+            labels[node.name] = p
+            cut_of[node.name] = cut
+        else:
+            labels[node.name] = p + 1
+            cut_of[node.name] = frozenset(fanins)
+
+    luts = _build_cover(net, k, cut_of, sources, name or f"{net.name}_flowmap")
+    elapsed = time.perf_counter() - start
+    return FlowMapResult(
+        network=luts,
+        labels=labels,
+        depth=luts.depth(),
+        k=k,
+        cpu_seconds=elapsed,
+        engine="flow",
+    )
+
+
+# ----------------------------------------------------------------------
+# Cut-enumeration labeling (oracle / alternative engine)
+# ----------------------------------------------------------------------
+
+
+def cutmap(
+    net: BooleanNetwork,
+    k: int = 4,
+    name: Optional[str] = None,
+    max_cuts: int = 2000,
+) -> FlowMapResult:
+    """Depth-optimal k-LUT mapping by exhaustive cut enumeration.
+
+    Same DP as :func:`flowmap` but over explicitly enumerated cuts; with
+    an unbounded ``max_cuts`` this is exact and must agree with the flow
+    engine on depth (a property the test suite checks).
+    """
+    start = time.perf_counter()
+    net = ensure_kbounded(net, k)
+    sources = set(net.combinational_inputs())
+    topo = [n.name for n in net.topological_order()]
+    all_cuts = enumerate_cuts(
+        list(sources) + topo,
+        lambda sig: list(net.node(sig).fanins),
+        lambda sig: sig in sources,
+        k,
+        max_cuts=max_cuts,
+    )
+    labels: Dict[str, int] = {sig: 0 for sig in sources}
+    cut_of: Dict[str, FrozenSet[str]] = {}
+    for sig in topo:
+        best = None
+        best_height = None
+        for cut in all_cuts[sig]:
+            if cut == frozenset([sig]):
+                continue
+            height = max(labels[c] for c in cut)
+            if best_height is None or height < best_height or (
+                height == best_height and len(cut) < len(best)
+            ):
+                best_height = height
+                best = cut
+        if best is None:
+            raise MappingError(f"no non-trivial cut at {sig!r}")
+        labels[sig] = best_height + 1
+        cut_of[sig] = best
+
+    luts = _build_cover(net, k, cut_of, sources, name or f"{net.name}_cutmap")
+    elapsed = time.perf_counter() - start
+    return FlowMapResult(
+        network=luts,
+        labels=labels,
+        depth=luts.depth(),
+        k=k,
+        cpu_seconds=elapsed,
+        engine="cuts",
+    )

@@ -1,0 +1,59 @@
+"""k-bounded decomposition and subject-graph conversion.
+
+FlowMap requires a k-bounded network (every node has at most k fanins).
+The simplest sound decomposition reuses the technology decomposer: any
+network becomes 2-bounded NAND2-INV, which is k-bounded for every k >= 2
+(the paper's Section 2 notes "simple decomposition can yield an
+equivalent k-bounded network").
+"""
+
+from __future__ import annotations
+
+from repro.network.bnet import BooleanNetwork
+from repro.network.decompose import decompose_network
+from repro.network.functions import TruthTable
+from repro.network.subject import NodeType, SubjectGraph
+
+__all__ = ["ensure_kbounded", "subject_to_network", "max_fanin"]
+
+_INV_TT = TruthTable(1, 0b01)
+_NAND2_TT = TruthTable(2, 0b0111)
+
+
+def max_fanin(net: BooleanNetwork) -> int:
+    return max((len(node.fanins) for node in net.nodes()), default=0)
+
+
+def subject_to_network(subject: SubjectGraph) -> BooleanNetwork:
+    """Convert a NAND2-INV subject graph back to a Boolean network."""
+    net = BooleanNetwork(subject.name)
+    names = {}
+    for pi in subject.pis:
+        names[pi.uid] = net.add_pi(pi.name)
+    po_drivers = {driver.uid for _, driver in subject.pos}
+    for node in subject.topological():
+        if node.is_pi:
+            continue
+        name = f"n{node.uid}"
+        names[node.uid] = name
+        fanins = [names[f.uid] for f in node.fanins]
+        tt = _INV_TT if node.kind is NodeType.INV else _NAND2_TT
+        net.add_node(name, tt, fanins)
+    for po_name, driver in subject.pos:
+        signal = names[driver.uid]
+        if po_name != signal and not net.has_signal(po_name):
+            # Give the PO its own named buffer-free alias via a copy node.
+            net.add_node(po_name, TruthTable(1, 0b10), [signal])
+            net.add_po(po_name)
+        else:
+            net.add_po(signal)
+    return net
+
+
+def ensure_kbounded(net: BooleanNetwork, k: int) -> BooleanNetwork:
+    """Return ``net`` if already k-bounded, else a 2-bounded equivalent."""
+    if k < 2:
+        raise ValueError("k must be at least 2")
+    if max_fanin(net) <= k:
+        return net
+    return subject_to_network(decompose_network(net))

@@ -1,0 +1,170 @@
+"""LUT netlists: the output of FPGA technology mapping."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import NetworkError
+from repro.network.functions import TruthTable
+
+__all__ = ["LUT", "LUTNetwork"]
+
+
+class LUT:
+    """One k-input lookup table: ``output = table(inputs...)``."""
+
+    __slots__ = ("output", "inputs", "table")
+
+    def __init__(self, output: str, inputs: Sequence[str], table: TruthTable):
+        if table.n_vars != len(inputs):
+            raise NetworkError(
+                f"LUT {output!r}: table arity {table.n_vars} != "
+                f"{len(inputs)} inputs"
+            )
+        self.output = output
+        self.inputs = tuple(inputs)
+        self.table = table
+
+    def __repr__(self) -> str:
+        return f"LUT({self.output} <- {list(self.inputs)})"
+
+
+class LUTNetwork:
+    """A DAG of LUTs over named signals (the FlowMap result)."""
+
+    def __init__(self, name: str = "luts", k: int = 4):
+        self.name = name
+        self.k = k
+        self.pis: List[str] = []
+        self.pos: List[Tuple[str, str]] = []
+        self.luts: List[LUT] = []
+        self._driver: Dict[str, LUT] = {}
+        self._pi_set: set = set()
+
+    def add_pi(self, name: str) -> str:
+        if name in self._pi_set:
+            raise NetworkError(f"duplicate PI {name!r}")
+        self.pis.append(name)
+        self._pi_set.add(name)
+        return name
+
+    def add_lut(self, output: str, inputs: Sequence[str], table: TruthTable) -> LUT:
+        if output in self._driver or output in self._pi_set:
+            raise NetworkError(f"signal {output!r} already driven")
+        if len(inputs) > self.k:
+            raise NetworkError(
+                f"LUT {output!r} has {len(inputs)} inputs, k={self.k}"
+            )
+        lut = LUT(output, inputs, table)
+        self.luts.append(lut)
+        self._driver[output] = lut
+        return lut
+
+    def add_po(self, name: str, signal: str) -> None:
+        self.pos.append((name, signal))
+
+    def driver(self, signal: str) -> Optional[LUT]:
+        return self._driver.get(signal)
+
+    def topological_luts(self) -> List[LUT]:
+        order: List[LUT] = []
+        state: Dict[str, int] = {}
+
+        def visit(signal: str) -> None:
+            stack = [(signal, False)]
+            while stack:
+                sig, expanded = stack.pop()
+                if sig in self._pi_set or state.get(sig) == 1:
+                    continue
+                lut = self._driver.get(sig)
+                if lut is None:
+                    raise NetworkError(f"undriven signal {sig!r}")
+                if expanded:
+                    state[sig] = 1
+                    order.append(lut)
+                    continue
+                if state.get(sig) == 0:
+                    raise NetworkError(f"cycle through {sig!r}")
+                state[sig] = 0
+                stack.append((sig, True))
+                for fanin in lut.inputs:
+                    if state.get(fanin) != 1:
+                        stack.append((fanin, False))
+
+        for lut in self.luts:
+            visit(lut.output)
+        return order
+
+    def depth(self) -> int:
+        """LUT levels on the worst PO path (FlowMap's objective)."""
+        level: Dict[str, int] = {pi: 0 for pi in self.pis}
+        for lut in self.topological_luts():
+            level[lut.output] = 1 + max(
+                (level[f] for f in lut.inputs), default=0
+            )
+        return max((level.get(sig, 0) for _, sig in self.pos), default=0)
+
+    def lut_count(self) -> int:
+        return len(self.luts)
+
+    # Simulation protocol.
+    def sim_inputs(self) -> List[str]:
+        return list(self.pis)
+
+    def sim_outputs(self) -> List[str]:
+        return [name for name, _ in self.pos]
+
+    def simulate(self, inputs: Dict[str, int], mask: int) -> Dict[str, int]:
+        values: Dict[str, int] = {}
+        for pi in self.pis:
+            if pi not in inputs:
+                raise NetworkError(f"missing input word for {pi!r}")
+            values[pi] = inputs[pi] & mask
+        for lut in self.topological_luts():
+            words = [values[f] for f in lut.inputs]
+            values[lut.output] = lut.table.eval_words(words, mask)
+        return {name: values[sig] for name, sig in self.pos}
+
+    def check(self) -> None:
+        self.topological_luts()
+        for name, signal in self.pos:
+            if signal not in self._driver and signal not in self._pi_set:
+                raise NetworkError(f"PO {name!r} reads undriven {signal!r}")
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "luts": len(self.luts),
+            "depth": self.depth(),
+            "pis": len(self.pis),
+            "pos": len(self.pos),
+        }
+
+    def __repr__(self) -> str:
+        return f"LUTNetwork({self.name!r}, k={self.k}, luts={len(self.luts)}, depth={self.depth()})"
+
+
+def lutnet_to_network(luts: LUTNetwork):
+    """Convert a LUT network to a :class:`BooleanNetwork`.
+
+    Each LUT becomes a logic node carrying its truth table, so the result
+    can be written to BLIF (one ``.names`` cover per LUT), re-mapped, or
+    equivalence-checked with the generic machinery.
+    """
+    from repro.network.bnet import BooleanNetwork
+    from repro.network.functions import TruthTable
+
+    net = BooleanNetwork(luts.name)
+    for pi in luts.pis:
+        net.add_pi(pi)
+    for lut in luts.topological_luts():
+        net.add_node(lut.output, lut.table, lut.inputs)
+    for name, signal in luts.pos:
+        if name == signal:
+            net.add_po(name)
+        elif not net.has_signal(name):
+            net.add_node(name, TruthTable(1, 0b10), [signal])
+            net.add_po(name)
+        else:
+            net.add_po(signal)
+    net.check()
+    return net

@@ -1,0 +1,100 @@
+"""Max-flow / min-cut on small integer-capacity networks.
+
+FlowMap reduces "is there a k-feasible cut?" to a unit-capacity max-flow
+question on a node-split cone (Cong & Ding 1994).  Cones are small, so a
+plain Edmonds-Karp (BFS augmenting paths) implementation is appropriate;
+with capacities of 1 on split edges the flow value is bounded by k+1
+because the caller stops augmenting beyond its budget.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+__all__ = ["FlowNetwork", "max_flow"]
+
+_INF = 10 ** 9
+
+
+class FlowNetwork:
+    """A directed graph with integer capacities and residual bookkeeping."""
+
+    def __init__(self):
+        #: adjacency: node -> list of edge indices
+        self.adj: Dict[Hashable, List[int]] = {}
+        #: edges as parallel arrays: to-node, capacity (residual)
+        self.to: List[Hashable] = []
+        self.cap: List[int] = []
+
+    def add_node(self, node: Hashable) -> None:
+        self.adj.setdefault(node, [])
+
+    def add_edge(self, u: Hashable, v: Hashable, capacity: int) -> None:
+        """Add edge u->v; a reverse residual edge is created automatically."""
+        self.add_node(u)
+        self.add_node(v)
+        self.adj[u].append(len(self.to))
+        self.to.append(v)
+        self.cap.append(capacity)
+        self.adj[v].append(len(self.to))
+        self.to.append(u)
+        self.cap.append(0)
+
+    def _bfs(self, source: Hashable, sink: Hashable) -> Optional[List[int]]:
+        """Find an augmenting path; returns the list of edge indices."""
+        parent_edge: Dict[Hashable, int] = {source: -1}
+        queue = deque([source])
+        while queue:
+            node = queue.popleft()
+            if node == sink:
+                break
+            for edge in self.adj[node]:
+                target = self.to[edge]
+                if self.cap[edge] > 0 and target not in parent_edge:
+                    parent_edge[target] = edge
+                    queue.append(target)
+        if sink not in parent_edge:
+            return None
+        path: List[int] = []
+        node = sink
+        while node != source:
+            edge = parent_edge[node]
+            path.append(edge)
+            node = self.to[edge ^ 1]
+        path.reverse()
+        return path
+
+    def send(self, source: Hashable, sink: Hashable, limit: int) -> int:
+        """Push up to ``limit`` units of flow; returns the amount pushed."""
+        total = 0
+        while total < limit:
+            path = self._bfs(source, sink)
+            if path is None:
+                break
+            bottleneck = min(self.cap[e] for e in path)
+            bottleneck = min(bottleneck, limit - total)
+            for edge in path:
+                self.cap[edge] -= bottleneck
+                self.cap[edge ^ 1] += bottleneck
+            total += bottleneck
+        return total
+
+    def reachable_from(self, source: Hashable) -> Set[Hashable]:
+        """Residual-reachable nodes (the source side of the min cut)."""
+        seen: Set[Hashable] = {source}
+        queue = deque([source])
+        while queue:
+            node = queue.popleft()
+            for edge in self.adj[node]:
+                target = self.to[edge]
+                if self.cap[edge] > 0 and target not in seen:
+                    seen.add(target)
+                    queue.append(target)
+        return seen
+
+
+def max_flow(network: FlowNetwork, source: Hashable, sink: Hashable,
+             limit: int = _INF) -> int:
+    """Maximum flow from source to sink, capped at ``limit``."""
+    return network.send(source, sink, limit)

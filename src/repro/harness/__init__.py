@@ -1,0 +1,30 @@
+"""Experiment harness: regenerates every table and figure of the paper."""
+
+from repro.harness.experiment import (
+    ComparisonRow,
+    run_tree_vs_dag,
+    table1,
+    table2,
+    table3,
+    match_class_ablation,
+    scaling_experiment,
+    flowmap_experiment,
+    sequential_experiment,
+    area_recovery_experiment,
+)
+from repro.harness.tables import format_comparison_table, format_rows
+
+__all__ = [
+    "ComparisonRow",
+    "run_tree_vs_dag",
+    "table1",
+    "table2",
+    "table3",
+    "match_class_ablation",
+    "scaling_experiment",
+    "flowmap_experiment",
+    "sequential_experiment",
+    "area_recovery_experiment",
+    "format_comparison_table",
+    "format_rows",
+]

@@ -1,0 +1,102 @@
+"""Rendering experiment rows in the paper's table layout."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.harness.experiment import ComparisonRow
+
+__all__ = [
+    "format_comparison_table",
+    "format_rows",
+    "summarise_comparison",
+    "rows_to_csv",
+]
+
+
+def format_comparison_table(
+    rows: Sequence[ComparisonRow], title: str, cpu: bool = True
+) -> str:
+    """Render rows like the paper's Tables 1-3 (circuit | delay | area | cpu)."""
+    header = ["circuit", "ISCAS", "gates", "delay tree", "delay DAG", "impr%",
+              "area tree", "area DAG"]
+    if cpu:
+        header += ["cpu tree", "cpu DAG"]
+    lines = [title, "-" * len(title)]
+    data: List[List[str]] = [header]
+    for row in rows:
+        cells = [
+            row.circuit,
+            row.iscas,
+            str(row.subject_gates),
+            f"{row.tree_delay:.2f}",
+            f"{row.dag_delay:.2f}",
+            f"{100 * row.improvement:.1f}",
+            f"{row.tree_area:.1f}",
+            f"{row.dag_area:.1f}",
+        ]
+        if cpu:
+            cells += [f"{row.tree_cpu:.2f}", f"{row.dag_cpu:.2f}"]
+        data.append(cells)
+    widths = [max(len(r[i]) for r in data) for i in range(len(header))]
+    for idx, cells in enumerate(data):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(cells, widths)))
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    summary = summarise_comparison(rows)
+    lines.append(
+        f"average delay improvement: {100 * summary['avg_improvement']:.1f}%  "
+        f"(area ratio DAG/tree: {summary['area_ratio']:.2f}, "
+        f"cpu ratio DAG/tree: {summary['cpu_ratio']:.2f})"
+    )
+    return "\n".join(lines)
+
+
+def summarise_comparison(rows: Sequence[ComparisonRow]) -> Dict[str, float]:
+    """Aggregate statistics quoted alongside each table."""
+    if not rows:
+        return {"avg_improvement": 0.0, "area_ratio": 0.0, "cpu_ratio": 0.0}
+    avg_imp = sum(r.improvement for r in rows) / len(rows)
+    tree_area = sum(r.tree_area for r in rows)
+    dag_area = sum(r.dag_area for r in rows)
+    tree_cpu = sum(r.tree_cpu for r in rows)
+    dag_cpu = sum(r.dag_cpu for r in rows)
+    return {
+        "avg_improvement": avg_imp,
+        "area_ratio": dag_area / tree_area if tree_area else 0.0,
+        "cpu_ratio": dag_cpu / tree_cpu if tree_cpu else 0.0,
+    }
+
+
+def rows_to_csv(rows: Sequence[Dict[str, object]], path: str) -> None:
+    """Write dict rows (any experiment's output) as a CSV file."""
+    import csv
+
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        if not rows:
+            return
+        writer = csv.DictWriter(handle, fieldnames=list(rows[0].keys()))
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+
+
+def format_rows(rows: Sequence[Dict[str, object]], title: str) -> str:
+    """Generic fixed-width rendering of dict rows (ablation tables)."""
+    if not rows:
+        return f"{title}\n(no rows)"
+    keys = list(rows[0].keys())
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    data = [keys] + [[fmt(row[k]) for k in keys] for row in rows]
+    widths = [max(len(r[i]) for r in data) for i in range(len(keys))]
+    lines = [title, "-" * len(title)]
+    for idx, cells in enumerate(data):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(cells, widths)))
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""Gate libraries: the genlib model, parser, pattern generation, built-ins.
+
+This subpackage replaces the MCNC genlib assets the paper used
+(``lib2.genlib``, ``44-1.genlib``, ``44-3.genlib``) with a genlib parser
+(:mod:`repro.library.genlib`), a gate/pin delay model
+(:mod:`repro.library.gate`), NAND2-INV pattern-graph generation
+(:mod:`repro.library.patterns`) and built-in replica libraries
+(:mod:`repro.library.builtin`).
+"""
+
+from repro.library.gate import Gate, GateLibrary, Pin
+from repro.library.genlib import parse_genlib, dumps_genlib, read_genlib
+from repro.library.patterns import PatternGraph, PatternNode, PatternSet
+from repro.library.builtin import (
+    lib2_like,
+    lib2_sized,
+    lib44_1,
+    lib44_3,
+    mini_library,
+    unit_nand_library,
+)
+
+__all__ = [
+    "Gate",
+    "GateLibrary",
+    "Pin",
+    "parse_genlib",
+    "dumps_genlib",
+    "read_genlib",
+    "PatternGraph",
+    "PatternNode",
+    "PatternSet",
+    "lib2_like",
+    "lib2_sized",
+    "lib44_1",
+    "lib44_3",
+    "mini_library",
+    "unit_nand_library",
+]

@@ -1,0 +1,198 @@
+"""Gate and library model with the genlib pin-delay convention.
+
+Each :class:`Gate` has an area, a single-output Boolean function given as
+an expression over its input pins, and per-pin timing parameters.  Under
+the paper's *load-independent* (intrinsic) delay model, the pin-to-pin
+delay of a gate is the block (intrinsic) delay of that pin; the
+load-dependent ``fanout`` coefficients are carried so STA can report the
+approximation error, but they are ignored during optimisation — exactly
+the experimental setup of the paper (footnote 4 zeroes them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.errors import LibraryError, LibraryIncompleteError
+from repro.network.expr import Expr, parse_expr
+from repro.network.functions import TruthTable
+
+__all__ = ["Pin", "Gate", "GateLibrary"]
+
+#: genlib pin phase values.
+PHASE_INV, PHASE_NONINV, PHASE_UNKNOWN = "INV", "NONINV", "UNKNOWN"
+
+
+@dataclass(frozen=True)
+class Pin:
+    """Timing/loading parameters of one gate input pin (genlib fields)."""
+
+    name: str
+    phase: str = PHASE_UNKNOWN
+    input_load: float = 1.0
+    max_load: float = 999.0
+    rise_block: float = 1.0
+    rise_fanout: float = 0.0
+    fall_block: float = 1.0
+    fall_fanout: float = 0.0
+
+    @property
+    def block_delay(self) -> float:
+        """Load-independent pin-to-pin delay (worst of rise/fall block)."""
+        return max(self.rise_block, self.fall_block)
+
+    @property
+    def fanout_delay(self) -> float:
+        """Load coefficient (worst of rise/fall), for STA reporting only."""
+        return max(self.rise_fanout, self.fall_fanout)
+
+
+class Gate:
+    """A single-output library gate."""
+
+    def __init__(
+        self,
+        name: str,
+        area: float,
+        output: str,
+        expr: Expr,
+        pins: Sequence[Pin],
+    ):
+        support = expr.support()
+        pin_names = [p.name for p in pins]
+        if sorted(pin_names) != sorted(support):
+            raise LibraryError(
+                f"gate {name!r}: pins {pin_names} do not match function "
+                f"support {support}"
+            )
+        if len(set(pin_names)) != len(pin_names):
+            raise LibraryError(f"gate {name!r}: duplicate pin names")
+        self.name = name
+        self.area = float(area)
+        self.output = output
+        self.expr = expr
+        self.pins: tuple = tuple(pins)
+        self._pin_by_name: Dict[str, Pin] = {p.name: p for p in pins}
+        #: Truth table over the pin order of :attr:`inputs`.
+        self.inputs: List[str] = pin_names
+        self.tt: TruthTable = expr.to_tt(self.inputs)
+
+    @property
+    def n_inputs(self) -> int:
+        return len(self.inputs)
+
+    def pin(self, name: str) -> Pin:
+        try:
+            return self._pin_by_name[name]
+        except KeyError:
+            raise LibraryError(f"gate {self.name!r} has no pin {name!r}") from None
+
+    def pin_delay(self, name: str) -> float:
+        """Load-independent delay from pin ``name`` to the output."""
+        return self.pin(name).block_delay
+
+    def max_pin_delay(self) -> float:
+        return max((p.block_delay for p in self.pins), default=0.0)
+
+    def is_inverter(self) -> bool:
+        return self.n_inputs == 1 and self.tt.bits == 0b01
+
+    def is_buffer(self) -> bool:
+        return self.n_inputs == 1 and self.tt.bits == 0b10
+
+    def is_nand2(self) -> bool:
+        return self.n_inputs == 2 and self.tt.bits == 0b0111
+
+    def is_constant(self) -> bool:
+        return self.tt.is_constant()
+
+    def eval_words(self, words: Sequence[int], mask: int) -> int:
+        """Bit-parallel evaluation of the gate function."""
+        return self.tt.eval_words(words, mask)
+
+    def __repr__(self) -> str:
+        return f"Gate({self.name!r}, area={self.area}, {self.output}={self.expr.to_string()})"
+
+
+class GateLibrary:
+    """An ordered collection of gates with name lookup."""
+
+    def __init__(self, gates: Iterable[Gate], name: str = "library"):
+        self.name = name
+        self.gates: List[Gate] = list(gates)
+        self._by_name: Dict[str, Gate] = {}
+        for gate in self.gates:
+            if gate.name in self._by_name:
+                raise LibraryError(f"duplicate gate name {gate.name!r}")
+            self._by_name[gate.name] = gate
+
+    def __len__(self) -> int:
+        return len(self.gates)
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self.gates)
+
+    def gate(self, name: str) -> Gate:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise LibraryError(f"library has no gate named {name!r}") from None
+
+    def max_inputs(self) -> int:
+        return max((g.n_inputs for g in self.gates), default=0)
+
+    def inverter(self) -> Gate:
+        """Smallest-area inverter; required for any complete library."""
+        candidates = [g for g in self.gates if g.is_inverter()]
+        if not candidates:
+            raise LibraryIncompleteError(f"library {self.name!r} has no inverter")
+        return min(candidates, key=lambda g: g.area)
+
+    def nand2(self) -> Gate:
+        """Smallest-area 2-input NAND; required for any complete library."""
+        candidates = [g for g in self.gates if g.is_nand2()]
+        if not candidates:
+            raise LibraryIncompleteError(f"library {self.name!r} has no NAND2")
+        return min(candidates, key=lambda g: g.area)
+
+    def check_complete(self) -> None:
+        """A library must contain INV and NAND2 to cover any subject graph."""
+        self.inverter()
+        self.nand2()
+
+    def total_area_range(self) -> tuple:
+        areas = [g.area for g in self.gates]
+        return (min(areas), max(areas)) if areas else (0.0, 0.0)
+
+    def __repr__(self) -> str:
+        return f"GateLibrary({self.name!r}, {len(self.gates)} gates, max_inputs={self.max_inputs()})"
+
+
+def make_gate(
+    name: str,
+    area: float,
+    formula: str,
+    pin_params: Optional[Dict[str, Pin]] = None,
+    default_pin: Optional[Pin] = None,
+) -> Gate:
+    """Convenience constructor: ``formula`` is ``"out=expr"`` genlib style."""
+    if "=" not in formula:
+        raise LibraryError(f"gate formula {formula!r} must be 'out=expr'")
+    output, expr_text = formula.split("=", 1)
+    expr = parse_expr(expr_text)
+    pins = []
+    for pin_name in expr.support():
+        if pin_params and pin_name in pin_params:
+            pins.append(pin_params[pin_name])
+        elif default_pin is not None:
+            pins.append(Pin(name=pin_name, phase=default_pin.phase,
+                            input_load=default_pin.input_load,
+                            max_load=default_pin.max_load,
+                            rise_block=default_pin.rise_block,
+                            rise_fanout=default_pin.rise_fanout,
+                            fall_block=default_pin.fall_block,
+                            fall_fanout=default_pin.fall_fanout))
+        else:
+            pins.append(Pin(name=pin_name))
+    return Gate(name, area, output.strip(), expr, pins)

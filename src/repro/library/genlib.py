@@ -1,0 +1,189 @@
+"""genlib format parser and writer.
+
+The genlib format (from Berkeley's MIS/SIS) describes a gate library as a
+sequence of statements::
+
+    GATE <name> <area> <output>=<expression>;
+    PIN <pin-or-*> <phase> <input-load> <max-load> \
+        <rise-block> <rise-fanout> <fall-block> <fall-fanout>
+
+``PIN *`` applies one parameter set to every input pin.  ``#`` starts a
+comment.  LATCH statements (sequential genlib) are recognised and skipped —
+the paper's flow maps the combinational core and handles latches by
+retiming, so library latches are not needed.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import LibraryError, ParseError
+from repro.library.gate import Gate, GateLibrary, Pin
+from repro.network.expr import parse_expr
+
+__all__ = ["parse_genlib", "dumps_genlib", "read_genlib", "write_genlib"]
+
+
+def _strip_comments(text: str) -> str:
+    lines = []
+    for line in text.splitlines():
+        lines.append(line.split("#", 1)[0])
+    return "\n".join(lines)
+
+
+def _tokens(text: str) -> List[str]:
+    # ';' terminates the function expression; keep it as its own token.
+    return text.replace(";", " ; ").split()
+
+
+def parse_genlib(text: str, name: str = "genlib") -> GateLibrary:
+    """Parse genlib text into a :class:`GateLibrary`."""
+    tokens = _tokens(_strip_comments(text))
+    gates: List[Gate] = []
+    pos = 0
+    n = len(tokens)
+
+    def need(what: str) -> str:
+        nonlocal pos
+        if pos >= n:
+            raise ParseError(f"unexpected end of genlib while reading {what}")
+        token = tokens[pos]
+        pos += 1
+        return token
+
+    while pos < n:
+        keyword = need("statement")
+        if keyword == "LATCH":
+            # Skip everything until the next GATE/LATCH keyword.
+            while pos < n and tokens[pos] not in ("GATE", "LATCH"):
+                pos += 1
+            continue
+        if keyword != "GATE":
+            raise ParseError(f"expected GATE or LATCH, found {keyword!r}")
+        gate_name = need("gate name")
+        try:
+            area = float(need("gate area"))
+        except ValueError as exc:
+            raise ParseError(f"gate {gate_name!r}: bad area") from exc
+        # Function: tokens until ';'.
+        func_tokens: List[str] = []
+        while True:
+            token = need(f"function of gate {gate_name!r}")
+            if token == ";":
+                break
+            func_tokens.append(token)
+        func_text = " ".join(func_tokens)
+        if "=" not in func_text:
+            raise ParseError(f"gate {gate_name!r}: function must be 'out=expr'")
+        output, expr_text = func_text.split("=", 1)
+        output = output.strip()
+        expr = parse_expr(expr_text)
+
+        pin_specs: List[Tuple[str, Pin]] = []
+        while pos < n and tokens[pos] == "PIN":
+            pos += 1
+            pin_name = need("pin name")
+            fields = [need(f"pin field of {gate_name!r}") for _ in range(7)]
+            phase = fields[0]
+            if phase not in ("INV", "NONINV", "UNKNOWN"):
+                raise ParseError(
+                    f"gate {gate_name!r} pin {pin_name!r}: bad phase {phase!r}"
+                )
+            try:
+                numbers = [float(f) for f in fields[1:]]
+            except ValueError as exc:
+                raise ParseError(
+                    f"gate {gate_name!r} pin {pin_name!r}: bad numeric field"
+                ) from exc
+            pin_specs.append(
+                (
+                    pin_name,
+                    Pin(
+                        name=pin_name,
+                        phase=phase,
+                        input_load=numbers[0],
+                        max_load=numbers[1],
+                        rise_block=numbers[2],
+                        rise_fanout=numbers[3],
+                        fall_block=numbers[4],
+                        fall_fanout=numbers[5],
+                    ),
+                )
+            )
+
+        support = expr.support()
+        pins = _assign_pins(gate_name, support, pin_specs)
+        gates.append(Gate(gate_name, area, output, expr, pins))
+
+    return GateLibrary(gates, name=name)
+
+
+def _assign_pins(
+    gate_name: str, support: List[str], pin_specs: List[Tuple[str, Pin]]
+) -> List[Pin]:
+    """Resolve PIN statements (including ``PIN *``) onto the function support."""
+    wildcard: Optional[Pin] = None
+    explicit: Dict[str, Pin] = {}
+    for pin_name, pin in pin_specs:
+        if pin_name == "*":
+            wildcard = pin
+        else:
+            if pin_name not in support:
+                raise LibraryError(
+                    f"gate {gate_name!r}: PIN {pin_name!r} not in function support"
+                )
+            explicit[pin_name] = pin
+    pins: List[Pin] = []
+    for name in support:
+        if name in explicit:
+            pins.append(explicit[name])
+        elif wildcard is not None:
+            pins.append(
+                Pin(
+                    name=name,
+                    phase=wildcard.phase,
+                    input_load=wildcard.input_load,
+                    max_load=wildcard.max_load,
+                    rise_block=wildcard.rise_block,
+                    rise_fanout=wildcard.rise_fanout,
+                    fall_block=wildcard.fall_block,
+                    fall_fanout=wildcard.fall_fanout,
+                )
+            )
+        else:
+            # Constant gates have empty support and need no pins; a gate
+            # with inputs but no PIN statements gets defaults.
+            pins.append(Pin(name=name))
+    return pins
+
+
+def dumps_genlib(library: GateLibrary) -> str:
+    """Serialise a library back to genlib text."""
+    lines: List[str] = [f"# library {library.name} ({len(library)} gates)"]
+    for gate in library:
+        lines.append(
+            f"GATE {gate.name} {gate.area:g} {gate.output}={gate.expr.to_string()};"
+        )
+        for pin in gate.pins:
+            lines.append(
+                f"  PIN {pin.name} {pin.phase} {pin.input_load:g} {pin.max_load:g} "
+                f"{pin.rise_block:g} {pin.rise_fanout:g} "
+                f"{pin.fall_block:g} {pin.fall_fanout:g}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def read_genlib(path: Union[str, os.PathLike]) -> GateLibrary:
+    """Read a genlib file from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    return parse_genlib(
+        text, name=os.path.splitext(os.path.basename(path))[0]
+    )
+
+
+def write_genlib(library: GateLibrary, path: Union[str, os.PathLike]) -> None:
+    """Write a library to a genlib file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps_genlib(library))

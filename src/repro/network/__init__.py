@@ -1,0 +1,58 @@
+"""Boolean network substrate: functions, expressions, networks, I/O.
+
+This subpackage is the SIS-equivalent infrastructure layer the paper's
+mapper runs on: truth tables (:mod:`repro.network.functions`), a genlib/eqn
+style expression language (:mod:`repro.network.expr`), the logic-network
+data structure (:mod:`repro.network.bnet`), BLIF I/O
+(:mod:`repro.network.blif`), technology decomposition into NAND2-INV
+subject graphs (:mod:`repro.network.decompose`,
+:mod:`repro.network.subject`) and bit-parallel simulation / equivalence
+checking (:mod:`repro.network.simulate`).
+"""
+
+from repro.network.functions import TruthTable
+from repro.network.expr import Expr, parse_expr
+from repro.network.bnet import BooleanNetwork, Node, Latch
+from repro.network.subject import SubjectGraph, SubjectNode, NodeType
+from repro.network.decompose import decompose_network
+from repro.network.blif import read_blif, write_blif
+from repro.network.npn import npn_canonical, npn_classes, npn_equivalent
+from repro.network.transform import extract_cone, sweep
+from repro.network.dot import netlist_to_dot, pattern_to_dot, subject_to_dot
+from repro.network.mapped_io import (
+    dumps_mapped_blif,
+    dumps_verilog,
+    loads_mapped_blif,
+    read_mapped_blif,
+    write_mapped_blif,
+    write_verilog,
+)
+
+__all__ = [
+    "TruthTable",
+    "Expr",
+    "parse_expr",
+    "BooleanNetwork",
+    "Node",
+    "Latch",
+    "SubjectGraph",
+    "SubjectNode",
+    "NodeType",
+    "decompose_network",
+    "read_blif",
+    "write_blif",
+    "dumps_mapped_blif",
+    "dumps_verilog",
+    "loads_mapped_blif",
+    "read_mapped_blif",
+    "write_mapped_blif",
+    "write_verilog",
+    "npn_canonical",
+    "npn_classes",
+    "npn_equivalent",
+    "subject_to_dot",
+    "pattern_to_dot",
+    "netlist_to_dot",
+    "sweep",
+    "extract_cone",
+]

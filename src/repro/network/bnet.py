@@ -1,0 +1,301 @@
+"""Technology-independent Boolean network (the SIS ``network`` equivalent).
+
+A :class:`BooleanNetwork` is a DAG of logic nodes over named signals.
+Signals are primary inputs, latch outputs, or the outputs of logic nodes.
+Each logic node stores its local function as a :class:`TruthTable` over its
+ordered fanin list.  Latches (single global clock, edge triggered — the
+model of Section 4 of the paper) connect a combinational output back to a
+pseudo-input.
+
+The network is the input to technology decomposition
+(:func:`repro.network.decompose.decompose_network`) and the reference model
+for equivalence checking of mapped results.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import NetworkError
+from repro.network.expr import Expr, parse_expr
+from repro.network.functions import TruthTable
+
+__all__ = ["Node", "Latch", "BooleanNetwork"]
+
+FuncLike = Union[TruthTable, Expr, str]
+
+#: Latch initial-value codes (BLIF convention).
+INIT_ZERO, INIT_ONE, INIT_DONT_CARE, INIT_UNKNOWN = 0, 1, 2, 3
+
+
+class Node:
+    """A logic node: an output signal computed from ordered fanin signals."""
+
+    __slots__ = ("name", "fanins", "tt")
+
+    def __init__(self, name: str, fanins: Sequence[str], tt: TruthTable):
+        if tt.n_vars != len(fanins):
+            raise NetworkError(
+                f"node {name!r}: function arity {tt.n_vars} != fanin count {len(fanins)}"
+            )
+        if len(set(fanins)) != len(fanins):
+            raise NetworkError(f"node {name!r}: duplicate fanin names")
+        self.name = name
+        self.fanins = tuple(fanins)
+        self.tt = tt
+
+    def __repr__(self) -> str:
+        return f"Node({self.name!r}, fanins={list(self.fanins)})"
+
+
+class Latch:
+    """An edge-triggered latch: ``output`` presents last cycle's ``input``."""
+
+    __slots__ = ("input", "output", "init")
+
+    def __init__(self, input: str, output: str, init: int = INIT_ZERO):
+        if init not in (INIT_ZERO, INIT_ONE, INIT_DONT_CARE, INIT_UNKNOWN):
+            raise NetworkError(f"latch {output!r}: bad initial value {init}")
+        self.input = input
+        self.output = output
+        self.init = init
+
+    def __repr__(self) -> str:
+        return f"Latch({self.input!r} -> {self.output!r}, init={self.init})"
+
+
+class BooleanNetwork:
+    """A named DAG of logic nodes with PIs, POs and optional latches."""
+
+    def __init__(self, name: str = "network"):
+        self.name = name
+        self.pis: List[str] = []
+        self.pos: List[str] = []
+        self.latches: List[Latch] = []
+        self._nodes: Dict[str, Node] = {}
+        self._pi_set: set = set()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_pi(self, name: str) -> str:
+        """Declare a primary input signal."""
+        if self.has_signal(name):
+            raise NetworkError(f"signal {name!r} already exists")
+        self.pis.append(name)
+        self._pi_set.add(name)
+        return name
+
+    def add_po(self, name: str) -> str:
+        """Declare a primary output (must name an existing or future signal)."""
+        self.pos.append(name)
+        return name
+
+    def add_latch(self, input: str, output: str, init: int = INIT_ZERO) -> Latch:
+        """Add a latch from combinational signal ``input`` to pseudo-PI ``output``."""
+        if self.has_signal(output):
+            raise NetworkError(f"signal {output!r} already exists")
+        latch = Latch(input, output, init)
+        self.latches.append(latch)
+        return latch
+
+    def add_node(
+        self,
+        name: str,
+        func: FuncLike,
+        fanins: Optional[Sequence[str]] = None,
+    ) -> str:
+        """Add a logic node computing ``func`` of ``fanins``.
+
+        ``func`` may be a :class:`TruthTable` (positional over ``fanins``),
+        an :class:`Expr`, or an expression string whose variables are signal
+        names.  When ``func`` is an expression and ``fanins`` is omitted,
+        the fanin list defaults to the expression's sorted support.
+        """
+        if self.has_signal(name):
+            raise NetworkError(f"signal {name!r} already exists")
+        if isinstance(func, str):
+            func = parse_expr(func)
+        if isinstance(func, Expr):
+            if fanins is None:
+                fanins = func.support()
+            tt = func.to_tt(list(fanins))
+        else:
+            tt = func
+            if fanins is None:
+                raise NetworkError("fanins required when func is a TruthTable")
+        self._nodes[name] = Node(name, fanins, tt)
+        return name
+
+    def remove_node(self, name: str) -> None:
+        """Remove a logic node (caller must ensure it is unused)."""
+        for user in self._nodes.values():
+            if user.name != name and name in user.fanins:
+                raise NetworkError(f"cannot remove {name!r}: used by {user.name!r}")
+        if name in self.pos or any(l.input == name for l in self.latches):
+            raise NetworkError(f"cannot remove {name!r}: it drives an output")
+        del self._nodes[name]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def has_signal(self, name: str) -> bool:
+        return (
+            name in self._pi_set
+            or name in self._nodes
+            or any(l.output == name for l in self.latches)
+        )
+
+    def is_pi(self, name: str) -> bool:
+        return name in self._pi_set
+
+    def is_latch_output(self, name: str) -> bool:
+        return any(l.output == name for l in self.latches)
+
+    def node(self, name: str) -> Node:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise NetworkError(f"no logic node named {name!r}") from None
+
+    def nodes(self) -> Iterable[Node]:
+        return self._nodes.values()
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self._nodes)
+
+    def combinational_inputs(self) -> List[str]:
+        """PIs plus latch outputs: the source signals of the comb. core."""
+        return list(self.pis) + [l.output for l in self.latches]
+
+    def combinational_outputs(self) -> List[str]:
+        """POs plus latch inputs: the sink signals of the comb. core."""
+        return list(self.pos) + [l.input for l in self.latches]
+
+    def is_combinational(self) -> bool:
+        return not self.latches
+
+    def fanout_map(self) -> Dict[str, List[str]]:
+        """Map each signal to the logic nodes that read it."""
+        fanouts: Dict[str, List[str]] = {}
+        for node in self._nodes.values():
+            for fanin in node.fanins:
+                fanouts.setdefault(fanin, []).append(node.name)
+        return fanouts
+
+    def topological_order(self) -> List[Node]:
+        """Logic nodes sorted so fanins precede fanouts.
+
+        Raises :class:`NetworkError` on a combinational cycle or a dangling
+        fanin reference.
+        """
+        order: List[Node] = []
+        state: Dict[str, int] = {}  # 0 = visiting, 1 = done
+        sources = set(self.combinational_inputs())
+
+        for root in self._nodes:
+            if state.get(root) == 1:
+                continue
+            stack: List[Tuple[str, int]] = [(root, 0)]
+            while stack:
+                name, child_idx = stack.pop()
+                if name in sources:
+                    continue
+                if name not in self._nodes:
+                    raise NetworkError(f"dangling signal reference {name!r}")
+                node = self._nodes[name]
+                if child_idx == 0:
+                    if state.get(name) == 1:
+                        continue
+                    if state.get(name) == 0:
+                        raise NetworkError(f"combinational cycle through {name!r}")
+                    state[name] = 0
+                if child_idx < len(node.fanins):
+                    stack.append((name, child_idx + 1))
+                    fanin = node.fanins[child_idx]
+                    if state.get(fanin) != 1 and fanin not in sources:
+                        stack.append((fanin, 0))
+                else:
+                    state[name] = 1
+                    order.append(node)
+        return order
+
+    def check(self) -> None:
+        """Validate structural integrity; raises on any problem."""
+        for node in self._nodes.values():
+            for fanin in node.fanins:
+                if not self.has_signal(fanin):
+                    raise NetworkError(
+                        f"node {node.name!r} reads undefined signal {fanin!r}"
+                    )
+        for po in self.pos:
+            if not self.has_signal(po):
+                raise NetworkError(f"primary output {po!r} is undefined")
+        for latch in self.latches:
+            if not self.has_signal(latch.input):
+                raise NetworkError(f"latch input {latch.input!r} is undefined")
+        self.topological_order()
+
+    def depth(self) -> int:
+        """Unit-delay depth of the combinational core (levels of logic)."""
+        level: Dict[str, int] = {s: 0 for s in self.combinational_inputs()}
+        for node in self.topological_order():
+            level[node.name] = 1 + max(
+                (level[f] for f in node.fanins), default=0
+            )
+        return max(
+            (level.get(s, 0) for s in self.combinational_outputs()), default=0
+        )
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def simulate(self, inputs: Dict[str, int], mask: int) -> Dict[str, int]:
+        """Bit-parallel combinational simulation.
+
+        ``inputs`` maps each combinational input (PI and latch output) to a
+        packed word; ``mask`` selects the active bit lanes.  Returns a map
+        from every signal to its packed value.
+        """
+        values: Dict[str, int] = {}
+        for name in self.combinational_inputs():
+            if name not in inputs:
+                raise NetworkError(f"missing input word for {name!r}")
+            values[name] = inputs[name] & mask
+        for node in self.topological_order():
+            words = [values[f] for f in node.fanins]
+            values[node.name] = node.tt.eval_words(words, mask)
+        return values
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+    def copy(self, name: Optional[str] = None) -> "BooleanNetwork":
+        """Deep copy (truth tables are immutable and shared)."""
+        out = BooleanNetwork(name or self.name)
+        out.pis = list(self.pis)
+        out._pi_set = set(self._pi_set)
+        out.pos = list(self.pos)
+        out.latches = [Latch(l.input, l.output, l.init) for l in self.latches]
+        out._nodes = {
+            k: Node(v.name, v.fanins, v.tt) for k, v in self._nodes.items()
+        }
+        return out
+
+    def stats(self) -> Dict[str, int]:
+        """Summary counts used by reports and tests."""
+        return {
+            "pis": len(self.pis),
+            "pos": len(self.pos),
+            "latches": len(self.latches),
+            "nodes": len(self._nodes),
+            "depth": self.depth(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"BooleanNetwork({self.name!r}, pis={len(self.pis)}, "
+            f"pos={len(self.pos)}, nodes={len(self._nodes)}, "
+            f"latches={len(self.latches)})"
+        )

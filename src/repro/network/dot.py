@@ -1,0 +1,102 @@
+"""Graphviz DOT export for every circuit representation.
+
+Small, dependency-free writers that make subject graphs, pattern graphs
+and mapped netlists inspectable with ``dot -Tsvg``.  Node shapes follow
+the usual convention: inputs as triangles, NAND2/gates as boxes,
+inverters as small circles, outputs as double octagons.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.netlist import MappedNetlist
+from repro.library.patterns import PatternGraph
+from repro.network.subject import NodeType, SubjectGraph
+
+__all__ = ["subject_to_dot", "pattern_to_dot", "netlist_to_dot"]
+
+
+def _esc(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def subject_to_dot(subject: SubjectGraph, name: Optional[str] = None) -> str:
+    """DOT text for a NAND2-INV subject graph."""
+    lines: List[str] = [f'digraph "{_esc(name or subject.name)}" {{',
+                        "  rankdir=LR;"]
+    for node in subject.nodes:
+        if node.is_pi:
+            lines.append(
+                f'  n{node.uid} [shape=triangle, label="{_esc(node.name or "?")}"];'
+            )
+        elif node.kind is NodeType.INV:
+            lines.append(f'  n{node.uid} [shape=circle, label="inv"];')
+        else:
+            lines.append(f'  n{node.uid} [shape=box, label="nand"];')
+    for node in subject.nodes:
+        for fanin in node.fanins:
+            lines.append(f"  n{fanin.uid} -> n{node.uid};")
+    for po_name, driver in subject.pos:
+        tag = f"po_{_esc(po_name)}"
+        lines.append(f'  "{tag}" [shape=doubleoctagon, label="{_esc(po_name)}"];')
+        lines.append(f'  n{driver.uid} -> "{tag}";')
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def pattern_to_dot(pattern: PatternGraph, name: Optional[str] = None) -> str:
+    """DOT text for a pattern graph (leaves labelled with their pins)."""
+    title = name or f"{pattern.gate.name}_pattern"
+    lines: List[str] = [f'digraph "{_esc(title)}" {{', "  rankdir=LR;"]
+    for node in pattern.nodes:
+        if node.is_leaf:
+            lines.append(
+                f'  p{node.uid} [shape=triangle, label="{_esc(node.pin or "?")}"];'
+            )
+        elif node.kind is NodeType.INV:
+            lines.append(f'  p{node.uid} [shape=circle, label="inv"];')
+        else:
+            lines.append(f'  p{node.uid} [shape=box, label="nand"];')
+    for node in pattern.nodes:
+        for fanin in node.fanins:
+            lines.append(f"  p{fanin.uid} -> p{node.uid};")
+    lines.append(
+        f'  out [shape=doubleoctagon, label="{_esc(pattern.gate.name)}"];'
+    )
+    lines.append(f"  p{pattern.root.uid} -> out;")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def netlist_to_dot(
+    netlist: MappedNetlist,
+    name: Optional[str] = None,
+    critical_path: Optional[List[str]] = None,
+) -> str:
+    """DOT text for a mapped netlist; an optional critical path is red."""
+    hot = set(critical_path or [])
+    lines: List[str] = [f'digraph "{_esc(name or netlist.name)}" {{',
+                        "  rankdir=LR;"]
+    for pi in netlist.pis:
+        color = ', color=red' if pi in hot else ""
+        lines.append(f'  "{_esc(pi)}" [shape=triangle{color}];')
+    for gate in netlist.gates:
+        color = ', color=red' if gate.output in hot else ""
+        lines.append(
+            f'  "{_esc(gate.output)}" '
+            f'[shape=box, label="{_esc(gate.gate.name)}\\n{_esc(gate.output)}"{color}];'
+        )
+        for signal in gate.inputs:
+            edge_color = (
+                " [color=red]"
+                if signal in hot and gate.output in hot
+                else ""
+            )
+            lines.append(f'  "{_esc(signal)}" -> "{_esc(gate.output)}"{edge_color};')
+    for po_name, signal in netlist.pos:
+        tag = f"po_{po_name}"
+        lines.append(f'  "{_esc(tag)}" [shape=doubleoctagon, label="{_esc(po_name)}"];')
+        lines.append(f'  "{_esc(signal)}" -> "{_esc(tag)}";')
+    lines.append("}")
+    return "\n".join(lines) + "\n"

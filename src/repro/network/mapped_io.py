@@ -1,0 +1,228 @@
+"""Interchange formats for mapped netlists: ``.gate`` BLIF and Verilog.
+
+SIS writes technology-mapped circuits as BLIF with ``.gate`` statements
+(one library-cell instance per line, named pin connections).  This module
+provides that format in both directions, plus a self-contained structural
+Verilog writer (cell modules are generated from the gates' Boolean
+expressions, so the output simulates stand-alone).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Union
+
+from repro.core.netlist import MappedGate, MappedNetlist
+from repro.errors import LibraryError, ParseError
+from repro.library.gate import Gate, GateLibrary
+from repro.network.expr import And, Const, Expr, Not, Or, Var, Xor
+
+__all__ = [
+    "dumps_mapped_blif",
+    "loads_mapped_blif",
+    "read_mapped_blif",
+    "write_mapped_blif",
+    "dumps_verilog",
+    "write_verilog",
+]
+
+
+# ----------------------------------------------------------------------
+# .gate BLIF
+# ----------------------------------------------------------------------
+
+
+def dumps_mapped_blif(netlist: MappedNetlist) -> str:
+    """Serialise a mapped netlist as BLIF ``.gate`` statements."""
+    lines: List[str] = [f".model {netlist.name}"]
+    if netlist.pis:
+        lines.append(".inputs " + " ".join(netlist.pis))
+    po_names = []
+    aliases: List[str] = []
+    for name, signal in netlist.pos:
+        po_names.append(name)
+        if name != signal:
+            # BLIF has no net aliasing; emit a named buffer cover.
+            aliases.append(f".names {signal} {name}\n1 1")
+    lines.append(".outputs " + " ".join(po_names))
+    for gate in netlist.topological_gates():
+        conns = " ".join(
+            f"{pin}={signal}" for pin, signal in zip(gate.gate.inputs, gate.inputs)
+        )
+        out = f"{gate.gate.output}={gate.output}"
+        lines.append(f".gate {gate.gate.name} {conns} {out}".replace("  ", " "))
+    lines.extend(aliases)
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def loads_mapped_blif(text: str, library: GateLibrary) -> MappedNetlist:
+    """Parse ``.gate`` BLIF back into a mapped netlist.
+
+    ``.names`` covers are accepted only as the single-row buffers the
+    writer emits for PO aliases.
+    """
+    netlist: Optional[MappedNetlist] = None
+    outputs: List[str] = []
+    alias: Dict[str, str] = {}
+    pending_alias: Optional[List[str]] = None
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        head = tokens[0]
+        if pending_alias is not None:
+            if tokens != ["1", "1"]:
+                raise ParseError(
+                    "only identity .names covers are allowed in mapped BLIF",
+                    lineno,
+                )
+            alias[pending_alias[1]] = pending_alias[0]
+            pending_alias = None
+            continue
+        if head == ".model":
+            netlist = MappedNetlist(tokens[1] if len(tokens) > 1 else "mapped")
+        elif head == ".inputs":
+            assert netlist is not None
+            for sig in tokens[1:]:
+                netlist.add_pi(sig)
+        elif head == ".outputs":
+            outputs.extend(tokens[1:])
+        elif head == ".gate":
+            if netlist is None:
+                raise ParseError(".gate before .model", lineno)
+            if len(tokens) < 3:
+                raise ParseError("malformed .gate line", lineno)
+            gate = library.gate(tokens[1])
+            conns: Dict[str, str] = {}
+            for item in tokens[2:]:
+                if "=" not in item:
+                    raise ParseError(f"bad connection {item!r}", lineno)
+                pin, signal = item.split("=", 1)
+                conns[pin] = signal
+            try:
+                inputs = [conns[pin] for pin in gate.inputs]
+                output = conns[gate.output]
+            except KeyError as exc:
+                raise ParseError(
+                    f"gate {gate.name!r}: missing connection {exc}", lineno
+                ) from None
+            netlist.add_gate(gate, inputs, output)
+        elif head == ".names":
+            if len(tokens) != 3:
+                raise ParseError(
+                    "only 2-signal identity .names are allowed here", lineno
+                )
+            pending_alias = tokens[1:]
+        elif head == ".end":
+            break
+        else:
+            raise ParseError(f"unsupported construct {head!r} in mapped BLIF",
+                             lineno)
+
+    if netlist is None:
+        raise ParseError("no .model found")
+    for name in outputs:
+        netlist.add_po(name, alias.get(name, name))
+    netlist.check()
+    return netlist
+
+
+def write_mapped_blif(netlist: MappedNetlist, path: Union[str, os.PathLike]) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps_mapped_blif(netlist))
+
+
+def read_mapped_blif(
+    path: Union[str, os.PathLike], library: GateLibrary
+) -> MappedNetlist:
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads_mapped_blif(handle.read(), library)
+
+
+# ----------------------------------------------------------------------
+# Verilog
+# ----------------------------------------------------------------------
+
+_ID_OK = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_$")
+
+
+def _vl_escape(name: str) -> str:
+    """Escape identifiers Verilog would reject."""
+    if name and name[0].isalpha() and all(c in _ID_OK for c in name):
+        return name
+    return f"\\{name} "
+
+
+def _vl_expr(expr: Expr) -> str:
+    if isinstance(expr, Var):
+        return _vl_escape(expr.name)
+    if isinstance(expr, Const):
+        return "1'b1" if expr.value else "1'b0"
+    if isinstance(expr, Not):
+        return f"~({_vl_expr(expr.child)})"
+    if isinstance(expr, And):
+        return "(" + " & ".join(_vl_expr(a) for a in expr.args) + ")"
+    if isinstance(expr, Or):
+        return "(" + " | ".join(_vl_expr(a) for a in expr.args) + ")"
+    if isinstance(expr, Xor):
+        return "(" + " ^ ".join(_vl_expr(a) for a in expr.args) + ")"
+    raise LibraryError(f"cannot translate expression node {type(expr).__name__}")
+
+
+def _cell_module(gate: Gate) -> str:
+    ports = ", ".join(gate.inputs + [gate.output])
+    lines = [f"module {gate.name}({ports});"]
+    for pin in gate.inputs:
+        lines.append(f"  input {pin};")
+    lines.append(f"  output {gate.output};")
+    lines.append(f"  assign {gate.output} = {_vl_expr(gate.expr)};")
+    lines.append("endmodule")
+    return "\n".join(lines)
+
+
+def dumps_verilog(netlist: MappedNetlist, top: Optional[str] = None) -> str:
+    """Self-contained structural Verilog: cell modules + the mapped top."""
+    used: Dict[str, Gate] = {}
+    for gate in netlist.gates:
+        used[gate.gate.name] = gate.gate
+
+    lines: List[str] = [f"// mapped netlist {netlist.name}"]
+    for gate in used.values():
+        lines.append(_cell_module(gate))
+        lines.append("")
+
+    top = top or netlist.name.replace("-", "_")
+    po_names = [name for name, _ in netlist.pos]
+    ports = ", ".join(
+        [_vl_escape(p) for p in netlist.pis] + [_vl_escape(p) for p in po_names]
+    )
+    lines.append(f"module {top}({ports});")
+    for pi in netlist.pis:
+        lines.append(f"  input {_vl_escape(pi)};")
+    for name in po_names:
+        lines.append(f"  output {_vl_escape(name)};")
+    internal = {g.output for g in netlist.gates} - set(po_names)
+    for signal in sorted(internal):
+        lines.append(f"  wire {_vl_escape(signal)};")
+    for gate in netlist.topological_gates():
+        conns = ", ".join(
+            f".{pin}({_vl_escape(sig)})"
+            for pin, sig in zip(gate.gate.inputs, gate.inputs)
+        )
+        out_conn = f".{gate.gate.output}({_vl_escape(gate.output)})"
+        lines.append(
+            f"  {gate.gate.name} {_vl_escape(gate.instance)} ({conns}, {out_conn});"
+        )
+    for name, signal in netlist.pos:
+        if name != signal:
+            lines.append(f"  assign {_vl_escape(name)} = {_vl_escape(signal)};")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def write_verilog(netlist: MappedNetlist, path: Union[str, os.PathLike]) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps_verilog(netlist))

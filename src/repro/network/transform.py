@@ -1,0 +1,167 @@
+"""Network transformations: sweep (cleanup) and cone extraction.
+
+The SIS ``sweep`` equivalent: constant propagation, identity-node
+collapsing and dangling-logic removal on a :class:`BooleanNetwork` —
+useful before decomposition when circuits come from external BLIF with
+dead or degenerate logic.  :func:`extract_cone` carves out the transitive
+fanin of selected outputs as a standalone network, the usual way to
+isolate a timing path or shrink a failing case.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.errors import NetworkError
+from repro.network.bnet import BooleanNetwork
+from repro.network.functions import TruthTable
+
+__all__ = ["sweep", "extract_cone", "SweepReport"]
+
+
+class SweepReport:
+    """What :func:`sweep` changed."""
+
+    def __init__(self, network: BooleanNetwork, removed: int,
+                 constants_propagated: int, identities_collapsed: int):
+        self.network = network
+        self.removed = removed
+        self.constants_propagated = constants_propagated
+        self.identities_collapsed = identities_collapsed
+
+    def __repr__(self) -> str:
+        return (
+            f"SweepReport(removed={self.removed}, "
+            f"constants={self.constants_propagated}, "
+            f"identities={self.identities_collapsed})"
+        )
+
+
+def sweep(net: BooleanNetwork) -> SweepReport:
+    """Constant propagation + identity collapsing + dead-logic removal.
+
+    Returns a report whose ``network`` is a new, functionally equivalent
+    :class:`BooleanNetwork`.  Constant outputs are kept as constant
+    nodes (decomposition legalises them later).  Latch boundaries are
+    respected: latch inputs/outputs are preserved even when constant, so
+    sequential behaviour (e.g. reset states) is untouched.
+    """
+    constants: Dict[str, int] = {}
+    alias: Dict[str, str] = {}
+    n_const = 0
+    n_ident = 0
+
+    protected = set(net.pos) | {l.input for l in net.latches}
+
+    def resolve(signal: str) -> str:
+        while signal in alias:
+            signal = alias[signal]
+        return signal
+
+    out = BooleanNetwork(net.name)
+    for pi in net.pis:
+        out.add_pi(pi)
+    for latch in net.latches:
+        out.add_latch(latch.input, latch.output, latch.init)
+
+    new_nodes: List[Tuple[str, TruthTable, List[str]]] = []
+    for node in net.topological_order():
+        fanins = [resolve(f) for f in node.fanins]
+        tt = node.tt
+        # Substitute known constants.
+        for idx, fanin in enumerate(fanins):
+            if fanin in constants:
+                tt = tt.cofactor(idx, constants[fanin])
+        small, keep = tt.shrunk()
+        kept_fanins = [fanins[k] for k in keep]
+        if small.is_constant():
+            # shrunk() leaves no variables on a constant function.
+            if node.name in protected:
+                new_nodes.append((node.name, small, []))
+            else:
+                constants[node.name] = 1 if small.is_const1() else 0
+                n_const += 1
+            continue
+        if small.n_vars == 1 and small.bits == 0b10:
+            # Identity of a single fanin.
+            if node.name in protected:
+                new_nodes.append((node.name, small, kept_fanins))
+            else:
+                alias[node.name] = kept_fanins[0]
+                n_ident += 1
+            continue
+        new_nodes.append((node.name, small, kept_fanins))
+
+    # Dead-logic removal: keep only cones of protected outputs.
+    by_name = {name: (name, tt, fanins) for name, tt, fanins in new_nodes}
+    needed: Set[str] = set()
+    stack = [resolve(sig) for sig in protected]
+    while stack:
+        signal = stack.pop()
+        if signal in needed or signal not in by_name:
+            continue
+        needed.add(signal)
+        stack.extend(by_name[signal][2])
+
+    kept = 0
+    for name, tt, fanins in new_nodes:
+        if name in needed:
+            out.add_node(name, tt, fanins)
+            kept += 1
+    removed = net.n_nodes - kept
+
+    for po in net.pos:
+        target = resolve(po)
+        if po in constants or (target != po and not out.has_signal(po)):
+            # PO collapsed to a constant or an alias: reintroduce a node
+            # carrying the PO's name.
+            if po in constants:
+                out.add_node(
+                    po,
+                    TruthTable.const1(0) if constants[po] else TruthTable.const0(0),
+                    [],
+                )
+            else:
+                out.add_node(po, TruthTable(1, 0b10), [target])
+        out.add_po(po)
+    out.check()
+    return SweepReport(out, removed, n_const, n_ident)
+
+
+def extract_cone(
+    net: BooleanNetwork,
+    outputs: Sequence[str],
+    name: Optional[str] = None,
+) -> BooleanNetwork:
+    """Standalone combinational network of the given outputs' fanin cones.
+
+    Latch outputs encountered in the cone become primary inputs of the
+    extracted network (the cone is cut at register boundaries).
+    """
+    if not outputs:
+        raise NetworkError("extract_cone needs at least one output")
+    sources = set(net.combinational_inputs())
+    needed: Set[str] = set()
+    stack = list(outputs)
+    while stack:
+        signal = stack.pop()
+        if signal in needed:
+            continue
+        needed.add(signal)
+        if signal in sources:
+            continue
+        stack.extend(net.node(signal).fanins)
+
+    cone = BooleanNetwork(name or f"{net.name}_cone")
+    for signal in net.combinational_inputs():
+        if signal in needed:
+            cone.add_pi(signal)
+    for node in net.topological_order():
+        if node.name in needed:
+            cone.add_node(node.name, node.tt, node.fanins)
+    for po in outputs:
+        if not cone.has_signal(po):
+            raise NetworkError(f"output {po!r} not found in the network")
+        cone.add_po(po)
+    cone.check()
+    return cone

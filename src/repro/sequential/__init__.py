@@ -1,0 +1,29 @@
+"""Sequential extension (paper Section 4): mapping + retiming.
+
+The paper sketches how the combinational DAG-covering result extends to
+edge-triggered single-clock sequential circuits via the Pan-Liu
+three-step transformation: (1) retime, (2) map the combinational portion,
+(3) retime the mapped circuit, with a binary search on the target cycle
+time.  This subpackage provides Leiserson-Saxe retiming
+(:mod:`repro.sequential.retiming`) and the three-step mapping flow
+(:mod:`repro.sequential.seqmap`).
+"""
+
+from repro.sequential.retiming import RetimeGraph, min_period, retime_for_period
+from repro.sequential.seqmap import SequentialMappingResult, map_sequential
+from repro.sequential.panliu import (
+    SequentialLabels,
+    feasible_period,
+    min_sequential_period,
+)
+
+__all__ = [
+    "RetimeGraph",
+    "min_period",
+    "retime_for_period",
+    "SequentialMappingResult",
+    "map_sequential",
+    "SequentialLabels",
+    "feasible_period",
+    "min_sequential_period",
+]

@@ -1,0 +1,217 @@
+"""Leiserson-Saxe retiming on weighted circuit graphs.
+
+A :class:`RetimeGraph` has vertices with propagation delays and directed
+edges weighted by register (latch) counts.  Retiming assigns an integer
+lag ``r(v)`` to every vertex; edge weights become
+``w_r(e) = w(e) + r(v) - r(u)`` and must stay non-negative.  The clock
+period of a graph is the longest vertex-delay path through zero-weight
+edges.
+
+``retime_for_period`` implements the FEAS relaxation (Leiserson & Saxe,
+"Retiming Synchronous Circuitry", Algorithmica 1991): repeat |V| times —
+compute arrival times Δ on the currently-retimed graph and increment the
+lag of every vertex with Δ(v) > c.  A legal retiming of period <= c
+exists iff the final graph achieves it.  ``min_period`` binary-searches
+over the distinct achievable periods.
+
+The paper's Section 4 uses retiming as steps (1) and (3) of the
+Pan-Liu sequential mapping transformation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.errors import RetimingError
+
+__all__ = ["RetimeGraph", "retime_for_period", "min_period"]
+
+#: The conventional "host" vertex tying primary inputs to primary outputs.
+HOST = "__host__"
+
+
+class RetimeGraph:
+    """A register-weighted circuit graph for retiming."""
+
+    def __init__(self):
+        self.delay: Dict[Hashable, float] = {}
+        #: edges: (u, v) -> weight (registers); parallel edges collapse to
+        #: the minimum weight, which is the binding constraint.
+        self.weight: Dict[Tuple[Hashable, Hashable], int] = {}
+        self._succ: Dict[Hashable, List[Hashable]] = {}
+        self._pred: Dict[Hashable, List[Hashable]] = {}
+
+    # ------------------------------------------------------------------
+    def add_node(self, node: Hashable, delay: float = 0.0) -> None:
+        if node in self.delay:
+            if self.delay[node] != delay:
+                raise RetimingError(f"node {node!r} redefined with new delay")
+            return
+        self.delay[node] = float(delay)
+        self._succ[node] = []
+        self._pred[node] = []
+
+    def add_edge(self, u: Hashable, v: Hashable, weight: int) -> None:
+        if weight < 0:
+            raise RetimingError("edge weight (register count) must be >= 0")
+        if u not in self.delay or v not in self.delay:
+            raise RetimingError("add nodes before edges")
+        key = (u, v)
+        if key in self.weight:
+            self.weight[key] = min(self.weight[key], weight)
+            return
+        self.weight[key] = weight
+        self._succ[u].append(v)
+        self._pred[v].append(u)
+
+    def nodes(self) -> List[Hashable]:
+        return list(self.delay)
+
+    def successors(self, node: Hashable) -> List[Hashable]:
+        return self._succ[node]
+
+    # ------------------------------------------------------------------
+    def _zero_weight_topo(
+        self, weights: Dict[Tuple[Hashable, Hashable], int]
+    ) -> Optional[List[Hashable]]:
+        """Topological order of the zero-weight subgraph (None on cycle)."""
+        indeg: Dict[Hashable, int] = {node: 0 for node in self.delay}
+        for (u, v), w in weights.items():
+            if w == 0:
+                indeg[v] += 1
+        stack = [node for node, d in indeg.items() if d == 0]
+        order: List[Hashable] = []
+        while stack:
+            node = stack.pop()
+            order.append(node)
+            for succ in self._succ[node]:
+                if weights[(node, succ)] == 0:
+                    indeg[succ] -= 1
+                    if indeg[succ] == 0:
+                        stack.append(succ)
+        if len(order) != len(self.delay):
+            return None
+        return order
+
+    def _arrivals(
+        self, weights: Dict[Tuple[Hashable, Hashable], int]
+    ) -> Optional[Dict[Hashable, float]]:
+        """Δ(v): longest zero-weight-path delay ending at v (None on cycle)."""
+        order = self._zero_weight_topo(weights)
+        if order is None:
+            return None
+        delta: Dict[Hashable, float] = {}
+        for node in order:
+            best = 0.0
+            for pred in self._pred[node]:
+                if weights[(pred, node)] == 0:
+                    best = max(best, delta[pred])
+            delta[node] = best + self.delay[node]
+        return delta
+
+    def clock_period(self) -> float:
+        """Current clock period (longest register-free path delay)."""
+        delta = self._arrivals(self.weight)
+        if delta is None:
+            raise RetimingError("combinational cycle (zero-register loop)")
+        return max(delta.values(), default=0.0)
+
+    def retimed_weights(
+        self, lags: Dict[Hashable, int]
+    ) -> Dict[Tuple[Hashable, Hashable], int]:
+        """Edge weights after applying the lag assignment."""
+        out: Dict[Tuple[Hashable, Hashable], int] = {}
+        for (u, v), w in self.weight.items():
+            wr = w + lags.get(v, 0) - lags.get(u, 0)
+            if wr < 0:
+                raise RetimingError(f"illegal retiming: edge {u!r}->{v!r} gets {wr}")
+            out[(u, v)] = wr
+        return out
+
+    def retimed(self, lags: Dict[Hashable, int]) -> "RetimeGraph":
+        """A new graph with the retimed weights."""
+        graph = RetimeGraph()
+        for node, delay in self.delay.items():
+            graph.add_node(node, delay)
+        for (u, v), w in self.retimed_weights(lags).items():
+            graph.add_edge(u, v, w)
+        return graph
+
+    def total_registers(self) -> int:
+        return sum(self.weight.values())
+
+
+def retime_for_period(
+    graph: RetimeGraph, period: float, fixed: Optional[Hashable] = None
+) -> Optional[Dict[Hashable, int]]:
+    """Find a legal retiming achieving ``period``, or None (FEAS).
+
+    ``fixed`` pins one vertex's lag to zero (conventionally the host, so
+    the environment's registers stay put).
+    """
+    lags: Dict[Hashable, int] = {node: 0 for node in graph.delay}
+    n = len(lags)
+    for _ in range(n):
+        try:
+            weights = graph.retimed_weights(lags)
+        except RetimingError:
+            # A fixed vertex forced a negative weight: infeasible at c.
+            return None
+        delta = graph._arrivals(weights)
+        if delta is None:
+            return None
+        over = [node for node, d in delta.items() if d > period + 1e-9]
+        if not over:
+            if fixed is not None and lags.get(fixed, 0) != 0:
+                # Lags are invariant under uniform shifts; normalise so
+                # the fixed vertex (conventionally the host) has lag 0.
+                base = lags[fixed]
+                lags = {node: lag - base for node, lag in lags.items()}
+            return lags
+        for node in over:
+            lags[node] += 1
+    # One final check after the n-th relaxation round.
+    try:
+        weights = graph.retimed_weights(lags)
+    except RetimingError:
+        return None
+    delta = graph._arrivals(weights)
+    if delta is not None and all(d <= period + 1e-9 for d in delta.values()):
+        if fixed is not None and lags.get(fixed, 0) != 0:
+            base = lags[fixed]
+            lags = {node: lag - base for node, lag in lags.items()}
+        return lags
+    return None
+
+
+def min_period(
+    graph: RetimeGraph,
+    fixed: Optional[Hashable] = None,
+    tolerance: float = 1e-6,
+) -> Tuple[float, Dict[Hashable, int]]:
+    """Minimum achievable clock period and a retiming that attains it.
+
+    Binary-searches the continuous period range, then snaps to the exact
+    achieved period of the final retimed graph.
+    """
+    if not graph.delay:
+        return 0.0, {}
+    low = max(graph.delay.values())
+    high = graph.clock_period()
+    best_lags = {node: 0 for node in graph.delay}
+    best = high
+    if high <= low + tolerance:
+        return high, best_lags
+    while high - low > tolerance:
+        mid = (low + high) / 2
+        lags = retime_for_period(graph, mid, fixed=fixed)
+        if lags is not None:
+            achieved = graph.retimed(lags).clock_period()
+            if achieved < best:
+                best = achieved
+                best_lags = lags
+            high = min(mid, achieved)
+        else:
+            low = mid
+    return best, best_lags

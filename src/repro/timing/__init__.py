@@ -1,0 +1,25 @@
+"""Static timing analysis under the paper's delay models."""
+
+from repro.timing.delay_model import (
+    DelayModel,
+    LoadIndependentModel,
+    LoadDependentModel,
+    UnitDelayModel,
+)
+from repro.timing.sta import TimingReport, analyze
+from repro.timing.buffering import BufferingReport, best_buffering, buffer_fanout
+from repro.timing.risefall import RiseFallReport, analyze_rise_fall
+
+__all__ = [
+    "DelayModel",
+    "LoadIndependentModel",
+    "LoadDependentModel",
+    "UnitDelayModel",
+    "TimingReport",
+    "analyze",
+    "BufferingReport",
+    "buffer_fanout",
+    "best_buffering",
+    "RiseFallReport",
+    "analyze_rise_fall",
+]

@@ -1,0 +1,225 @@
+"""Fanout buffering of mapped netlists (Touati-style buffer trees).
+
+The paper's Section 3.5 notes that the multiple-fanout points created by
+DAG covering "can be directly sped up with the buffering techniques
+proposed in the literature", and Section 5 uses buffering as one of the
+justifications for optimising under the load-independent model.  This
+module provides that post-pass: every signal whose fanout exceeds a bound
+is driven through a balanced tree of buffers, which bounds the load seen
+by any single driver under the genlib linear delay model.
+
+The buffer cell is taken from the library when present; otherwise a pair
+of inverters is used.  Primary-output connections keep their original
+driver so PO naming is preserved (a PO presents no gate-input load in our
+model).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.netlist import MappedGate, MappedNetlist
+from repro.errors import LibraryError
+from repro.library.gate import Gate, GateLibrary
+
+__all__ = ["buffer_fanout", "best_buffering", "BufferingReport"]
+
+
+class BufferingReport:
+    """What :func:`buffer_fanout` did to a netlist."""
+
+    def __init__(self, netlist: MappedNetlist, buffers_added: int,
+                 signals_buffered: int, max_fanout: int):
+        self.netlist = netlist
+        self.buffers_added = buffers_added
+        self.signals_buffered = signals_buffered
+        self.max_fanout = max_fanout
+
+    def __repr__(self) -> str:
+        return (
+            f"BufferingReport(buffers={self.buffers_added}, "
+            f"signals={self.signals_buffered}, max_fanout={self.max_fanout})"
+        )
+
+
+def _buffer_cells(library: GateLibrary) -> List[Gate]:
+    """The cell chain implementing one buffer stage.
+
+    Prefers a real buffer gate; falls back to two inverters (still a
+    buffer, at two levels).
+    """
+    buffers = [g for g in library.gates if g.is_buffer()]
+    if buffers:
+        return [min(buffers, key=lambda g: g.area)]
+    inverters = [g for g in library.gates if g.is_inverter()]
+    if not inverters:
+        raise LibraryError(
+            f"library {library.name!r} has neither a buffer nor an inverter"
+        )
+    inv = min(inverters, key=lambda g: g.area)
+    return [inv, inv]
+
+
+def buffer_fanout(
+    netlist: MappedNetlist,
+    library: GateLibrary,
+    max_fanout: int = 4,
+    slack_aware: bool = True,
+) -> BufferingReport:
+    """Rebuild ``netlist`` so no signal drives more than ``max_fanout``
+    gate inputs, inserting buffer trees where needed.
+
+    With ``slack_aware`` (the default, Touati's principle) the most
+    critical sinks of an oversized signal stay directly connected — they
+    see the reduced load but no buffer in their path — while off-critical
+    sinks are pushed behind buffers.  This is how buffering "speeds up
+    multiple-fanout points" (paper Section 3.5) under a load-dependent
+    model.
+
+    Args:
+        netlist: the mapped circuit (left untouched; a copy is built).
+        library: source of the buffer cell.
+        max_fanout: gate-input fanout bound per signal (>= 2).
+        slack_aware: order sinks by timing criticality before grouping.
+
+    Returns:
+        A :class:`BufferingReport` whose ``netlist`` is functionally
+        equivalent to the input (buffers are identities) and respects the
+        fanout bound on every gate-driving signal.
+    """
+    if max_fanout < 2:
+        raise ValueError("max_fanout must be at least 2")
+    chain = _buffer_cells(library)
+
+    # Sinks per signal: (gate index, pin position) pairs.
+    sinks: Dict[str, List[Tuple[int, int]]] = {}
+    for gate_idx, gate in enumerate(netlist.gates):
+        for pin_idx, signal in enumerate(gate.inputs):
+            sinks.setdefault(signal, []).append((gate_idx, pin_idx))
+
+    if slack_aware:
+        # Per-sink required time from a load-aware STA of the input
+        # netlist: sinks with the smallest required time are the most
+        # critical and must stay in front of the tree.
+        from repro.timing.delay_model import LoadDependentModel
+        from repro.timing.sta import analyze
+
+        report = analyze(netlist, model=LoadDependentModel())
+
+        def sink_required(sink: Tuple[int, int]) -> float:
+            gate = netlist.gates[sink[0]]
+            pin = gate.gate.pins[sink[1]]
+            req = report.required.get(gate.output, float("inf"))
+            return req - pin.block_delay
+
+        for group in sinks.values():
+            group.sort(key=sink_required)
+
+    out = MappedNetlist(f"{netlist.name}_buffered")
+    for pi in netlist.pis:
+        out.add_pi(pi)
+
+    buffers_added = 0
+    signals_buffered = 0
+    fresh = iter(range(10 ** 9))
+
+    # For signals needing trees, map each sink to its buffered source.
+    rewire: Dict[Tuple[int, int], str] = {}
+
+    def emit_buffer(source: str) -> str:
+        nonlocal buffers_added
+        signal = source
+        for cell in chain:
+            name = f"buf{next(fresh)}"
+            out.add_gate(cell, [signal], name)
+            signal = name
+        buffers_added += 1
+        return signal
+
+    def build_tree(source: str, group: List[Tuple[int, int]]) -> None:
+        """Assign each sink in ``group`` a driver at most max_fanout wide.
+
+        Groups are assumed ordered most-critical first; the head of the
+        group stays directly on ``source`` and the tail goes behind
+        buffers.
+        """
+        if len(group) <= max_fanout:
+            for sink in group:
+                rewire[sink] = source
+            return
+        rest_len = len(group) - 1  # at least one direct slot is kept
+        n_buffers = min(
+            max_fanout - 1, (rest_len + max_fanout - 1) // max_fanout
+        )
+        n_direct = max_fanout - n_buffers
+        for sink in group[:n_direct]:
+            rewire[sink] = source
+        rest = group[n_direct:]
+        size = (len(rest) + n_buffers - 1) // n_buffers
+        for start in range(0, len(rest), size):
+            sub = rest[start:start + size]
+            buffered = emit_buffer(source)
+            build_tree(buffered, sub)
+
+    # Buffers must exist before the gates that read them, so instantiate
+    # original gates in topological order, emitting each signal's buffer
+    # tree right after its driver.
+    gate_order = netlist.topological_gates()
+    gate_index = {id(g): i for i, g in enumerate(netlist.gates)}
+
+    # First pass: decide trees for oversized signals driven by PIs (their
+    # buffers can be emitted immediately).
+    emitted_for: Dict[str, bool] = {}
+
+    def ensure_tree(signal: str) -> None:
+        if emitted_for.get(signal):
+            return
+        emitted_for[signal] = True
+        group = sinks.get(signal, [])
+        if len(group) > max_fanout:
+            nonlocal signals_buffered
+            signals_buffered += 1
+            build_tree(signal, group)
+
+    for pi in netlist.pis:
+        ensure_tree(pi)
+    for gate in gate_order:
+        idx = gate_index[id(gate)]
+        inputs = [
+            rewire.get((idx, pin_idx), signal)
+            for pin_idx, signal in enumerate(gate.inputs)
+        ]
+        out.add_gate(gate.gate, inputs, gate.output, instance=gate.instance)
+        ensure_tree(gate.output)
+
+    for name, signal in netlist.pos:
+        out.add_po(name, signal)
+    out.check()
+    return BufferingReport(out, buffers_added, signals_buffered, max_fanout)
+
+
+def best_buffering(
+    netlist: MappedNetlist,
+    library: GateLibrary,
+    bounds: Tuple[int, ...] = (3, 4, 6, 8),
+) -> BufferingReport:
+    """Sweep fanout bounds and keep the fastest loaded-delay result.
+
+    Includes the unbuffered netlist as a candidate, so the result never
+    has a worse load-model delay than the input (the right bound depends
+    on how the library's block delays compare with its load
+    coefficients, which this sweep discovers empirically).
+    """
+    from repro.timing.delay_model import LoadDependentModel
+    from repro.timing.sta import analyze
+
+    model = LoadDependentModel()
+    best = BufferingReport(netlist, 0, 0, 0)
+    best_delay = analyze(netlist, model=model).delay
+    for bound in bounds:
+        candidate = buffer_fanout(netlist, library, max_fanout=bound)
+        delay = analyze(candidate.netlist, model=model).delay
+        if delay < best_delay - 1e-9:
+            best_delay = delay
+            best = candidate
+    return best

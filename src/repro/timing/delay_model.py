@@ -1,0 +1,54 @@
+"""Delay models for mapped netlists.
+
+The paper's optimisation model is the *intrinsic* (load-independent)
+model: a fixed pin-to-pin delay per gate input, loading ignored
+(Section 5; footnote 4 zeroes lib2's load coefficients).  The
+load-dependent linear model (genlib's ``block + fanout * load`` form) is
+provided for *reporting only*, so experiments can quantify how good the
+load-independent approximation is — one of the paper's justifications.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.library.gate import Gate, Pin
+
+__all__ = [
+    "DelayModel",
+    "LoadIndependentModel",
+    "LoadDependentModel",
+    "UnitDelayModel",
+]
+
+
+class DelayModel:
+    """Strategy interface: pin-to-pin delay of a gate instance."""
+
+    def pin_delay(self, gate: Gate, pin: Pin, output_load: float) -> float:
+        raise NotImplementedError
+
+    def load_of(self, gate: Gate, pin: Pin) -> float:
+        """Input capacitance this pin presents to its driver."""
+        return pin.input_load
+
+
+class LoadIndependentModel(DelayModel):
+    """The paper's model: intrinsic block delay only."""
+
+    def pin_delay(self, gate: Gate, pin: Pin, output_load: float) -> float:
+        return pin.block_delay
+
+
+class LoadDependentModel(DelayModel):
+    """genlib linear model: ``block + fanout_coefficient * load``."""
+
+    def pin_delay(self, gate: Gate, pin: Pin, output_load: float) -> float:
+        return pin.block_delay + pin.fanout_delay * output_load
+
+
+class UnitDelayModel(DelayModel):
+    """Every gate costs one unit (FlowMap's LUT model, for comparisons)."""
+
+    def pin_delay(self, gate: Gate, pin: Pin, output_load: float) -> float:
+        return 1.0

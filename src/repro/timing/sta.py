@@ -1,0 +1,136 @@
+"""Static timing analysis on mapped netlists.
+
+Computes arrival times, required times, slacks and the critical path of a
+:class:`repro.core.netlist.MappedNetlist` under a pluggable delay model
+(default: the paper's load-independent model).  The mappers assert that
+the labeling's optimal arrival equals the STA delay of the cover they
+build — the end-to-end sanity check of the dynamic program.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.netlist import MappedGate, MappedNetlist
+from repro.errors import TimingError
+from repro.timing.delay_model import DelayModel, LoadIndependentModel
+
+__all__ = ["TimingReport", "analyze"]
+
+
+@dataclass
+class TimingReport:
+    """Arrival/required/slack data for one netlist under one model."""
+
+    netlist: MappedNetlist
+    arrivals: Dict[str, float]
+    po_arrivals: Dict[str, float]
+    delay: float
+    required: Dict[str, float]
+    slacks: Dict[str, float]
+    critical_path: List[str]
+
+    def slack_of(self, signal: str) -> float:
+        return self.slacks.get(signal, math.inf)
+
+    def worst_po(self) -> Optional[str]:
+        if not self.po_arrivals:
+            return None
+        return max(self.po_arrivals, key=lambda name: self.po_arrivals[name])
+
+
+def analyze(
+    netlist: MappedNetlist,
+    model: Optional[DelayModel] = None,
+    arrival_times: Optional[Dict[str, float]] = None,
+    required_time: Optional[float] = None,
+) -> TimingReport:
+    """Run STA on a mapped netlist.
+
+    Args:
+        netlist: the circuit to analyse.
+        model: delay model (default load-independent, as in the paper).
+        arrival_times: PI arrival times (default 0.0).
+        required_time: required time at every PO (default: the computed
+            delay, so the critical path has zero slack).
+    """
+    model = model or LoadIndependentModel()
+    arrival_times = arrival_times or {}
+
+    # Output load per signal (sum of sink pin loads), for load-aware models.
+    loads: Dict[str, float] = {}
+    for gate in netlist.gates:
+        for sig, pin in zip(gate.inputs, gate.gate.pins):
+            loads[sig] = loads.get(sig, 0.0) + model.load_of(gate.gate, pin)
+
+    arrivals: Dict[str, float] = {}
+    worst_input: Dict[str, Tuple[str, float]] = {}
+    for pi in netlist.pis:
+        arrivals[pi] = float(arrival_times.get(pi, 0.0))
+
+    order = netlist.topological_gates()
+    for gate in order:
+        best = -math.inf
+        best_sig = ""
+        out_load = loads.get(gate.output, 0.0)
+        for sig, pin in zip(gate.inputs, gate.gate.pins):
+            if sig not in arrivals:
+                raise TimingError(f"signal {sig!r} has no arrival time")
+            t = arrivals[sig] + model.pin_delay(gate.gate, pin, out_load)
+            if t > best:
+                best = t
+                best_sig = sig
+        if not gate.inputs:
+            best = 0.0
+        arrivals[gate.output] = best
+        worst_input[gate.output] = (best_sig, best)
+
+    po_arrivals: Dict[str, float] = {}
+    for name, signal in netlist.pos:
+        if signal not in arrivals:
+            raise TimingError(f"PO {name!r} reads signal with no arrival")
+        po_arrivals[name] = arrivals[signal]
+    delay = max(po_arrivals.values(), default=0.0)
+    if required_time is None:
+        required_time = delay
+
+    # Required times, backward pass.
+    required: Dict[str, float] = {}
+    for _, signal in netlist.pos:
+        required[signal] = min(required.get(signal, math.inf), required_time)
+    for gate in reversed(order):
+        req_out = required.get(gate.output, math.inf)
+        out_load = loads.get(gate.output, 0.0)
+        for sig, pin in zip(gate.inputs, gate.gate.pins):
+            budget = req_out - model.pin_delay(gate.gate, pin, out_load)
+            if budget < required.get(sig, math.inf):
+                required[sig] = budget
+
+    slacks = {
+        sig: required.get(sig, math.inf) - arr for sig, arr in arrivals.items()
+    }
+
+    # Critical path: walk back from the worst PO through worst inputs.
+    path: List[str] = []
+    worst = max(po_arrivals, key=lambda n: po_arrivals[n], default=None)
+    if worst is not None:
+        signal = dict(netlist.pos)[worst]
+        while True:
+            path.append(signal)
+            entry = worst_input.get(signal)
+            if entry is None or not entry[0]:
+                break
+            signal = entry[0]
+        path.reverse()
+
+    return TimingReport(
+        netlist=netlist,
+        arrivals=arrivals,
+        po_arrivals=po_arrivals,
+        delay=delay,
+        required=required,
+        slacks=slacks,
+        critical_path=path,
+    )

@@ -1,0 +1,73 @@
+"""Tests for area recovery under a delay budget (repro.core.area_recovery)."""
+
+import pytest
+
+from repro.bench import circuits
+from repro.core.area_recovery import recover_area
+from repro.core.dag_mapper import map_dag
+from repro.core.labeling import compute_labels
+from repro.core.match import MatchKind
+from repro.errors import MappingError
+from repro.library.builtin import lib2_like
+from repro.library.patterns import PatternSet
+from repro.network.decompose import decompose_network
+from repro.network.simulate import check_equivalent
+from repro.timing.sta import analyze
+
+_EPS = 1e-6
+
+
+@pytest.fixture(scope="module")
+def patterns():
+    return PatternSet(lib2_like(), max_variants=8)
+
+
+FACTORIES = {
+    "cla8": lambda: circuits.carry_lookahead_adder(8),
+    "alu4": lambda: circuits.alu(4),
+    "mult4": lambda: circuits.array_multiplier(4),
+}
+
+
+class TestRecovery:
+    @pytest.mark.parametrize("name", list(FACTORIES))
+    def test_delay_preserved_area_reduced(self, name, patterns):
+        net = FACTORIES[name]()
+        subject = decompose_network(net)
+        dag = map_dag(subject, patterns)
+        recovered = recover_area(dag.labels, patterns)
+        report = analyze(recovered)
+        assert report.delay <= dag.delay + _EPS
+        assert recovered.area() <= dag.area + _EPS
+        check_equivalent(net, recovered)
+
+    def test_slack_buys_area(self, patterns):
+        net = circuits.carry_lookahead_adder(8)
+        subject = decompose_network(net)
+        dag = map_dag(subject, patterns)
+        at_opt = recover_area(dag.labels, patterns)
+        with_slack = recover_area(dag.labels, patterns, target=dag.delay * 1.25)
+        report = analyze(with_slack)
+        assert report.delay <= dag.delay * 1.25 + _EPS
+        assert with_slack.area() <= at_opt.area() + _EPS
+        check_equivalent(net, with_slack)
+
+    def test_target_below_optimum_rejected(self, patterns):
+        subject = decompose_network(circuits.c17())
+        dag = map_dag(subject, patterns)
+        with pytest.raises(MappingError):
+            recover_area(dag.labels, patterns, target=dag.delay * 0.5)
+
+    def test_requires_delay_labels(self, patterns):
+        subject = decompose_network(circuits.c17())
+        labels = compute_labels(
+            subject, patterns, MatchKind.EXACT, objective="area"
+        )
+        with pytest.raises(MappingError):
+            recover_area(labels, patterns)
+
+    def test_custom_name(self, patterns):
+        subject = decompose_network(circuits.c17())
+        dag = map_dag(subject, patterns)
+        recovered = recover_area(dag.labels, patterns, name="custom")
+        assert recovered.name == "custom"

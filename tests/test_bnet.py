@@ -1,0 +1,192 @@
+"""Tests for the Boolean network data structure (repro.network.bnet)."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.network.bnet import BooleanNetwork, Latch
+from repro.network.functions import TruthTable
+
+
+def full_adder() -> BooleanNetwork:
+    net = BooleanNetwork("fa")
+    for pin in ("a", "b", "cin"):
+        net.add_pi(pin)
+    net.add_node("s", "a^b^cin")
+    net.add_node("cout", "a*b + cin*(a^b)")
+    net.add_po("s")
+    net.add_po("cout")
+    return net
+
+
+class TestConstruction:
+    def test_basic(self):
+        net = full_adder()
+        net.check()
+        assert net.stats() == {
+            "pis": 3, "pos": 2, "latches": 0, "nodes": 2, "depth": 1,
+        }
+
+    def test_duplicate_pi(self):
+        net = BooleanNetwork()
+        net.add_pi("a")
+        with pytest.raises(NetworkError):
+            net.add_pi("a")
+
+    def test_duplicate_node_name(self):
+        net = BooleanNetwork()
+        net.add_pi("a")
+        net.add_node("x", "!a")
+        with pytest.raises(NetworkError):
+            net.add_node("x", "a")
+
+    def test_node_shadowing_pi(self):
+        net = BooleanNetwork()
+        net.add_pi("a")
+        with pytest.raises(NetworkError):
+            net.add_node("a", "!a")
+
+    def test_tt_requires_fanins(self):
+        net = BooleanNetwork()
+        with pytest.raises(NetworkError):
+            net.add_node("x", TruthTable.const1(0))
+
+    def test_tt_arity_mismatch(self):
+        net = BooleanNetwork()
+        net.add_pi("a")
+        with pytest.raises(NetworkError):
+            net.add_node("x", TruthTable(2, 0b0111), ["a"])
+
+    def test_duplicate_fanins_rejected(self):
+        net = BooleanNetwork()
+        net.add_pi("a")
+        with pytest.raises(NetworkError):
+            net.add_node("x", TruthTable(2, 0b0111), ["a", "a"])
+
+    def test_explicit_fanin_order(self):
+        net = BooleanNetwork()
+        net.add_pi("a")
+        net.add_pi("b")
+        net.add_node("x", "a*!b", ["b", "a"])
+        node = net.node("x")
+        assert node.fanins == ("b", "a")
+        # b=0, a=1 -> x=1; assignment bit0 = b, bit1 = a.
+        assert node.tt.evaluate(0b10) == 1
+
+    def test_remove_node(self):
+        net = BooleanNetwork()
+        net.add_pi("a")
+        net.add_node("x", "!a")
+        net.add_node("y", "!x")
+        net.add_po("y")
+        with pytest.raises(NetworkError):
+            net.remove_node("x")  # used by y
+        with pytest.raises(NetworkError):
+            net.remove_node("y")  # drives a PO
+        net2 = BooleanNetwork()
+        net2.add_pi("a")
+        net2.add_node("dead", "!a")
+        net2.remove_node("dead")
+        assert net2.n_nodes == 0
+
+
+class TestTopology:
+    def test_topological_order(self):
+        net = full_adder()
+        order = [n.name for n in net.topological_order()]
+        assert set(order) == {"s", "cout"}
+
+    def test_cycle_detection(self):
+        net = BooleanNetwork()
+        net.add_pi("a")
+        net.add_node("x", TruthTable(2, 0b0111), ["a", "y"])
+        net.add_node("y", TruthTable(1, 0b01), ["x"])
+        with pytest.raises(NetworkError):
+            net.topological_order()
+
+    def test_dangling_reference(self):
+        net = BooleanNetwork()
+        net.add_pi("a")
+        net.add_node("x", TruthTable(2, 0b1000), ["a", "ghost"])
+        with pytest.raises(NetworkError):
+            net.check()
+
+    def test_undefined_po(self):
+        net = BooleanNetwork()
+        net.add_pi("a")
+        net.add_po("ghost")
+        with pytest.raises(NetworkError):
+            net.check()
+
+    def test_depth(self):
+        net = BooleanNetwork()
+        net.add_pi("a")
+        net.add_node("x1", "!a")
+        net.add_node("x2", "!x1")
+        net.add_node("x3", "!x2")
+        net.add_po("x3")
+        assert net.depth() == 3
+
+    def test_fanout_map(self):
+        net = full_adder()
+        fanouts = net.fanout_map()
+        assert set(fanouts["a"]) == {"s", "cout"}
+
+
+class TestLatches:
+    def test_latch_roundtrip(self):
+        net = BooleanNetwork("seq")
+        net.add_pi("d")
+        net.add_latch("nxt", "q", init=1)
+        net.add_node("nxt", "d^q")
+        net.add_po("q")
+        net.check()
+        assert not net.is_combinational()
+        assert net.combinational_inputs() == ["d", "q"]
+        assert set(net.combinational_outputs()) == {"q", "nxt"}
+        assert net.is_latch_output("q")
+
+    def test_latch_output_name_clash(self):
+        net = BooleanNetwork()
+        net.add_pi("a")
+        with pytest.raises(NetworkError):
+            net.add_latch("x", "a")
+
+    def test_bad_init(self):
+        with pytest.raises(NetworkError):
+            Latch("a", "b", init=7)
+
+
+class TestSimulation:
+    def test_full_adder_exhaustive(self):
+        net = full_adder()
+        for m in range(8):
+            bits = {"a": m & 1, "b": (m >> 1) & 1, "cin": (m >> 2) & 1}
+            values = net.simulate(bits, 1)
+            total = bits["a"] + bits["b"] + bits["cin"]
+            assert values["s"] == total & 1
+            assert values["cout"] == total >> 1
+
+    def test_word_parallel(self):
+        net = full_adder()
+        mask = 0xFF
+        values = net.simulate({"a": 0xF0, "b": 0xCC, "cin": 0xAA}, mask)
+        assert values["s"] == (0xF0 ^ 0xCC ^ 0xAA) & mask
+
+    def test_missing_input(self):
+        net = full_adder()
+        with pytest.raises(NetworkError):
+            net.simulate({"a": 1, "b": 0}, 1)
+
+
+class TestCopy:
+    def test_copy_independent(self):
+        net = full_adder()
+        clone = net.copy("fa2")
+        clone.add_node("extra", "!a")
+        assert net.n_nodes == 2
+        assert clone.n_nodes == 3
+        assert clone.name == "fa2"
+        assert [n.name for n in net.topological_order()] is not None
+
+    def test_repr(self):
+        assert "fa" in repr(full_adder())

@@ -1,0 +1,124 @@
+"""Tests for fanout buffering (repro.timing.buffering)."""
+
+import pytest
+
+from repro.bench import circuits
+from repro.core.dag_mapper import map_dag
+from repro.errors import LibraryError
+from repro.library.builtin import lib2_like, unit_nand_library
+from repro.library.gate import GateLibrary, make_gate
+from repro.network.decompose import decompose_network
+from repro.network.simulate import check_equivalent
+from repro.timing.buffering import buffer_fanout
+from repro.timing.delay_model import LoadDependentModel
+from repro.timing.sta import analyze
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return lib2_like()
+
+
+def gate_fanout_counts(netlist):
+    counts = {}
+    for gate in netlist.gates:
+        for signal in gate.inputs:
+            counts[signal] = counts.get(signal, 0) + 1
+    return counts
+
+
+class TestStructure:
+    @pytest.mark.parametrize("max_fanout", [2, 3, 4])
+    def test_fanout_bound_respected(self, lib, max_fanout):
+        net = circuits.decoder(5)
+        dag = map_dag(decompose_network(net), lib)
+        report = buffer_fanout(dag.netlist, lib, max_fanout=max_fanout)
+        counts = gate_fanout_counts(report.netlist)
+        assert max(counts.values()) <= max_fanout
+
+    def test_equivalence_preserved(self, lib):
+        net = circuits.carry_lookahead_adder(10)
+        dag = map_dag(decompose_network(net), lib)
+        report = buffer_fanout(dag.netlist, lib, max_fanout=3)
+        check_equivalent(net, report.netlist)
+
+    def test_noop_when_under_bound(self, lib):
+        net = circuits.c17()
+        dag = map_dag(decompose_network(net), lib)
+        report = buffer_fanout(dag.netlist, lib, max_fanout=8)
+        assert report.buffers_added == 0
+        assert report.netlist.gate_count() == dag.netlist.gate_count()
+
+    def test_report_fields(self, lib):
+        net = circuits.decoder(4)
+        dag = map_dag(decompose_network(net), lib)
+        report = buffer_fanout(dag.netlist, lib, max_fanout=3)
+        assert report.signals_buffered > 0
+        assert report.buffers_added >= report.signals_buffered
+        assert "BufferingReport" in repr(report)
+
+    def test_bad_bound(self, lib):
+        net = circuits.c17()
+        dag = map_dag(decompose_network(net), lib)
+        with pytest.raises(ValueError):
+            buffer_fanout(dag.netlist, lib, max_fanout=1)
+
+    def test_inverter_pair_fallback(self):
+        """A library without a buffer uses two inverters per stage."""
+        lib = unit_nand_library()  # inv + nand2, no buffer
+        net = circuits.decoder(4)
+        dag = map_dag(decompose_network(net), lib)
+        report = buffer_fanout(dag.netlist, lib, max_fanout=3)
+        check_equivalent(net, report.netlist)
+        counts = gate_fanout_counts(report.netlist)
+        assert max(counts.values()) <= 3
+
+    def test_no_inverter_no_buffer(self):
+        lib = GateLibrary([make_gate("nand2", 1.0, "O=!(a*b)")])
+        netlist_lib = unit_nand_library()
+        net = circuits.decoder(3)
+        dag = map_dag(decompose_network(net), netlist_lib)
+        with pytest.raises(LibraryError):
+            buffer_fanout(dag.netlist, lib, max_fanout=2)
+
+
+class TestTiming:
+    def test_slack_aware_helps_on_fanout_heavy_datapath(self, lib):
+        """The Section 3.5 claim: buffering speeds up the fanout points
+        under the load model (on a load-sensitive workload)."""
+        net = circuits.adder_comparator_mix(12)
+        dag = map_dag(decompose_network(net), lib)
+        model = LoadDependentModel()
+        before = analyze(dag.netlist, model=model).delay
+        report = buffer_fanout(dag.netlist, lib, max_fanout=3)
+        after = analyze(report.netlist, model=model).delay
+        assert after < before
+        # The intrinsic (load-free) delay can only grow with buffers, so
+        # the win comes entirely from reduced loading.
+        assert analyze(report.netlist).delay >= analyze(dag.netlist).delay
+
+    def test_best_buffering_never_worse(self, lib):
+        from repro.timing.buffering import best_buffering
+
+        model = LoadDependentModel()
+        for factory in (
+            lambda: circuits.decoder(5),
+            lambda: circuits.sec_corrector(12),
+            lambda: circuits.adder_comparator_mix(10),
+        ):
+            net = factory()
+            dag = map_dag(decompose_network(net), lib)
+            before = analyze(dag.netlist, model=model).delay
+            report = best_buffering(dag.netlist, lib)
+            after = analyze(report.netlist, model=model).delay
+            assert after <= before + 1e-9
+
+    def test_structural_mode_still_bounds(self, lib):
+        net = circuits.decoder(5)
+        dag = map_dag(decompose_network(net), lib)
+        report = buffer_fanout(
+            dag.netlist, lib, max_fanout=4, slack_aware=False
+        )
+        counts = gate_fanout_counts(report.netlist)
+        assert max(counts.values()) <= 4
+        check_equivalent(net, report.netlist)

@@ -1,0 +1,95 @@
+"""Tests for the built-in replica libraries (repro.library.builtin)."""
+
+import pytest
+
+from repro.library.builtin import (
+    lib2_like,
+    lib44_1,
+    lib44_3,
+    mini_library,
+    unit_nand_library,
+)
+from repro.network.expr import parse_expr
+
+
+class TestBasics:
+    @pytest.mark.parametrize(
+        "factory", [mini_library, unit_nand_library, lib2_like, lib44_1, lib44_3]
+    )
+    def test_complete_for_mapping(self, factory):
+        library = factory()
+        library.check_complete()  # INV and NAND2 present
+
+    def test_unit_nand(self):
+        lib = unit_nand_library()
+        assert len(lib) == 2
+        assert lib.inverter().pin("a").block_delay == 1.0
+
+    def test_lib44_1_has_seven_gates(self):
+        assert len(lib44_1()) == 7  # the paper: "only contains 7 gates"
+
+    def test_lib2_like_families(self):
+        lib = lib2_like()
+        names = {g.name for g in lib}
+        for expected in ("inv1", "nand2", "nand4", "nor2", "aoi21",
+                         "oai22", "xor2", "mux21"):
+            assert expected in names
+        assert 20 <= len(lib) <= 40  # lib2 is a ~27-gate library
+
+
+class Test443:
+    def test_size_and_width(self):
+        lib = lib44_3()
+        # "many of which are complex gates with many inputs"
+        assert len(lib) >= 200
+        # footnote 5: "The largest gate has 16 inputs."
+        assert lib.max_inputs() == 16
+
+    def test_superset_of_44_1_functions(self):
+        """The paper: 44-3 is a strict superset of 44-1 (as functions)."""
+        rich = lib44_3()
+        rich_funcs = {(g.n_inputs, g.tt.bits) for g in rich}
+        for gate in lib44_1():
+            key = (gate.n_inputs, gate.tt.bits)
+            assert key in rich_funcs, f"44-1 gate {gate.name} missing from 44-3"
+
+    def test_all_functions_distinct(self):
+        lib = lib44_3()
+        seen = set()
+        for gate in lib:
+            key = (gate.n_inputs, gate.tt.bits)
+            assert key not in seen, f"duplicate function for {gate.name}"
+            seen.add(key)
+
+    def test_gate_functions_match_names(self):
+        lib = lib44_3()
+        aoi22 = lib.gate("aoi22")
+        expected = parse_expr("!(a*b + c*d)").to_tt(["a", "b", "c", "d"])
+        assert aoi22.tt == expected
+
+    def test_complex_gates_beat_composition(self):
+        """A complex gate must be faster than composing smaller gates,
+        otherwise rich libraries would be pointless (Table 3's premise)."""
+        lib = lib44_3()
+        nand2_d = lib.gate("aoi2").max_pin_delay()  # aoi2 == NAND2
+        inv_d = lib.gate("inv").max_pin_delay()
+        aoi22 = lib.gate("aoi22").max_pin_delay()
+        # Composition: NAND2 -> INV -> NOR2-ish, at least 2 levels.
+        assert aoi22 < 2 * nand2_d + inv_d
+
+    def test_depth_grows_with_size(self):
+        lib = lib44_3()
+        assert (
+            lib.gate("aoi4444").max_pin_delay()
+            > lib.gate("aoi22").max_pin_delay()
+        )
+
+    def test_no_constant_or_buffer_gates(self):
+        for gate in lib44_3():
+            assert not gate.is_constant()
+            assert not gate.is_buffer()
+
+    def test_custom_bounds(self):
+        small = lib44_3(max_groups=2, max_group_size=2)
+        assert small.max_inputs() == 4
+        assert len(small) < len(lib44_3())

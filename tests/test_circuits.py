@@ -1,0 +1,156 @@
+"""Functional verification of the benchmark generators against their
+arithmetic reference models (repro.bench.circuits / reference)."""
+
+import random
+
+import pytest
+
+from repro.bench import circuits, reference
+from repro.network.simulate import simulate_outputs
+
+_VECTORS = 80
+
+
+def assert_matches_reference(net, ref, seed=0, vectors=_VECTORS):
+    rng = random.Random(seed)
+    ins = net.combinational_inputs()
+    for _ in range(vectors):
+        assignment = {s: rng.getrandbits(1) for s in ins}
+        got = simulate_outputs(net, assignment, 1)
+        want = ref(assignment)
+        for name, value in want.items():
+            assert got[name] == value, (name, assignment)
+
+
+CASES = [
+    ("c17", circuits.c17, reference.c17_ref),
+    ("rca6", lambda: circuits.ripple_adder(6), lambda: reference.ripple_adder_ref(6)),
+    ("cla9", lambda: circuits.carry_lookahead_adder(9),
+     lambda: reference.ripple_adder_ref(9)),
+    ("cla8g3", lambda: circuits.carry_lookahead_adder(8, group=3),
+     lambda: reference.ripple_adder_ref(8)),
+    ("csel9", lambda: circuits.carry_select_adder(9),
+     lambda: reference.ripple_adder_ref(9)),
+    ("mult5", lambda: circuits.array_multiplier(5),
+     lambda: reference.multiplier_ref(5)),
+    ("mult3x6", lambda: circuits.array_multiplier(3, 6),
+     lambda: reference.multiplier_ref(3, 6)),
+    ("mult1", lambda: circuits.array_multiplier(1),
+     lambda: reference.multiplier_ref(1)),
+    ("alu5", lambda: circuits.alu(5), lambda: reference.alu_ref(5)),
+    ("par13", lambda: circuits.parity_tree(13), lambda: reference.parity_ref(13)),
+    ("par1", lambda: circuits.parity_tree(1), lambda: reference.parity_ref(1)),
+    ("sec11", lambda: circuits.sec_corrector(11), lambda: reference.sec_ref(11)),
+    ("pint11", lambda: circuits.priority_interrupt(11),
+     lambda: reference.priority_interrupt_ref(11)),
+    ("cmp7", lambda: circuits.comparator(7), lambda: reference.comparator_ref(7)),
+    ("mux4", lambda: circuits.mux_tree(4), lambda: reference.mux_tree_ref(4)),
+    ("dec4", lambda: circuits.decoder(4), lambda: reference.decoder_ref(4)),
+    ("acm7", lambda: circuits.adder_comparator_mix(7),
+     lambda: reference.adder_comparator_mix_ref(7)),
+]
+
+
+@pytest.mark.parametrize("name,factory,ref_factory", CASES, ids=[c[0] for c in CASES])
+def test_generator_matches_reference(name, factory, ref_factory):
+    assert_matches_reference(factory(), ref_factory())
+
+
+class TestTargetedVectors:
+    def test_multiplier_corners(self):
+        net = circuits.array_multiplier(4)
+        ref = reference.multiplier_ref(4)
+        for a, b in [(0, 0), (15, 15), (1, 15), (8, 8), (15, 1)]:
+            assignment = {}
+            for i in range(4):
+                assignment[f"a{i}"] = (a >> i) & 1
+                assignment[f"b{i}"] = (b >> i) & 1
+            got = simulate_outputs(net, assignment, 1)
+            want = ref(assignment)
+            product = sum(got[f"p{i}"] << i for i in range(8))
+            assert product == a * b
+            assert got == {**got, **want}
+
+    def test_sec_corrects_single_errors(self):
+        data_bits = 8
+        net = circuits.sec_corrector(data_bits)
+        r, positions = circuits.hamming_layout(data_bits)
+        rng = random.Random(5)
+        for _ in range(20):
+            data = [rng.getrandbits(1) for _ in range(data_bits)]
+            # Compute consistent check bits, then flip one data bit.
+            checks = []
+            for j in range(r):
+                bit = 0
+                for i, pos in enumerate(positions):
+                    if (pos >> j) & 1:
+                        bit ^= data[i]
+                checks.append(bit)
+            flip = rng.randrange(data_bits)
+            received = list(data)
+            received[flip] ^= 1
+            assignment = {f"d{i}": received[i] for i in range(data_bits)}
+            assignment.update({f"c{j}": checks[j] for j in range(r)})
+            got = simulate_outputs(net, assignment, 1)
+            corrected = [got[f"o{i}"] for i in range(data_bits)]
+            assert corrected == data  # the decoder repaired the flip
+
+    def test_alu_opcodes(self):
+        net = circuits.alu(4)
+        for s1, s0, a, b, cin, expect in [
+            (0, 0, 5, 6, 0, (5 + 6) & 0xF),
+            (0, 1, 9, 3, 1, (9 - 3) & 0xF),
+            (1, 0, 0b1100, 0b1010, 0, 0b1000),
+            (1, 1, 0b1100, 0b1010, 0, 0b1110),
+        ]:
+            assignment = {"s0": s0, "s1": s1, "cin": cin}
+            for i in range(4):
+                assignment[f"a{i}"] = (a >> i) & 1
+                assignment[f"b{i}"] = (b >> i) & 1
+            got = simulate_outputs(net, assignment, 1)
+            value = sum(got[f"f{i}"] << i for i in range(4))
+            assert value == expect
+
+    def test_priority_order(self):
+        net = circuits.priority_interrupt(5)
+        assignment = {f"r{i}": 1 for i in range(5)}
+        assignment.update({f"m{i}": 0 for i in range(5)})
+        assignment["m4"] = 1  # mask the top channel
+        got = simulate_outputs(net, assignment, 1)
+        index = got["v0"] + (got["v1"] << 1) + (got["v2"] << 2)
+        assert index == 3  # channel 4 masked -> channel 3 wins
+        assert got["any"] == 1
+
+
+class TestRandomLogic:
+    def test_deterministic_by_seed(self):
+        a = circuits.random_logic(6, 30, seed=9)
+        b = circuits.random_logic(6, 30, seed=9)
+        assert [n.name for n in a.nodes()] == [n.name for n in b.nodes()]
+
+    def test_outputs_exist(self):
+        net = circuits.random_logic(6, 30, seed=2, n_outputs=5)
+        net.check()
+        assert len(net.pos) >= 1
+
+
+class TestSequentialGenerators:
+    def test_lfsr_structure(self):
+        net = circuits.lfsr(8)
+        net.check()
+        assert len(net.latches) == 8
+
+    def test_accumulator_structure(self):
+        net = circuits.accumulator(5)
+        net.check()
+        assert len(net.latches) == 5
+
+    def test_register_boundaries_requires_combinational(self):
+        with pytest.raises(ValueError):
+            circuits.register_boundaries(circuits.lfsr(4))
+
+    def test_register_boundaries_stage_count(self):
+        base = circuits.ripple_adder(3)
+        wrapped = circuits.register_boundaries(base, output_stages=2)
+        # input registers (7 PIs) + 2 stages x 4 POs.
+        assert len(wrapped.latches) == len(base.pis) + 2 * len(base.pos)

@@ -1,0 +1,167 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import main
+from repro.library.genlib import read_genlib
+from repro.network.blif import read_blif
+
+
+class TestBenchAndLibgen:
+    def test_bench_list(self, capsys):
+        assert main(["bench"]) == 0
+        out = capsys.readouterr().out
+        assert "C6288s" in out
+
+    def test_bench_emit(self, tmp_path, capsys):
+        path = tmp_path / "c.blif"
+        assert main(["bench", "C1908s", "-o", str(path)]) == 0
+        net = read_blif(path)
+        assert net.n_nodes > 0
+
+    def test_bench_stats_only(self, capsys):
+        assert main(["bench", "C1908s"]) == 0
+        assert "nodes" in capsys.readouterr().out
+
+    def test_libgen_stdout(self, capsys):
+        assert main(["libgen", "mini"]) == 0
+        assert "GATE" in capsys.readouterr().out
+
+    def test_libgen_file(self, tmp_path, capsys):
+        path = tmp_path / "l.genlib"
+        assert main(["libgen", "44-1", "-o", str(path)]) == 0
+        lib = read_genlib(path)
+        assert len(lib) == 7
+
+    def test_verify_equivalent(self, tmp_path, capsys):
+        from repro.bench import circuits
+        from repro.network.blif import write_blif
+
+        a = tmp_path / "a.blif"
+        b = tmp_path / "b.blif"
+        write_blif(circuits.ripple_adder(4), a)
+        write_blif(circuits.carry_lookahead_adder(4), b)
+        assert main(["verify", str(a), str(b)]) == 0
+        assert "EQUIVALENT" in capsys.readouterr().out
+
+    def test_verify_different(self, tmp_path, capsys):
+        from repro.network.bnet import BooleanNetwork
+        from repro.network.blif import write_blif
+
+        def two_input(expr):
+            net = BooleanNetwork("t")
+            net.add_pi("a")
+            net.add_pi("b")
+            net.add_node("f", expr)
+            net.add_po("f")
+            return net
+
+        a = tmp_path / "a.blif"
+        b = tmp_path / "b.blif"
+        write_blif(two_input("a*b"), a)
+        write_blif(two_input("a+b"), b)
+        assert main(["verify", str(a), str(b)]) == 1
+        assert "NOT EQUIVALENT" in capsys.readouterr().out
+
+    def test_seqmap(self, tmp_path, capsys):
+        from repro.bench import circuits
+        from repro.network.blif import write_blif
+
+        path = tmp_path / "seq.blif"
+        write_blif(circuits.accumulator(4), path)
+        assert main(["seqmap", str(path), "-l", "mini", "--coupled"]) == 0
+        out = capsys.readouterr().out
+        assert "retimed period" in out
+        assert "coupled period" in out
+
+    def test_seqmap_combinational_note(self, tmp_path, capsys):
+        from repro.bench import circuits
+        from repro.network.blif import write_blif
+
+        path = tmp_path / "comb.blif"
+        write_blif(circuits.c17(), path)
+        assert main(["seqmap", str(path), "-l", "mini"]) == 0
+        assert "no latches" in capsys.readouterr().out
+
+    def test_libstats(self, capsys):
+        assert main(["libstats", "-l", "44-1"]) == 0
+        out = capsys.readouterr().out
+        assert "NPN classes" in out
+        assert "patterns" in out
+
+
+class TestMapping:
+    @pytest.fixture()
+    def blif_path(self, tmp_path):
+        path = tmp_path / "c.blif"
+        main(["bench", "C1908s", "-o", str(path)])
+        return str(path)
+
+    def test_map_dag(self, blif_path, capsys, tmp_path):
+        out = tmp_path / "mapped.blif"
+        code = main([
+            "map", blif_path, "--library", "mini", "--verify",
+            "-o", str(out),
+        ])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "delay" in text and "verified" in text
+        mapped = read_blif(out)
+        assert mapped.n_nodes > 0
+
+    def test_map_gate_format(self, blif_path, capsys, tmp_path):
+        out = tmp_path / "mapped_gate.blif"
+        assert main(["map", blif_path, "--library", "mini",
+                     "--format", "gate", "-o", str(out)]) == 0
+        text = out.read_text()
+        assert ".gate" in text
+
+    def test_map_verilog_format(self, blif_path, capsys, tmp_path):
+        out = tmp_path / "mapped.v"
+        assert main(["map", blif_path, "--library", "mini",
+                     "--format", "verilog", "-o", str(out)]) == 0
+        assert "endmodule" in out.read_text()
+
+    def test_map_tree_mode(self, blif_path, capsys):
+        assert main(["map", blif_path, "--library", "mini",
+                     "--mode", "tree"]) == 0
+        assert "tree" in capsys.readouterr().out
+
+    def test_map_arrivals_and_style(self, blif_path, capsys):
+        assert main(["map", blif_path, "--library", "mini",
+                     "--decompose", "linear", "--arrivals", "d0=5"]) == 0
+        out = capsys.readouterr().out
+        assert "delay" in out
+
+    def test_map_bad_arrivals(self, blif_path):
+        with pytest.raises(SystemExit):
+            main(["map", blif_path, "--library", "mini",
+                  "--arrivals", "nonsense"])
+
+    def test_map_custom_genlib(self, blif_path, tmp_path, capsys):
+        lib_path = tmp_path / "l.genlib"
+        main(["libgen", "mini", "-o", str(lib_path)])
+        capsys.readouterr()
+        assert main(["map", blif_path, "--library", str(lib_path)]) == 0
+
+    def test_flowmap(self, blif_path, capsys):
+        assert main(["flowmap", blif_path, "-k", "5", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "depth" in out and "verified" in out
+
+    def test_flowmap_area_with_output(self, blif_path, capsys, tmp_path):
+        out = tmp_path / "luts.blif"
+        assert main(["flowmap", blif_path, "-k", "4", "--area",
+                     "--slack", "1", "-o", str(out)]) == 0
+        assert ".names" in out.read_text()
+        assert "area" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_bench(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "nope"])

@@ -1,0 +1,154 @@
+"""Tests for cover construction (repro.core.cover) and MappedNetlist."""
+
+import pytest
+
+from repro.bench import circuits
+from repro.core.cover import build_cover, signal_name
+from repro.core.labeling import compute_labels
+from repro.core.match import MatchKind
+from repro.core.netlist import MappedNetlist, mapped_to_network
+from repro.errors import NetworkError
+from repro.library.builtin import mini_library
+from repro.library.gate import make_gate
+from repro.library.patterns import PatternSet
+from repro.network.blif import dumps_blif
+from repro.network.decompose import decompose_network
+from repro.network.simulate import check_equivalent
+
+
+@pytest.fixture(scope="module")
+def mini_patterns():
+    return PatternSet(mini_library(), max_variants=8)
+
+
+class TestBuildCover:
+    def test_every_po_driven(self, mini_patterns):
+        subject = decompose_network(circuits.alu(3))
+        labels = compute_labels(subject, mini_patterns, MatchKind.STANDARD)
+        netlist = build_cover(labels)
+        driven = {g.output for g in netlist.gates} | set(netlist.pis)
+        for _, signal in netlist.pos:
+            assert signal in driven
+
+    def test_po_fed_by_pi_directly(self, mini_patterns):
+        from repro.network.bnet import BooleanNetwork
+
+        net = BooleanNetwork("wire")
+        net.add_pi("a")
+        net.add_node("f", "a", ["a"])  # identity collapses to the PI
+        net.add_po("f")
+        subject = decompose_network(net)
+        labels = compute_labels(subject, mini_patterns, MatchKind.STANDARD)
+        netlist = build_cover(labels)
+        assert netlist.gate_count() == 0
+        assert netlist.pos == [("f", "a")]
+        check_equivalent(net, netlist)
+
+    def test_shared_po_drivers_single_gate(self, mini_patterns):
+        from repro.network.bnet import BooleanNetwork
+
+        net = BooleanNetwork("shared")
+        net.add_pi("a")
+        net.add_pi("b")
+        net.add_node("f", "!(a*b)")
+        net.add_po("f")
+        net.add_po("f")  # same signal twice
+        subject = decompose_network(net)
+        labels = compute_labels(subject, mini_patterns, MatchKind.STANDARD)
+        netlist = build_cover(labels)
+        assert netlist.gate_count() == 1
+        assert len(netlist.pos) == 2
+
+    def test_signal_name(self, mini_patterns):
+        subject = decompose_network(circuits.c17())
+        assert signal_name(subject.pis[0]) == subject.pis[0].name
+        internal = subject.po_drivers()[0]
+        assert signal_name(internal) == f"n{internal.uid}"
+
+
+class TestMappedNetlist:
+    def build_small(self):
+        lib = mini_library()
+        netlist = MappedNetlist("m")
+        netlist.add_pi("a")
+        netlist.add_pi("b")
+        netlist.add_gate(lib.gate("nand2"), ["a", "b"], "x")
+        netlist.add_gate(lib.gate("inv"), ["x"], "y")
+        netlist.add_po("out", "y")
+        return netlist, lib
+
+    def test_area_and_histogram(self):
+        netlist, lib = self.build_small()
+        assert netlist.area() == lib.gate("nand2").area + lib.gate("inv").area
+        assert netlist.gate_histogram() == {"inv": 1, "nand2": 1}
+
+    def test_simulation(self):
+        netlist, _ = self.build_small()
+        out = netlist.simulate({"a": 0b11, "b": 0b01}, 0b11)
+        assert out["out"] == 0b01  # y = a & b
+
+    def test_double_drive_rejected(self):
+        netlist, lib = self.build_small()
+        with pytest.raises(NetworkError):
+            netlist.add_gate(lib.gate("inv"), ["a"], "x")
+
+    def test_duplicate_pi_rejected(self):
+        netlist, _ = self.build_small()
+        with pytest.raises(NetworkError):
+            netlist.add_pi("a")
+
+    def test_wrong_connection_count(self):
+        netlist, lib = self.build_small()
+        with pytest.raises(NetworkError):
+            netlist.add_gate(lib.gate("nand2"), ["a"], "z")
+
+    def test_undriven_signal_detected(self):
+        lib = mini_library()
+        netlist = MappedNetlist("bad")
+        netlist.add_pi("a")
+        netlist.add_gate(lib.gate("nand2"), ["a", "ghost"], "x")
+        with pytest.raises(NetworkError):
+            netlist.check()
+
+    def test_cycle_detected(self):
+        lib = mini_library()
+        netlist = MappedNetlist("loop")
+        netlist.add_pi("a")
+        netlist.add_gate(lib.gate("nand2"), ["a", "y"], "x")
+        netlist.add_gate(lib.gate("inv"), ["x"], "y")
+        with pytest.raises(NetworkError):
+            netlist.topological_gates()
+
+    def test_fanout_counts(self, mini_patterns):
+        netlist, _ = self.build_small()
+        counts = netlist.fanout_counts()
+        assert counts["x"] == 1 and counts["y"] == 1
+        assert counts["a"] == 1
+
+    def test_stats_and_repr(self):
+        netlist, _ = self.build_small()
+        assert netlist.stats()["gates"] == 2
+        assert "MappedNetlist" in repr(netlist)
+
+
+class TestMappedToNetwork:
+    def test_roundtrip_blif(self, mini_patterns):
+        net = circuits.alu(3)
+        subject = decompose_network(net)
+        labels = compute_labels(subject, mini_patterns, MatchKind.STANDARD)
+        netlist = build_cover(labels)
+        as_network = mapped_to_network(netlist)
+        check_equivalent(net, as_network)
+        # And it serialises to BLIF.
+        assert ".model" in dumps_blif(as_network)
+
+    def test_po_alias_buffer(self):
+        lib = mini_library()
+        netlist = MappedNetlist("alias")
+        netlist.add_pi("a")
+        netlist.add_gate(lib.gate("inv"), ["a"], "x")
+        netlist.add_po("out", "x")  # PO name differs from signal
+        as_network = mapped_to_network(netlist)
+        assert "out" in as_network.pos
+        values = as_network.simulate({"a": 1}, 1)
+        assert values["out"] == 0

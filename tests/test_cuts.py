@@ -1,0 +1,63 @@
+"""Tests for k-feasible cut enumeration (repro.fpga.cuts)."""
+
+from repro.fpga.cuts import enumerate_cuts
+
+
+def tiny_dag():
+    """a,b,c -> x=f(a,b), y=f(x,c)."""
+    fanins = {"a": [], "b": [], "c": [], "x": ["a", "b"], "y": ["x", "c"]}
+    topo = ["a", "b", "c", "x", "y"]
+    return topo, fanins
+
+
+class TestEnumerate:
+    def test_trivial_cut_first(self):
+        topo, fanins = tiny_dag()
+        cuts = enumerate_cuts(
+            topo, lambda n: fanins[n], lambda n: n in "abc", k=3
+        )
+        for node in topo:
+            assert cuts[node][0] == frozenset([node])
+
+    def test_expected_cuts(self):
+        topo, fanins = tiny_dag()
+        cuts = enumerate_cuts(
+            topo, lambda n: fanins[n], lambda n: n in "abc", k=3
+        )
+        y_cuts = set(cuts["y"])
+        assert frozenset(["x", "c"]) in y_cuts
+        assert frozenset(["a", "b", "c"]) in y_cuts
+
+    def test_k_bound_respected(self):
+        topo, fanins = tiny_dag()
+        cuts = enumerate_cuts(
+            topo, lambda n: fanins[n], lambda n: n in "abc", k=2
+        )
+        for node in topo:
+            for cut in cuts[node]:
+                assert len(cut) <= 2
+        assert frozenset(["a", "b", "c"]) not in set(cuts["y"])
+
+    def test_dominance_pruning(self):
+        # Reconvergence: y = f(x1, x2), x1 = g(a), x2 = h(a).
+        fanins = {"a": [], "x1": ["a"], "x2": ["a"], "y": ["x1", "x2"]}
+        topo = ["a", "x1", "x2", "y"]
+        cuts = enumerate_cuts(
+            topo, lambda n: fanins[n], lambda n: n == "a", k=3
+        )
+        y_cuts = set(cuts["y"])
+        assert frozenset(["a"]) in y_cuts
+        # {a, x1} is a superset of {a}: dominated, must be pruned.
+        assert frozenset(["a", "x1"]) not in y_cuts
+
+    def test_max_cuts_cap(self):
+        # A wide node with many fanins can explode; the cap bounds it.
+        width = 8
+        fanins = {f"i{j}": [] for j in range(width)}
+        fanins["n"] = [f"i{j}" for j in range(width)]
+        topo = list(fanins)
+        cuts = enumerate_cuts(
+            topo, lambda n: fanins[n], lambda n: n.startswith("i"),
+            k=8, max_cuts=5,
+        )
+        assert len(cuts["n"]) <= 6  # trivial + capped merged

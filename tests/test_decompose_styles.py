@@ -1,0 +1,93 @@
+"""Tests for decomposition styles (balanced vs linear subject graphs)."""
+
+import pytest
+
+from repro.bench import circuits, reference
+from repro.core.dag_mapper import map_dag
+from repro.library.builtin import lib2_like
+from repro.network.decompose import STYLES, decompose_network
+from repro.network.simulate import check_equivalent
+
+
+class TestStyles:
+    @pytest.mark.parametrize("style", STYLES)
+    def test_equivalence(self, style):
+        net = circuits.alu(4)
+        subject = decompose_network(net, style=style)
+        check_equivalent(net, subject)
+
+    def test_unknown_style(self):
+        with pytest.raises(ValueError):
+            decompose_network(circuits.c17(), style="spiral")
+
+    def test_linear_is_deeper_on_wide_ops(self):
+        from repro.network.bnet import BooleanNetwork
+
+        net = BooleanNetwork("wide")
+        for i in range(8):
+            net.add_pi(f"p{i}")
+        net.add_node("f", "*".join(f"p{i}" for i in range(8)))
+        net.add_po("f")
+        balanced = decompose_network(net, style="balanced")
+        linear = decompose_network(net, style="linear")
+        assert linear.depth() > balanced.depth()
+        check_equivalent(net, linear)
+
+    def test_mapping_both_styles(self):
+        """Both subject graphs map correctly; delays may differ — the
+        paper's Section 4 sensitivity point."""
+        net = circuits.carry_lookahead_adder(8)
+        library = lib2_like()
+        results = {}
+        for style in STYLES:
+            subject = decompose_network(net, style=style)
+            result = map_dag(subject, library)
+            check_equivalent(net, result.netlist)
+            results[style] = result.delay
+        assert results["balanced"] <= results["linear"] + 1e-9
+
+
+class TestNewGenerators:
+    @pytest.mark.parametrize("wa,wb", [(4, 4), (5, 3), (1, 1), (6, 2)])
+    def test_wallace_multiplier(self, wa, wb):
+        import random
+
+        net = circuits.wallace_multiplier(wa, wb)
+        ref = reference.multiplier_ref(wa, wb)
+        rng = random.Random(wa * 100 + wb)
+        for _ in range(60):
+            iv = {s: rng.getrandbits(1) for s in net.combinational_inputs()}
+            got = {}
+            from repro.network.simulate import simulate_outputs
+
+            got = simulate_outputs(net, iv, 1)
+            for key, value in ref(iv).items():
+                assert got[key] == value
+
+    def test_wallace_shallower_than_array(self):
+        assert (
+            circuits.wallace_multiplier(8).depth()
+            < circuits.array_multiplier(8).depth()
+        )
+
+    @pytest.mark.parametrize("bits", [2, 3])
+    def test_barrel_shifter_rotates(self, bits):
+        import random
+
+        from repro.network.simulate import simulate_outputs
+
+        net = circuits.barrel_shifter(bits)
+        width = 1 << bits
+        rng = random.Random(bits)
+        for _ in range(60):
+            iv = {s: rng.getrandbits(1) for s in net.combinational_inputs()}
+            got = simulate_outputs(net, iv, 1)
+            d = sum(iv[f"d{i}"] << i for i in range(width))
+            s = sum(iv[f"s{i}"] << i for i in range(bits))
+            expect = ((d << s) | (d >> (width - s))) & ((1 << width) - 1) if s else d
+            assert sum(got[f"y{i}"] << i for i in range(width)) == expect
+
+    def test_wallace_maps_and_verifies(self):
+        net = circuits.wallace_multiplier(5)
+        result = map_dag(decompose_network(net), lib2_like())
+        check_equivalent(net, result.netlist)

@@ -1,0 +1,77 @@
+"""Tests for DOT export, CSV export and the critical-path CLI report."""
+
+import pytest
+
+from repro.bench import circuits
+from repro.cli import main
+from repro.core.dag_mapper import map_dag
+from repro.figures import figure2
+from repro.harness.tables import rows_to_csv
+from repro.library.builtin import mini_library
+from repro.library.patterns import PatternSet, generate_patterns
+from repro.network.decompose import decompose_network
+from repro.network.dot import netlist_to_dot, pattern_to_dot, subject_to_dot
+from repro.timing.sta import analyze
+
+
+class TestDot:
+    def test_subject_dot(self):
+        subject = decompose_network(circuits.c17())
+        text = subject_to_dot(subject)
+        assert text.startswith("digraph")
+        assert text.count("triangle") == len(subject.pis)
+        assert text.count("doubleoctagon") == len(subject.pos)
+        assert text.rstrip().endswith("}")
+
+    def test_pattern_dot(self):
+        from repro.library.gate import make_gate
+
+        gate = make_gate("aoi21", 1.0, "O=!(a*b+c)")
+        pattern = generate_patterns(gate)[0]
+        text = pattern_to_dot(pattern)
+        for pin in ("a", "b", "c"):
+            assert f'label="{pin}"' in text
+        assert "aoi21" in text
+
+    def test_netlist_dot_with_critical_path(self):
+        fig = figure2()
+        dag = map_dag(fig.subject, fig.library)
+        report = analyze(dag.netlist)
+        text = netlist_to_dot(dag.netlist, critical_path=report.critical_path)
+        assert "color=red" in text
+        assert text.count("doubleoctagon") == len(dag.netlist.pos)
+
+    def test_escaping(self):
+        subject = decompose_network(circuits.c17())
+        subject.pis[0].name = 'we"ird'
+        text = subject_to_dot(subject)
+        assert 'we\\"ird' in text
+
+
+class TestCsv:
+    def test_roundtrip(self, tmp_path):
+        rows = [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+        path = tmp_path / "rows.csv"
+        rows_to_csv(rows, str(path))
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,x"
+        assert len(lines) == 3
+
+    def test_empty(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        rows_to_csv([], str(path))
+        assert path.read_text() == ""
+
+
+class TestCliPathReport:
+    def test_path_and_dot(self, tmp_path, capsys):
+        blif = tmp_path / "c.blif"
+        main(["bench", "C1908s", "-o", str(blif)])
+        capsys.readouterr()
+        dot = tmp_path / "out.dot"
+        assert main(["map", str(blif), "--library", "mini",
+                     "--path", "--dot", str(dot)]) == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+        assert dot.read_text().startswith("digraph")

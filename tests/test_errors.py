@@ -1,0 +1,45 @@
+"""Error-type hierarchy and message sanity (repro.errors)."""
+
+import pytest
+
+from repro.errors import (
+    LibraryError,
+    LibraryIncompleteError,
+    MappingError,
+    NetworkError,
+    ParseError,
+    ReproError,
+    RetimingError,
+    TimingError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ParseError,
+            NetworkError,
+            LibraryError,
+            LibraryIncompleteError,
+            MappingError,
+            TimingError,
+            RetimingError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_incomplete_is_library_error(self):
+        assert issubclass(LibraryIncompleteError, LibraryError)
+
+    def test_parse_error_line_info(self):
+        err = ParseError("bad token", line=42)
+        assert "line 42" in str(err)
+        assert err.line == 42
+        plain = ParseError("no line")
+        assert plain.line is None
+
+    def test_catch_base_class(self):
+        with pytest.raises(ReproError):
+            raise MappingError("boom")

@@ -1,0 +1,42 @@
+"""Smoke tests: every example script must run to completion.
+
+``paper_tables.py`` is exercised separately (it is the slow full-table
+run, covered by the benchmark harness); everything else must finish
+quickly and exit 0.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+_EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+_FAST_EXAMPLES = [
+    "quickstart.py",
+    "matching_demo.py",
+    "fpga_flowmap.py",
+    "rich_library.py",
+    "custom_library.py",
+    "timing_analysis.py",
+    "sequential_retiming.py",
+]
+
+
+@pytest.mark.parametrize("script", _FAST_EXAMPLES)
+def test_example_runs(script):
+    path = _EXAMPLES / script
+    assert path.exists(), f"example {script} missing"
+    result = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), f"{script} produced no output"
+
+
+def test_paper_tables_exists():
+    assert (_EXAMPLES / "paper_tables.py").exists()

@@ -1,0 +1,98 @@
+"""Tests reproducing the paper's Figures 1 and 2 (experiments E4, E5)."""
+
+import pytest
+
+from repro.core.dag_mapper import map_dag
+from repro.core.match import Matcher, MatchKind, verify_match
+from repro.core.tree_mapper import map_tree
+from repro.figures import figure1, figure2
+from repro.library.patterns import PatternSet
+from repro.network.simulate import exhaustive_equivalence
+
+
+class TestFigure1:
+    """Standard match vs extended match (Definition 1 vs Definition 3)."""
+
+    def test_extended_match_only(self):
+        fig = figure1()
+        patterns = PatternSet(fig.library)
+
+        std = Matcher(patterns, MatchKind.STANDARD)
+        std.attach(fig.subject)
+        std_nor = [m for m in std.matches_at(fig.top) if m.gate.name == "nor2"]
+        assert std_nor == []
+
+        ext = Matcher(patterns, MatchKind.EXTENDED)
+        ext.attach(fig.subject)
+        ext_nor = [m for m in ext.matches_at(fig.top) if m.gate.name == "nor2"]
+        assert len(ext_nor) == 1
+        match = ext_nor[0]
+        assert not verify_match(match, fig.subject, MatchKind.EXTENDED)
+        # Both pattern inverters map onto the single subject inverter.
+        internal_uids = {n.uid for n in match.internal_nodes()}
+        assert len(internal_uids) < match.pattern.n_internal
+
+    def test_extended_match_is_functionally_sound(self):
+        """Instantiating the extended match preserves the function: the
+        gate output on the bound leaves equals the subject node value."""
+        fig = figure1()
+        patterns = PatternSet(fig.library)
+        ext = Matcher(patterns, MatchKind.EXTENDED)
+        ext.attach(fig.subject)
+        match = [m for m in ext.matches_at(fig.top) if m.gate.name == "nor2"][0]
+        # For every input assignment, simulate the subject and compare the
+        # gate function on the leaf values with the root value.
+        for m in range(4):
+            bits = {"a": m & 1, "b": (m >> 1) & 1}
+            values = [0] * len(fig.subject.nodes)
+            from repro.network.subject import NodeType
+
+            for node in fig.subject.nodes:
+                if node.is_pi:
+                    values[node.uid] = bits[node.name]
+                elif node.kind is NodeType.INV:
+                    values[node.uid] = 1 - values[node.fanins[0].uid]
+                else:
+                    x, y = node.fanins
+                    values[node.uid] = 1 - (values[x.uid] & values[y.uid])
+            leaf_values = [values[n.uid] for _, n in sorted(match.leaves())]
+            assignment = sum(v << i for i, v in enumerate(leaf_values))
+            assert match.gate.tt.evaluate(assignment) == values[fig.top.uid]
+
+
+class TestFigure2:
+    """Duplication of subject-graph nodes in DAG mapping."""
+
+    def test_tree_cannot_use_the_pattern(self):
+        fig = figure2()
+        tree = map_tree(fig.subject, fig.library)
+        assert all(g.gate.name != "big" for g in tree.netlist.gates)
+        assert tree.delay == pytest.approx(4.0)
+
+    def test_dag_duplicates_and_wins(self):
+        fig = figure2()
+        dag = map_dag(fig.subject, fig.library)
+        big = [g for g in dag.netlist.gates if g.gate.name == "big"]
+        assert len(big) == 2
+        assert dag.delay == pytest.approx(3.0)
+        # The middle node is not implemented as a gate output: it was
+        # duplicated inside the two 'big' instances.
+        assert all(g.output != f"n{fig.middle.uid}" for g in dag.netlist.gates)
+
+    def test_fanout_points_relocate(self):
+        fig = figure2()
+        dag = map_dag(fig.subject, fig.library)
+        # In the subject, the middle node is the only multi-fanout point;
+        # in the mapped circuit the PIs a and b carry the multiple fanout.
+        assert [n.uid for n in fig.subject.multi_fanout_nodes()] == [
+            fig.middle.uid
+        ]
+        assert sorted(dag.netlist.multi_fanout_signals()) == ["a", "b"]
+
+    def test_both_mappings_equivalent(self):
+        fig = figure2()
+        tree = map_tree(fig.subject, fig.library)
+        dag = map_dag(fig.subject, fig.library)
+        assert exhaustive_equivalence(fig.subject, tree.netlist) is None
+        assert exhaustive_equivalence(fig.subject, dag.netlist) is None
+        assert exhaustive_equivalence(tree.netlist, dag.netlist) is None

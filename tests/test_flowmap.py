@@ -1,0 +1,100 @@
+"""Tests for FlowMap (repro.fpga.flowmap): depth optimality & correctness."""
+
+import pytest
+
+from repro.bench import circuits
+from repro.fpga.flowmap import cutmap, flowmap
+from repro.fpga.kbound import ensure_kbounded
+from repro.network.bnet import BooleanNetwork
+from repro.network.simulate import check_equivalent
+
+FACTORIES = {
+    "c17": circuits.c17,
+    "rca4": lambda: circuits.ripple_adder(4),
+    "cla8": lambda: circuits.carry_lookahead_adder(8),
+    "mult4": lambda: circuits.array_multiplier(4),
+    "alu4": lambda: circuits.alu(4),
+    "sec8": lambda: circuits.sec_corrector(8),
+    "mux3": lambda: circuits.mux_tree(3),
+    "rand": lambda: circuits.random_logic(8, 60, seed=11),
+}
+
+
+class TestDepthOptimality:
+    @pytest.mark.parametrize("name", list(FACTORIES))
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    def test_flow_agrees_with_cut_enumeration(self, name, k):
+        """The max-flow engine and the exhaustive-cut engine implement the
+        same DP; equal depths on every circuit is the optimality check."""
+        net = FACTORIES[name]()
+        flow = flowmap(net, k=k)
+        cuts = cutmap(net, k=k)
+        assert flow.depth == cuts.depth
+        # Labels of combinational outputs bound the mapped depth.
+        assert flow.depth <= max(
+            flow.labels[s] for s in flow.network.sim_outputs()
+        )
+
+    @pytest.mark.parametrize("name", ["c17", "alu4", "mult4"])
+    def test_monotone_in_k(self, name):
+        net = FACTORIES[name]()
+        depths = [flowmap(net, k=k).depth for k in (3, 4, 5, 6)]
+        assert depths == sorted(depths, reverse=True)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("name", list(FACTORIES))
+    def test_equivalent_and_k_bounded(self, name):
+        net = FACTORIES[name]()
+        result = flowmap(net, k=4)
+        check_equivalent(net, result.network)
+        assert all(len(l.inputs) <= 4 for l in result.network.luts)
+
+    def test_depth_equals_reported(self):
+        net = FACTORIES["cla8"]()
+        result = flowmap(net, k=4)
+        assert result.depth == result.network.depth()
+
+    def test_wide_nodes_get_decomposed(self):
+        net = BooleanNetwork("wide")
+        for i in range(6):
+            net.add_pi(f"p{i}")
+        net.add_node("f", "*".join(f"p{i}" for i in range(6)))
+        net.add_po("f")
+        result = flowmap(net, k=4)  # 6-input node > k: must decompose
+        check_equivalent(net, result.network)
+
+    def test_po_is_pi(self):
+        net = BooleanNetwork("wire")
+        net.add_pi("a")
+        net.add_pi("b")
+        net.add_node("f", "a*b")
+        net.add_po("f")
+        net.add_po("a")
+        result = flowmap(net, k=4)
+        check_equivalent(net, result.network)
+
+    def test_cutmap_equivalent(self):
+        net = FACTORIES["alu4"]()
+        result = cutmap(net, k=4)
+        check_equivalent(net, result.network)
+
+    def test_result_repr(self):
+        result = flowmap(FACTORIES["c17"](), k=4)
+        assert "FlowMapResult" in repr(result)
+        assert result.lut_count() == len(result.network.luts)
+
+
+class TestKnownDepths:
+    def test_c17_depth(self):
+        # c17 has depth 3 in NAND2; with k=4 two levels suffice, with k=5
+        # each output cone (5 inputs max) could fit in one LUT.
+        net = circuits.c17()
+        assert flowmap(net, k=4).depth <= 2
+        assert flowmap(net, k=5).depth == 1
+
+    def test_parity_tree_depth(self):
+        # Parity of 16 with k=4: each LUT absorbs 4 leaves; the optimum
+        # is exactly log4(16) = 2 levels.
+        net = circuits.parity_tree(16)
+        assert flowmap(net, k=4).depth == 2

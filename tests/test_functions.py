@@ -1,0 +1,235 @@
+"""Unit and property tests for truth tables (repro.network.functions)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.functions import (
+    TruthTable,
+    cube_to_tt,
+    sop_to_tt,
+)
+
+
+class TestConstruction:
+    def test_const0_const1(self):
+        assert TruthTable.const0(3).bits == 0
+        assert TruthTable.const1(3).bits == 0xFF
+        assert TruthTable.const1(0).bits == 1
+
+    def test_variable_patterns(self):
+        assert TruthTable.variable(0, 2).bits == 0b1010
+        assert TruthTable.variable(1, 2).bits == 0b1100
+        assert TruthTable.variable(2, 3).bits == 0xF0
+
+    def test_variable_out_of_range(self):
+        with pytest.raises(ValueError):
+            TruthTable.variable(2, 2)
+
+    def test_bits_out_of_range(self):
+        with pytest.raises(ValueError):
+            TruthTable(1, 5)
+
+    def test_from_function(self):
+        maj = TruthTable.from_function(lambda a, b, c: (a + b + c) >= 2, 3)
+        assert maj.evaluate(0b011) == 1
+        assert maj.evaluate(0b001) == 0
+        assert maj.count_ones() == 4
+
+    def test_from_minterms(self):
+        tt = TruthTable.from_minterms([0, 3], 2)
+        assert tt.bits == 0b1001
+        with pytest.raises(ValueError):
+            TruthTable.from_minterms([4], 2)
+
+    def test_too_many_vars(self):
+        with pytest.raises(ValueError):
+            TruthTable(25, 0)
+
+
+class TestOperators:
+    def test_and_or_xor_invert(self):
+        a = TruthTable.variable(0, 2)
+        b = TruthTable.variable(1, 2)
+        assert (a & b).bits == 0b1000
+        assert (a | b).bits == 0b1110
+        assert (a ^ b).bits == 0b0110
+        assert (~a).bits == 0b0101
+
+    def test_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            TruthTable.variable(0, 2) & TruthTable.variable(0, 3)
+
+    def test_equality_and_hash(self):
+        a = TruthTable.variable(0, 2)
+        assert a == TruthTable.variable(0, 2)
+        assert hash(a) == hash(TruthTable.variable(0, 2))
+        assert a != TruthTable.variable(1, 2)
+        assert a != "not a table"
+
+
+class TestQueries:
+    def test_evaluate(self):
+        a = TruthTable.variable(1, 3)
+        assert a.evaluate(0b010) == 1
+        assert a.evaluate(0b101) == 0
+        with pytest.raises(ValueError):
+            a.evaluate(8)
+
+    def test_support_and_depends(self):
+        a = TruthTable.variable(0, 3)
+        c = TruthTable.variable(2, 3)
+        f = a & c
+        assert f.support() == [0, 2]
+        assert f.depends_on(0)
+        assert not f.depends_on(1)
+
+    def test_minterms(self):
+        tt = TruthTable.from_minterms([1, 4, 6], 3)
+        assert list(tt.minterms()) == [1, 4, 6]
+
+    def test_is_constant(self):
+        assert TruthTable.const0(2).is_constant()
+        assert TruthTable.const1(2).is_constant()
+        assert not TruthTable.variable(0, 2).is_constant()
+
+
+class TestStructural:
+    def test_cofactor(self):
+        a = TruthTable.variable(0, 2)
+        b = TruthTable.variable(1, 2)
+        f = a & b
+        assert f.cofactor(0, 1) == b
+        assert f.cofactor(0, 0) == TruthTable.const0(2)
+        with pytest.raises(ValueError):
+            f.cofactor(2, 0)
+
+    def test_permuted(self):
+        a = TruthTable.variable(0, 3)
+        assert a.permuted([1, 0, 2]) == TruthTable.variable(1, 3)
+        with pytest.raises(ValueError):
+            a.permuted([0, 0, 1])
+
+    def test_extended(self):
+        a = TruthTable.variable(0, 1)
+        ext = a.extended(3)
+        assert ext == TruthTable.variable(0, 3)
+        with pytest.raises(ValueError):
+            ext.shrunk()[0].extended(0)
+
+    def test_shrunk(self):
+        a = TruthTable.variable(0, 3)
+        c = TruthTable.variable(2, 3)
+        f = a ^ c
+        small, keep = f.shrunk()
+        assert keep == [0, 2]
+        assert small == TruthTable.variable(0, 2) ^ TruthTable.variable(1, 2)
+
+
+class TestIsop:
+    def test_constants(self):
+        assert TruthTable.const0(2).isop() == []
+        assert TruthTable.const1(2).isop() == [()]
+
+    def test_single_cube(self):
+        a = TruthTable.variable(0, 2)
+        b = TruthTable.variable(1, 2)
+        cubes = (a & ~b).isop()
+        assert len(cubes) == 1
+        assert sorted(cubes[0]) == [(0, True), (1, False)]
+
+    def test_xor_needs_two_cubes(self):
+        a = TruthTable.variable(0, 2)
+        b = TruthTable.variable(1, 2)
+        assert len((a ^ b).isop()) == 2
+
+    def test_to_sop_string(self):
+        a = TruthTable.variable(0, 2)
+        b = TruthTable.variable(1, 2)
+        assert TruthTable.const0(2).to_sop_string() == "0"
+        assert TruthTable.const1(2).to_sop_string() == "1"
+        text = (a & b).to_sop_string(["a", "b"])
+        assert set(text.split("*")) == {"a", "b"}
+
+
+class TestEvalWords:
+    def test_nand(self):
+        nand = TruthTable(2, 0b0111)
+        mask = 0xFF
+        assert nand.eval_words([0b1100, 0b1010], mask) == (~(0b1100 & 0b1010)) & mask
+
+    def test_wrong_word_count(self):
+        with pytest.raises(ValueError):
+            TruthTable(2, 0b0111).eval_words([1], 1)
+
+    def test_constants(self):
+        assert TruthTable.const1(2).eval_words([0, 0], 0b11) == 0b11
+        assert TruthTable.const0(2).eval_words([1, 1], 0b11) == 0
+
+
+# ----------------------------------------------------------------------
+# Property tests
+# ----------------------------------------------------------------------
+
+tables3 = st.integers(min_value=0, max_value=255).map(lambda b: TruthTable(3, b))
+
+
+@given(tables3)
+def test_isop_covers_exactly_the_onset(tt):
+    assert sop_to_tt(tt.isop(), 3) == tt
+
+
+@given(tables3)
+def test_double_negation(tt):
+    assert ~~tt == tt
+
+
+@given(tables3, tables3)
+def test_de_morgan(f, g):
+    assert ~(f & g) == (~f | ~g)
+    assert ~(f | g) == (~f & ~g)
+
+
+@given(tables3, st.integers(min_value=0, max_value=7))
+def test_eval_words_matches_evaluate(tt, assignment):
+    words = [(assignment >> j) & 1 for j in range(3)]
+    assert tt.eval_words(words, 1) == tt.evaluate(assignment)
+
+
+@given(tables3, st.permutations([0, 1, 2]))
+def test_permute_roundtrip(tt, perm):
+    inverse = [0, 0, 0]
+    for new, old in enumerate(perm):
+        inverse[old] = new
+    assert tt.permuted(perm).permuted(inverse) == tt
+
+
+@given(tables3, st.integers(min_value=0, max_value=2), st.integers(min_value=0, max_value=1))
+def test_cofactor_is_independent(tt, var, val):
+    cof = tt.cofactor(var, val)
+    assert not cof.depends_on(var)
+
+
+@given(tables3)
+def test_shrunk_preserves_function(tt):
+    small, keep = tt.shrunk()
+    for assignment in range(8):
+        small_assignment = 0
+        for new_idx, old_idx in enumerate(keep):
+            small_assignment |= ((assignment >> old_idx) & 1) << new_idx
+        assert small.evaluate(small_assignment) == tt.evaluate(assignment)
+
+
+@given(st.lists(st.tuples(st.integers(0, 2), st.booleans()), max_size=3))
+def test_cube_to_tt_matches_manual(cube_lits):
+    # Deduplicate variables to keep the cube well-formed.
+    seen = {}
+    for var, phase in cube_lits:
+        seen[var] = phase
+    cube = tuple(seen.items())
+    tt = cube_to_tt(cube, 3)
+    for assignment in range(8):
+        expected = all(
+            ((assignment >> var) & 1) == int(phase) for var, phase in cube
+        )
+        assert tt.evaluate(assignment) == int(expected)

@@ -1,0 +1,110 @@
+"""Tests for the gate/library model (repro.library.gate)."""
+
+import pytest
+
+from repro.errors import LibraryError, LibraryIncompleteError
+from repro.library.gate import Gate, GateLibrary, Pin, make_gate
+from repro.network.expr import parse_expr
+
+
+def nand2(name="nand2", area=2.0, block=1.0):
+    return make_gate(name, area, "O=!(a*b)", default_pin=Pin("*", rise_block=block, fall_block=block))
+
+
+class TestPin:
+    def test_block_delay_is_worst_of_rise_fall(self):
+        pin = Pin("a", rise_block=1.0, fall_block=1.5)
+        assert pin.block_delay == 1.5
+
+    def test_fanout_delay(self):
+        pin = Pin("a", rise_fanout=0.2, fall_fanout=0.1)
+        assert pin.fanout_delay == 0.2
+
+
+class TestGate:
+    def test_basic(self):
+        gate = nand2()
+        assert gate.n_inputs == 2
+        assert gate.inputs == ["a", "b"]
+        assert gate.tt.bits == 0b0111
+        assert gate.is_nand2()
+        assert not gate.is_inverter()
+        assert gate.pin_delay("a") == 1.0
+        assert gate.max_pin_delay() == 1.0
+
+    def test_pin_function_mismatch(self):
+        with pytest.raises(LibraryError):
+            Gate("bad", 1.0, "O", parse_expr("a*b"), [Pin("a")])
+
+    def test_duplicate_pins(self):
+        with pytest.raises(LibraryError):
+            Gate("bad", 1.0, "O", parse_expr("a*b"),
+                 [Pin("a"), Pin("a"), Pin("b")])
+
+    def test_unknown_pin_lookup(self):
+        with pytest.raises(LibraryError):
+            nand2().pin("zz")
+
+    def test_classification(self):
+        inv = make_gate("inv", 1.0, "O=!a")
+        buf = make_gate("buf", 1.0, "O=a")
+        one = make_gate("one", 1.0, "O=CONST1")
+        xor = make_gate("xor", 1.0, "O=a*!b+!a*b")
+        assert inv.is_inverter() and not inv.is_buffer()
+        assert buf.is_buffer() and not buf.is_inverter()
+        assert one.is_constant()
+        assert not xor.is_nand2()
+
+    def test_eval_words(self):
+        gate = nand2()
+        assert gate.eval_words([0b11, 0b01], 0b11) == 0b10
+
+    def test_formula_requires_equals(self):
+        with pytest.raises(LibraryError):
+            make_gate("bad", 1.0, "no equals sign")
+
+
+class TestLibrary:
+    def make_lib(self):
+        return GateLibrary(
+            [make_gate("inv", 1.0, "O=!a"),
+             make_gate("inv_big", 2.0, "O=!a"),
+             nand2()],
+            name="test",
+        )
+
+    def test_lookup(self):
+        lib = self.make_lib()
+        assert len(lib) == 3
+        assert lib.gate("nand2").is_nand2()
+        with pytest.raises(LibraryError):
+            lib.gate("nor17")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(LibraryError):
+            GateLibrary([nand2(), nand2()])
+
+    def test_inverter_picks_smallest_area(self):
+        lib = self.make_lib()
+        assert lib.inverter().name == "inv"
+
+    def test_completeness(self):
+        self.make_lib().check_complete()
+        with pytest.raises(LibraryIncompleteError):
+            GateLibrary([nand2()]).inverter()
+        with pytest.raises(LibraryIncompleteError):
+            GateLibrary([make_gate("inv", 1.0, "O=!a")]).nand2()
+
+    def test_max_inputs(self):
+        lib = self.make_lib()
+        assert lib.max_inputs() == 2
+        assert GateLibrary([]).max_inputs() == 0
+
+    def test_area_range(self):
+        lo, hi = self.make_lib().total_area_range()
+        assert (lo, hi) == (1.0, 2.0)
+
+    def test_iteration_and_repr(self):
+        lib = self.make_lib()
+        assert [g.name for g in lib] == ["inv", "inv_big", "nand2"]
+        assert "test" in repr(lib)

@@ -1,0 +1,103 @@
+"""Tests for the genlib parser/writer (repro.library.genlib)."""
+
+import pytest
+
+from repro.errors import LibraryError, ParseError
+from repro.library.genlib import dumps_genlib, parse_genlib, read_genlib, write_genlib
+
+
+GOOD = """
+# A comment line
+GATE inv 0.9 O=!a;
+  PIN a INV 1.0 999 0.4 0.1 0.5 0.1
+GATE nand2 2.0 O=!(a*b);
+  PIN * UNKNOWN 1.0 999 1.0 0.2 1.0 0.2
+GATE aoi21 3.0 O=!(a*b+c);
+  PIN a NONINV 1.0 999 1.2 0.2 1.2 0.2
+  PIN b NONINV 1.0 999 1.2 0.2 1.2 0.2
+  PIN c NONINV 1.0 999 1.0 0.2 1.0 0.2
+"""
+
+
+class TestParsing:
+    def test_basic(self):
+        lib = parse_genlib(GOOD, name="g")
+        assert len(lib) == 3
+        inv = lib.gate("inv")
+        assert inv.area == 0.9
+        assert inv.pin("a").phase == "INV"
+        assert inv.pin("a").block_delay == 0.5  # worst of rise/fall
+
+    def test_wildcard_pin(self):
+        lib = parse_genlib(GOOD)
+        nand = lib.gate("nand2")
+        assert nand.pin("a").rise_block == 1.0
+        assert nand.pin("b").rise_block == 1.0
+
+    def test_per_pin(self):
+        lib = parse_genlib(GOOD)
+        aoi = lib.gate("aoi21")
+        assert aoi.pin("a").rise_block == 1.2
+        assert aoi.pin("c").rise_block == 1.0
+
+    def test_no_pins_gets_defaults(self):
+        lib = parse_genlib("GATE and2 1 O=a*b;")
+        assert lib.gate("and2").pin("a").block_delay == 1.0
+
+    def test_latch_skipped(self):
+        text = GOOD + "\nLATCH dff 5 Q=D;\n  PIN D NONINV 1 999 1 0 1 0\n"
+        lib = parse_genlib(text)
+        assert len(lib) == 3
+
+    def test_expression_with_spaces(self):
+        lib = parse_genlib("GATE oai21 2 O=!((a+b) * c);")
+        assert lib.gate("oai21").n_inputs == 3
+
+    def test_multiline_expression(self):
+        lib = parse_genlib("GATE f 2 O=a*b\n + c;\n")
+        assert lib.gate("f").n_inputs == 3
+
+    def test_errors(self):
+        with pytest.raises(ParseError):
+            parse_genlib("GATE broken")
+        with pytest.raises(ParseError):
+            parse_genlib("GATE g notanumber O=a;")
+        with pytest.raises(ParseError):
+            parse_genlib("GATE g 1 O=a")  # missing semicolon
+        with pytest.raises(ParseError):
+            parse_genlib("GATE g 1 noequals;")
+        with pytest.raises(ParseError):
+            parse_genlib("WIRE g 1 O=a;")
+        with pytest.raises(ParseError):
+            parse_genlib(
+                "GATE g 1 O=!a;\n PIN a BADPHASE 1 999 1 0 1 0"
+            )
+        with pytest.raises(ParseError):
+            parse_genlib("GATE g 1 O=!a;\n PIN a INV x 999 1 0 1 0")
+
+    def test_pin_not_in_support(self):
+        with pytest.raises(LibraryError):
+            parse_genlib("GATE g 1 O=!a;\n PIN zz INV 1 999 1 0 1 0")
+
+
+class TestRoundtrip:
+    def test_dumps_parse(self):
+        lib = parse_genlib(GOOD, name="g")
+        again = parse_genlib(dumps_genlib(lib), name="g2")
+        assert len(again) == len(lib)
+        for gate in lib:
+            twin = again.gate(gate.name)
+            assert twin.area == gate.area
+            assert twin.tt == gate.tt
+            for pin in gate.pins:
+                other = twin.pin(pin.name)
+                assert other.rise_block == pin.rise_block
+                assert other.phase == pin.phase
+
+    def test_file_io(self, tmp_path):
+        lib = parse_genlib(GOOD)
+        path = tmp_path / "lib.genlib"
+        write_genlib(lib, path)
+        again = read_genlib(path)
+        assert len(again) == 3
+        assert again.name == "lib"

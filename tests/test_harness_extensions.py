@@ -1,0 +1,92 @@
+"""Tests for the extension experiments (E11-E14) in the harness."""
+
+import pytest
+
+from repro.harness.experiment import (
+    area_delay_curve,
+    buffering_experiment,
+    decomposition_sensitivity_experiment,
+    load_model_experiment,
+)
+
+_SMALL = ["C1908s"]
+
+
+class TestLoadModel:
+    def test_loaded_delay_dominates_intrinsic(self):
+        rows = load_model_experiment(names=_SMALL)
+        assert {r["mode"] for r in rows} == {"tree", "dag"}
+        for row in rows:
+            # Non-negative load coefficients can only add delay.
+            assert row["loaded_delay"] >= row["intrinsic_delay"] - 1e-9
+            assert row["ratio"] >= 1.0 - 1e-9
+            assert row["max_fanout"] >= 1
+
+
+class TestBuffering:
+    def test_rows_shape(self):
+        rows = buffering_experiment(names=["C2670s"], max_fanout=3)
+        row = rows[0]
+        assert row["buffers"] > 0
+        assert row["area_after"] > row["area_before"]
+        # On the adder/comparator datapath slack-aware buffering wins.
+        assert row["loaded_after"] < row["loaded_before"]
+
+
+class TestDecompositionSensitivity:
+    def test_both_styles_reported(self):
+        rows = decomposition_sensitivity_experiment(names=_SMALL)
+        row = rows[0]
+        assert row["balanced_gates"] > 0
+        assert row["linear_gates"] > 0
+        assert row["balanced_delay"] > 0
+        assert row["linear_delay"] > 0
+
+
+class TestLibraryScaling:
+    def test_rows_shape(self):
+        from repro.harness.experiment import library_scaling_experiment
+
+        rows = library_scaling_experiment(
+            name="C1908s", fractions=(0.2, 1.0), max_variants=2
+        )
+        assert rows[0]["gates"] < rows[1]["gates"]
+        assert rows[1]["delay"] <= rows[0]["delay"] + 1e-9
+
+
+class TestMultimapAndSizing:
+    def test_multimap_rows(self):
+        from repro.harness.experiment import multimap_experiment
+
+        rows = multimap_experiment(names=["C1908s"])
+        row = rows[0]
+        assert row["composite"] <= min(row["balanced"], row["linear"]) + 1e-9
+
+    def test_sized_rows(self):
+        from repro.harness.experiment import sized_library_experiment
+
+        rows = sized_library_experiment(
+            strength_counts=(1, 2), names=["C1908s"]
+        )
+        assert rows[0]["delay"] == pytest.approx(rows[1]["delay"])
+        assert rows[1]["matches"] > rows[0]["matches"]
+
+    def test_panliu_rows(self):
+        from repro.harness.experiment import panliu_experiment
+        from repro.library.builtin import mini_library
+
+        rows = panliu_experiment(library=mini_library())
+        for row in rows:
+            assert row["coupled_period"] <= row["three_step_period"] + 0.05
+
+
+class TestAreaDelayCurve:
+    def test_monotone_tradeoff(self):
+        rows = area_delay_curve(name="C1908s", factors=(1.0, 1.2, 1.5))
+        # Larger delay budgets can only shrink (or keep) the area.
+        areas = [r["area"] for r in rows]
+        assert areas == sorted(areas, reverse=True) or all(
+            areas[i] >= areas[i + 1] - 1e-9 for i in range(len(areas) - 1)
+        )
+        for row in rows:
+            assert row["delay"] <= rows[0]["delay"] * row["target_factor"] + 1e-6

@@ -1,0 +1,127 @@
+"""Tests for k-bounding, subject conversion, and LUT networks."""
+
+import pytest
+
+from repro.bench import circuits
+from repro.errors import NetworkError
+from repro.fpga.kbound import ensure_kbounded, max_fanin, subject_to_network
+from repro.fpga.lutnet import LUT, LUTNetwork
+from repro.network.bnet import BooleanNetwork
+from repro.network.decompose import decompose_network
+from repro.network.functions import TruthTable
+from repro.network.simulate import check_equivalent
+
+
+class TestKBound:
+    def test_already_bounded_returned_as_is(self):
+        net = circuits.c17()
+        assert ensure_kbounded(net, 4) is net
+
+    def test_wide_node_decomposed(self):
+        net = BooleanNetwork("wide")
+        for i in range(6):
+            net.add_pi(f"p{i}")
+        net.add_node("f", "+".join(f"p{i}" for i in range(6)))
+        net.add_po("f")
+        bounded = ensure_kbounded(net, 4)
+        assert max_fanin(bounded) <= 2
+        check_equivalent(net, bounded)
+
+    def test_k_too_small(self):
+        with pytest.raises(ValueError):
+            ensure_kbounded(circuits.c17(), 1)
+
+
+class TestSubjectToNetwork:
+    @pytest.mark.parametrize(
+        "factory",
+        [circuits.c17, lambda: circuits.alu(3), lambda: circuits.sec_corrector(4)],
+    )
+    def test_equivalent(self, factory):
+        net = factory()
+        subject = decompose_network(net)
+        back = subject_to_network(subject)
+        check_equivalent(net, back)
+        assert max_fanin(back) <= 2
+
+    def test_po_named_after_pi(self):
+        net = BooleanNetwork("w")
+        net.add_pi("a")
+        net.add_node("f", "!a")
+        net.add_po("f")
+        net.add_po("a")
+        back = subject_to_network(decompose_network(net))
+        check_equivalent(net, back)
+
+
+class TestLUTNetwork:
+    def build(self):
+        luts = LUTNetwork("l", k=4)
+        luts.add_pi("a")
+        luts.add_pi("b")
+        luts.add_lut("x", ["a", "b"], TruthTable(2, 0b0110))  # xor
+        luts.add_lut("y", ["x"], TruthTable(1, 0b01))  # inv
+        luts.add_po("out", "y")
+        return luts
+
+    def test_simulate_and_depth(self):
+        luts = self.build()
+        assert luts.depth() == 2
+        assert luts.simulate({"a": 1, "b": 0}, 1)["out"] == 0
+        assert luts.simulate({"a": 1, "b": 1}, 1)["out"] == 1
+        assert luts.lut_count() == 2
+        assert luts.stats()["luts"] == 2
+
+    def test_k_violation(self):
+        luts = LUTNetwork("l", k=2)
+        for name in "abc":
+            luts.add_pi(name)
+        with pytest.raises(NetworkError):
+            luts.add_lut("x", ["a", "b", "c"], TruthTable(3, 0b10000000))
+
+    def test_arity_mismatch(self):
+        luts = self.build()
+        with pytest.raises(NetworkError):
+            luts.add_lut("z", ["a"], TruthTable(2, 0))
+
+    def test_double_drive(self):
+        luts = self.build()
+        with pytest.raises(NetworkError):
+            luts.add_lut("x", ["a"], TruthTable(1, 0b01))
+
+    def test_cycle_detection(self):
+        luts = LUTNetwork("loop", k=2)
+        luts.add_pi("a")
+        luts.add_lut("x", ["a", "y"], TruthTable(2, 0b0111))
+        luts.add_lut("y", ["x"], TruthTable(1, 0b01))
+        with pytest.raises(NetworkError):
+            luts.topological_luts()
+
+    def test_undriven_po(self):
+        luts = self.build()
+        luts.add_po("bad", "ghost")
+        with pytest.raises(NetworkError):
+            luts.check()
+
+    def test_missing_input_word(self):
+        luts = self.build()
+        with pytest.raises(NetworkError):
+            luts.simulate({"a": 1}, 1)
+
+    def test_repr(self):
+        assert "LUTNetwork" in repr(self.build())
+
+    def test_lutnet_to_network_roundtrip(self):
+        from repro.bench import circuits
+        from repro.fpga.flowmap import flowmap
+        from repro.fpga.lutnet import lutnet_to_network
+        from repro.network.blif import dumps_blif, loads_blif
+        from repro.network.simulate import check_equivalent
+
+        net = circuits.alu(3)
+        result = flowmap(net, k=4)
+        as_network = lutnet_to_network(result.network)
+        check_equivalent(net, as_network)
+        # And through BLIF text.
+        again = loads_blif(dumps_blif(as_network))
+        check_equivalent(net, again)

@@ -1,0 +1,121 @@
+"""Tests for mapped-netlist interchange (.gate BLIF, Verilog)."""
+
+import pytest
+
+from repro.bench import circuits
+from repro.core.dag_mapper import map_dag
+from repro.errors import ParseError
+from repro.library.builtin import lib2_like, mini_library
+from repro.network.decompose import decompose_network
+from repro.network.mapped_io import (
+    dumps_mapped_blif,
+    dumps_verilog,
+    loads_mapped_blif,
+    read_mapped_blif,
+    write_mapped_blif,
+    write_verilog,
+)
+from repro.network.simulate import check_equivalent
+
+
+@pytest.fixture(scope="module")
+def mapped():
+    lib = lib2_like()
+    net = circuits.alu(3)
+    return net, lib, map_dag(decompose_network(net), lib).netlist
+
+
+class TestMappedBlif:
+    def test_roundtrip_equivalent(self, mapped):
+        net, lib, netlist = mapped
+        text = dumps_mapped_blif(netlist)
+        again = loads_mapped_blif(text, lib)
+        check_equivalent(net, again)
+        assert again.gate_count() == netlist.gate_count()
+        assert again.area() == pytest.approx(netlist.area())
+
+    def test_gate_lines_present(self, mapped):
+        _, _, netlist = mapped
+        text = dumps_mapped_blif(netlist)
+        assert text.count(".gate") == netlist.gate_count()
+        assert ".model" in text and ".end" in text
+
+    def test_file_io(self, mapped, tmp_path):
+        net, lib, netlist = mapped
+        path = tmp_path / "mapped.blif"
+        write_mapped_blif(netlist, path)
+        again = read_mapped_blif(path, lib)
+        check_equivalent(net, again)
+
+    def test_po_alias_buffer(self):
+        """A PO whose name differs from its net round-trips via .names."""
+        from repro.core.netlist import MappedNetlist
+
+        lib = mini_library()
+        netlist = MappedNetlist("alias")
+        netlist.add_pi("a")
+        netlist.add_gate(lib.gate("inv"), ["a"], "x")
+        netlist.add_po("out", "x")
+        again = loads_mapped_blif(dumps_mapped_blif(netlist), lib)
+        assert again.simulate({"a": 1}, 1)["out"] == 0
+
+    def test_unknown_gate_rejected(self, mapped):
+        _, _, netlist = mapped
+        text = dumps_mapped_blif(netlist)
+        from repro.errors import LibraryError
+
+        with pytest.raises(LibraryError):
+            loads_mapped_blif(text, mini_library())
+
+    def test_parse_errors(self):
+        lib = mini_library()
+        with pytest.raises(ParseError):
+            loads_mapped_blif(".model m\n.gate\n.end\n", lib)
+        with pytest.raises(ParseError):
+            loads_mapped_blif(".model m\n.gate inv a x O=y\n.end\n", lib)
+        with pytest.raises(ParseError):
+            loads_mapped_blif(".model m\n.gate inv a=x\n.end\n", lib)
+        with pytest.raises(ParseError):
+            loads_mapped_blif(".subckt foo\n", lib)
+        with pytest.raises(ParseError):
+            loads_mapped_blif("", lib)
+
+
+class TestVerilog:
+    def test_contains_modules_and_instances(self, mapped):
+        net, _, netlist = mapped
+        text = dumps_verilog(netlist)
+        # One module per used cell type plus the top module.
+        used = {g.gate.name for g in netlist.gates}
+        for cell in used:
+            assert f"module {cell}(" in text
+        assert f"module {netlist.name.replace('-', '_')}(" in text
+        assert text.count("endmodule") == len(used) + 1
+        for pi in netlist.pis:
+            assert f"input {pi};" in text
+
+    def test_instance_count(self, mapped):
+        _, _, netlist = mapped
+        text = dumps_verilog(netlist)
+        lines = [l for l in text.splitlines() if l.strip().startswith(
+            tuple({g.gate.name for g in netlist.gates})
+        ) and "(" in l and "module" not in l]
+        assert len(lines) == netlist.gate_count()
+
+    def test_write(self, mapped, tmp_path):
+        _, _, netlist = mapped
+        path = tmp_path / "out.v"
+        write_verilog(netlist, path)
+        assert path.read_text().startswith("// mapped netlist")
+
+    def test_identifier_escaping(self):
+        from repro.core.netlist import MappedNetlist
+
+        lib = mini_library()
+        netlist = MappedNetlist("esc")
+        netlist.add_pi("sig[3]")
+        netlist.add_gate(lib.gate("inv"), ["sig[3]"], "1weird")
+        netlist.add_po("1weird", "1weird")
+        text = dumps_verilog(netlist)
+        assert "\\sig[3] " in text
+        assert "\\1weird " in text

@@ -1,0 +1,113 @@
+"""Brute-force completeness oracle for the graph matcher.
+
+For small subject graphs and patterns, enumerate *every* mapping of
+pattern nodes to subject nodes by exhaustive assignment, keep those
+satisfying Definition 1/2/3 via :func:`verify_match`, and require the
+matcher to find exactly the same set (up to match identity).  This
+checks completeness — the recursive matcher misses nothing — whereas
+``verify_match`` alone only checks soundness.
+"""
+
+from itertools import product
+
+import pytest
+
+from repro.core.match import Match, Matcher, MatchKind, verify_match
+from repro.library.builtin import mini_library
+from repro.library.patterns import PatternSet
+from repro.network.subject import SubjectGraph
+
+
+def brute_force_matches(pattern, subject, root, kind):
+    """All valid bindings by exhaustive enumeration (exponential)."""
+    pattern_nodes = pattern.nodes
+    candidates = subject.nodes
+    found = set()
+    for combo in product(candidates, repeat=len(pattern_nodes)):
+        binding = {p.uid: s for p, s in zip(pattern_nodes, combo)}
+        if binding[pattern.root.uid] is not root:
+            continue
+        match = Match(pattern, root, binding)
+        if not verify_match(match, subject, kind):
+            found.add(match.identity())
+    return found
+
+
+def graphs():
+    """Small subject graphs with reconvergence, sharing, and fanout."""
+    out = []
+
+    g1 = SubjectGraph("chain")
+    a, b, c = (g1.add_pi(x) for x in "abc")
+    n1 = g1.add_nand2(a, b)
+    n2 = g1.add_inv(n1)
+    n3 = g1.add_nand2(n2, c)
+    g1.set_po("o", n3)
+    out.append(g1)
+
+    g2 = SubjectGraph("reconv")
+    a, b = (g2.add_pi(x) for x in "ab")
+    n1 = g2.add_nand2(a, b)
+    i1 = g2.add_inv(a)
+    i2 = g2.add_inv(b)
+    n2 = g2.add_nand2(i1, i2)
+    n3 = g2.add_nand2(n1, n2)
+    g2.set_po("o", n3)
+    out.append(g2)
+
+    g3 = SubjectGraph("fanout")
+    a, b, c = (g3.add_pi(x) for x in "abc")
+    shared = g3.add_nand2(a, b)
+    n1 = g3.add_nand2(shared, c)
+    n2 = g3.add_inv(shared)
+    n3 = g3.add_nand2(n1, n2)
+    g3.set_po("o", n3)
+    out.append(g3)
+
+    g4 = SubjectGraph("xorish")
+    a, b = (g4.add_pi(x) for x in "ab")
+    ia = g4.add_inv(a)
+    ib = g4.add_inv(b)
+    n1 = g4.add_nand2(a, ib)
+    n2 = g4.add_nand2(ia, b)
+    n3 = g4.add_nand2(n1, n2)
+    g4.set_po("o", n3)
+    out.append(g4)
+
+    return out
+
+
+@pytest.fixture(scope="module")
+def patterns():
+    # mini library: inv, nand2, nand3, nor2, aoi21, xor2 — max 7 nodes per
+    # pattern, small enough for |V_s|^|V_p| enumeration on tiny subjects.
+    return PatternSet(mini_library(), max_variants=8)
+
+
+@pytest.mark.parametrize("subject", graphs(), ids=lambda g: g.name)
+@pytest.mark.parametrize("kind", list(MatchKind))
+def test_matcher_is_complete(subject, kind, patterns):
+    matcher = Matcher(patterns, kind)
+    matcher.attach(subject)
+    for node in subject.topological():
+        if node.is_pi:
+            continue
+        got = {m.identity() for m in matcher.matches_at(node)}
+        want = set()
+        for pattern in patterns.patterns:
+            if len(pattern.nodes) > 6:
+                continue  # keep the brute force tractable
+            want |= brute_force_matches(pattern, subject, node, kind)
+        got_small = {
+            identity
+            for identity in got
+            if _pattern_size(identity, patterns) <= 6
+        }
+        assert got_small == want, (subject.name, kind, node)
+
+
+def _pattern_size(identity, patterns):
+    gate_name = identity[0]
+    return min(
+        len(p.nodes) for p in patterns.patterns if p.gate.name == gate_name
+    )

@@ -1,0 +1,85 @@
+"""Tests for the max-flow engine (repro.fpga.maxflow)."""
+
+from repro.fpga.maxflow import FlowNetwork, max_flow
+
+
+def diamond():
+    net = FlowNetwork()
+    net.add_edge("s", "a", 3)
+    net.add_edge("s", "b", 2)
+    net.add_edge("a", "t", 2)
+    net.add_edge("b", "t", 3)
+    net.add_edge("a", "b", 1)
+    return net
+
+
+class TestMaxFlow:
+    def test_diamond(self):
+        assert max_flow(diamond(), "s", "t") == 5
+
+    def test_limit_stops_early(self):
+        assert max_flow(diamond(), "s", "t", limit=3) == 3
+
+    def test_disconnected(self):
+        net = FlowNetwork()
+        net.add_edge("s", "a", 1)
+        net.add_node("t")
+        assert max_flow(net, "s", "t") == 0
+
+    def test_single_edge(self):
+        net = FlowNetwork()
+        net.add_edge("s", "t", 7)
+        assert max_flow(net, "s", "t") == 7
+
+    def test_bottleneck(self):
+        net = FlowNetwork()
+        net.add_edge("s", "a", 10)
+        net.add_edge("a", "b", 1)
+        net.add_edge("b", "t", 10)
+        assert max_flow(net, "s", "t") == 1
+
+    def test_parallel_paths(self):
+        net = FlowNetwork()
+        for i in range(4):
+            net.add_edge("s", f"m{i}", 1)
+            net.add_edge(f"m{i}", "t", 1)
+        assert max_flow(net, "s", "t") == 4
+
+    def test_needs_residual_rerouting(self):
+        # Classic example where a naive greedy path choice must be undone
+        # through the residual edge.
+        net = FlowNetwork()
+        net.add_edge("s", "a", 1)
+        net.add_edge("s", "b", 1)
+        net.add_edge("a", "b", 1)
+        net.add_edge("a", "t", 1)
+        net.add_edge("b", "t", 1)
+        assert max_flow(net, "s", "t") == 2
+
+
+class TestMinCut:
+    def test_reachable_side(self):
+        net = FlowNetwork()
+        net.add_edge("s", "a", 2)
+        net.add_edge("a", "b", 1)  # the min cut
+        net.add_edge("b", "t", 2)
+        flow = max_flow(net, "s", "t")
+        assert flow == 1
+        reachable = net.reachable_from("s")
+        assert "a" in reachable
+        assert "b" not in reachable and "t" not in reachable
+
+    def test_cut_value_equals_flow(self):
+        net = diamond()
+        flow = max_flow(net, "s", "t")
+        reachable = net.reachable_from("s")
+        # Sum original capacities crossing the cut == flow (max-flow
+        # min-cut theorem).  Original capacity = residual + reverse gain.
+        crossing = 0
+        for u in reachable:
+            for edge in net.adj[u]:
+                v = net.to[edge]
+                if edge % 2 == 0 and v not in reachable:
+                    crossing += net.cap[edge] + net.cap[edge ^ 1]
+                    crossing -= net.cap[edge]  # residual part not used
+        assert crossing == flow

@@ -1,0 +1,99 @@
+"""Tests for multi-decomposition mapping (repro.core.multimap)."""
+
+import pytest
+
+from repro.bench import circuits
+from repro.core.dag_mapper import map_dag
+from repro.core.multimap import map_multi_decomposition
+from repro.errors import MappingError
+from repro.library.builtin import lib2_like, mini_library
+from repro.library.patterns import PatternSet
+from repro.network.decompose import decompose_network
+from repro.network.simulate import check_equivalent
+
+_EPS = 1e-9
+
+
+@pytest.fixture(scope="module")
+def patterns():
+    return PatternSet(lib2_like(), max_variants=8)
+
+
+FACTORIES = {
+    "cla12": lambda: circuits.carry_lookahead_adder(12),
+    "alu6": lambda: circuits.alu(6),
+    "sec11": lambda: circuits.sec_corrector(11),
+    "acm8": lambda: circuits.adder_comparator_mix(8),
+}
+
+
+class TestComposite:
+    @pytest.mark.parametrize("name", list(FACTORIES))
+    def test_equivalent_and_dominates_each_style(self, name, patterns):
+        net = FACTORIES[name]()
+        result = map_multi_decomposition(net, patterns)
+        check_equivalent(net, result.netlist)
+        for style, single in result.per_style.items():
+            assert result.delay <= single.delay + _EPS
+            assert result.improvement_over(style) >= -_EPS
+
+    def test_per_po_choice_is_optimal(self, patterns):
+        net = FACTORIES["cla12"]()
+        result = map_multi_decomposition(net, patterns)
+        for po, style in result.po_style.items():
+            chosen = result.per_style[style].labels.po_arrival[po]
+            for other in result.per_style.values():
+                assert chosen <= other.labels.po_arrival[po] + _EPS
+
+    def test_single_style_degenerates(self, patterns):
+        net = FACTORIES["alu6"]()
+        result = map_multi_decomposition(net, patterns, styles=("balanced",))
+        plain = map_dag(decompose_network(net), patterns)
+        assert result.delay == pytest.approx(plain.delay)
+        check_equivalent(net, result.netlist)
+
+    def test_no_styles_rejected(self, patterns):
+        with pytest.raises(MappingError):
+            map_multi_decomposition(FACTORIES["alu6"](), patterns, styles=())
+
+    def test_mini_library(self):
+        net = FACTORIES["sec11"]()
+        result = map_multi_decomposition(net, mini_library())
+        check_equivalent(net, result.netlist)
+        assert "MultiMapResult" in repr(result)
+
+
+class TestSizedLibrary:
+    def test_strength_variants(self):
+        from repro.library.builtin import lib2_like, lib2_sized
+
+        base = lib2_like()
+        sized = lib2_sized((1, 2))
+        assert len(sized) == 2 * len(base)
+        weak = sized.gate("nand2_x1")
+        strong = sized.gate("nand2_x2")
+        assert weak.tt == strong.tt
+        # Stronger: slightly slower intrinsically, much weaker load slope.
+        assert strong.pin("a").block_delay > weak.pin("a").block_delay
+        assert strong.pin("a").fanout_delay < weak.pin("a").fanout_delay
+        assert strong.area > weak.area
+
+    def test_sizing_does_not_change_intrinsic_optimum(self):
+        from repro.library.builtin import lib2_sized
+
+        net = circuits.carry_lookahead_adder(8)
+        subject = decompose_network(net)
+        delays = []
+        for count in (1, 2):
+            strengths = tuple(2 ** i for i in range(count))
+            patterns = PatternSet(lib2_sized(strengths), max_variants=8)
+            delays.append(map_dag(subject, patterns).delay)
+        assert delays[0] == pytest.approx(delays[1])
+
+    def test_bad_strengths(self):
+        from repro.library.builtin import lib2_sized
+
+        with pytest.raises(ValueError):
+            lib2_sized(())
+        with pytest.raises(ValueError):
+            lib2_sized((0, 1))

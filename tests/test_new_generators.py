@@ -1,0 +1,148 @@
+"""Functional tests for the Booth/CRC/Johnson/MAC generators."""
+
+import random
+
+import pytest
+
+from repro.bench import circuits, reference
+from repro.network.simulate import simulate_outputs
+
+
+class TestBooth:
+    @pytest.mark.parametrize("width", [1, 2, 3, 4, 5, 6])
+    def test_exhaustive_small(self, width):
+        net = circuits.booth_multiplier(width)
+        for a in range(1 << width):
+            for b in range(1 << width):
+                assignment = {}
+                for i in range(width):
+                    assignment[f"a{i}"] = (a >> i) & 1
+                    assignment[f"b{i}"] = (b >> i) & 1
+                got = simulate_outputs(net, assignment, 1)
+                product = sum(got[f"p{i}"] << i for i in range(2 * width))
+                assert product == a * b, (width, a, b, product)
+
+    def test_random_wide(self):
+        width = 8
+        net = circuits.booth_multiplier(width)
+        ref = reference.multiplier_ref(width)
+        rng = random.Random(13)
+        for _ in range(40):
+            assignment = {
+                s: rng.getrandbits(1) for s in net.combinational_inputs()
+            }
+            got = simulate_outputs(net, assignment, 1)
+            for key, value in ref(assignment).items():
+                assert got[key] == value
+
+    def test_structurally_different_from_array(self):
+        booth = circuits.booth_multiplier(8)
+        array = circuits.array_multiplier(8)
+        assert booth.n_nodes != array.n_nodes
+
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            circuits.booth_multiplier(0)
+
+    def test_maps_and_verifies(self):
+        from repro.core.dag_mapper import map_dag
+        from repro.library.builtin import lib2_like
+        from repro.network.decompose import decompose_network
+        from repro.network.simulate import check_equivalent
+
+        net = circuits.booth_multiplier(5)
+        result = map_dag(decompose_network(net), lib2_like())
+        check_equivalent(net, result.netlist)
+
+
+class TestCrc:
+    @pytest.mark.parametrize("width,data_bits,poly", [
+        (8, 8, 0x07),    # CRC-8/ATM
+        (8, 4, 0x31),    # CRC-8/MAXIM-ish
+        (5, 8, 0x05),
+        (16, 8, 0x1021),  # CRC-16/CCITT
+    ])
+    def test_against_serial_model(self, width, data_bits, poly):
+        net = circuits.crc_step(width, data_bits, poly)
+        ref = reference.crc_step_ref(width, data_bits, poly)
+        rng = random.Random(width * 1000 + data_bits)
+        for _ in range(60):
+            assignment = {
+                s: rng.getrandbits(1) for s in net.combinational_inputs()
+            }
+            got = simulate_outputs(net, assignment, 1)
+            for key, value in ref(assignment).items():
+                assert got[key] == value
+
+    def test_default_poly(self):
+        net = circuits.crc_step(8, 8)
+        ref = reference.crc_step_ref(8, 8)
+        assignment = {s: 1 for s in net.combinational_inputs()}
+        got = simulate_outputs(net, assignment, 1)
+        for key, value in ref(assignment).items():
+            assert got[key] == value
+
+    def test_linearity(self):
+        """CRC is linear over GF(2): f(x) ^ f(y) == f(x^y) ^ f(0)."""
+        net = circuits.crc_step(8, 8, 0x07)
+        ins = net.combinational_inputs()
+        rng = random.Random(3)
+        for _ in range(10):
+            x = {s: rng.getrandbits(1) for s in ins}
+            y = {s: rng.getrandbits(1) for s in ins}
+            xy = {s: x[s] ^ y[s] for s in ins}
+            zero = {s: 0 for s in ins}
+            fx = simulate_outputs(net, x, 1)
+            fy = simulate_outputs(net, y, 1)
+            fxy = simulate_outputs(net, xy, 1)
+            f0 = simulate_outputs(net, zero, 1)
+            for k in fx:
+                assert fx[k] ^ fy[k] == fxy[k] ^ f0[k]
+
+
+class TestSequentialCounters:
+    def test_johnson_cycle(self):
+        width = 4
+        net = circuits.johnson_counter(width)
+        step = reference.johnson_step(width)
+        from tests.test_sequential_equivalence import step_network
+
+        state = {f"q{i}": 0 for i in range(width)}
+        model = [0] * width
+        seen = set()
+        for cycle in range(2 * width + 2):
+            enable = 1 if cycle % 3 != 2 else 0  # hold occasionally
+            state, _ = step_network(net, state, {"en": enable})
+            model = step(model, enable)
+            assert [state[f"q{i}"] for i in range(width)] == model
+            seen.add(tuple(model))
+        # A Johnson counter visits 2*width distinct states.
+        assert len(seen) >= width
+
+    def test_mac_against_step_model(self):
+        width = 3
+        net = circuits.multiply_accumulate(width)
+        step = reference.mac_step(width)
+        from tests.test_sequential_equivalence import step_network
+
+        rng = random.Random(8)
+        state = {f"q{i}": 0 for i in range(2 * width)}
+        model = [0] * (2 * width)
+        for _ in range(25):
+            a = rng.getrandbits(width)
+            b = rng.getrandbits(width)
+            inputs = {}
+            for i in range(width):
+                inputs[f"a{i}"] = (a >> i) & 1
+                inputs[f"b{i}"] = (b >> i) & 1
+            state, _ = step_network(net, state, inputs)
+            model = step(model, a, b)
+            assert [state[f"q{i}"] for i in range(2 * width)] == model
+
+    def test_mac_maps_sequentially(self):
+        from repro.library.builtin import mini_library
+        from repro.sequential.seqmap import map_sequential
+
+        net = circuits.multiply_accumulate(2)
+        result = map_sequential(net, mini_library())
+        assert result.retimed_period <= result.mapped_period + 1e-9

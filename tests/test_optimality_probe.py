@@ -1,0 +1,60 @@
+"""Randomized domination probe for the delay-optimality claim.
+
+The labeling DP claims label(n) is the minimum arrival of *any* cover of
+``n``.  We probe it adversarially: build many random covers (random match
+chosen at every needed node) and check that none beats the label at any
+primary output.  A single violation would disprove optimality.
+"""
+
+import random
+
+import pytest
+
+from repro.bench import circuits
+from repro.core.cover import build_cover
+from repro.core.labeling import compute_labels
+from repro.core.match import Matcher, MatchKind
+from repro.library.builtin import lib2_like, mini_library
+from repro.library.patterns import PatternSet
+from repro.network.decompose import decompose_network
+from repro.timing.sta import analyze
+
+_EPS = 1e-9
+
+
+def random_cover_delay(subject, matcher, labels, rng):
+    """Delay of a cover built with random (not best) match choices."""
+    selection = {}
+    # Choose a random match for every internal node; the cover queue only
+    # uses the ones it needs.
+    for node in subject.topological():
+        if node.is_pi:
+            continue
+        matches = matcher.matches_at(node)
+        selection[node.uid] = rng.choice(matches)
+    netlist = build_cover(labels, selection=selection)
+    return analyze(netlist).delay
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        circuits.c17,
+        lambda: circuits.ripple_adder(3),
+        lambda: circuits.parity_tree(6),
+        lambda: circuits.mux_tree(2),
+    ],
+)
+@pytest.mark.parametrize("lib_factory", [mini_library, lib2_like])
+def test_no_random_cover_beats_the_label(factory, lib_factory):
+    net = factory()
+    subject = decompose_network(net)
+    patterns = PatternSet(lib_factory(), max_variants=8)
+    labels = compute_labels(subject, patterns, MatchKind.STANDARD)
+    matcher = Matcher(patterns, MatchKind.STANDARD)
+    matcher.attach(subject)
+    rng = random.Random(42)
+    optimal = labels.max_arrival
+    for _ in range(25):
+        delay = random_cover_delay(subject, matcher, labels, rng)
+        assert delay >= optimal - _EPS

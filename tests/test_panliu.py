@@ -1,0 +1,89 @@
+"""Tests for the Pan-Liu style sequential decision procedure."""
+
+import pytest
+
+from repro.bench import circuits
+from repro.core.dag_mapper import map_dag
+from repro.library.builtin import lib2_like, mini_library
+from repro.library.patterns import PatternSet
+from repro.network.bnet import BooleanNetwork
+from repro.network.decompose import decompose_network
+from repro.sequential.panliu import feasible_period, min_sequential_period
+from repro.sequential.seqmap import map_sequential
+
+_EPS = 1e-3
+
+
+@pytest.fixture(scope="module")
+def patterns():
+    return PatternSet(lib2_like(), max_variants=8)
+
+
+class TestDecisionProcedure:
+    def test_monotone_in_phi(self, patterns):
+        net = circuits.accumulator(4)
+        phi_star, _ = min_sequential_period(net, patterns)
+        assert feasible_period(net, patterns, phi_star + 0.5) is not None
+        assert feasible_period(net, patterns, phi_star * 0.5) is None
+
+    def test_combinational_circuit_matches_map_dag(self, patterns):
+        """With no latches the procedure degenerates to combinational
+        optimal mapping: phi* == map_dag's optimal delay."""
+        net = circuits.carry_lookahead_adder(6)
+        phi_star, _ = min_sequential_period(net, patterns, tolerance=1e-4)
+        comb = map_dag(decompose_network(net), patterns)
+        assert phi_star == pytest.approx(comb.delay, abs=1e-3)
+
+    def test_single_register_pipeline_halves(self, patterns):
+        """PI -> long chain -> one register -> PO: the coupled procedure
+        places the register mid-path, roughly halving the period."""
+        net = BooleanNetwork("chain")
+        net.add_pi("x")
+        net.add_pi("y")
+        signal = "x"
+        for i in range(8):
+            nxt = f"w{i}"
+            # NAND chain: does not collapse under structural hashing.
+            net.add_node(nxt, f"!({signal}*y)")
+            signal = nxt
+        net.add_latch(signal, "q")
+        net.add_po("q")
+        phi_star, labels = min_sequential_period(net, patterns, tolerance=1e-3)
+        comb_delay = map_dag(decompose_network(net), patterns).delay
+        assert phi_star < comb_delay * 0.75
+        assert labels.phi <= phi_star + _EPS
+
+    def test_dominates_retime_map_retime(self, patterns):
+        """Coupling mapping with retiming can only improve on the
+        three-step retime-map-retime pipeline."""
+        for net in (
+            circuits.accumulator(4),
+            circuits.register_boundaries(circuits.array_multiplier(3),
+                                         output_stages=2),
+            circuits.lfsr(6),
+        ):
+            phi_star, _ = min_sequential_period(net, patterns)
+            three_step = map_sequential(net, patterns, mode="dag")
+            assert phi_star <= three_step.retimed_period + 0.05
+
+    def test_cycle_bound(self, patterns):
+        """A register loop's period is bounded below by loop delay / loop
+        registers; the procedure must respect it."""
+        net = circuits.lfsr(4)
+        phi_star, _ = min_sequential_period(net, patterns)
+        assert phi_star > 0
+
+    def test_labels_returned(self, patterns):
+        net = circuits.accumulator(3)
+        phi_star, labels = min_sequential_period(net, patterns)
+        assert labels is not None
+        assert labels.rounds >= 1
+        assert labels.arrival
+
+
+class TestMiniLibrary:
+    def test_works_with_minimal_library(self):
+        net = circuits.accumulator(3)
+        patterns = PatternSet(mini_library(), max_variants=8)
+        phi_star, _ = min_sequential_period(net, patterns)
+        assert phi_star > 0

@@ -1,0 +1,106 @@
+"""Hypothesis property tests over the whole mapping pipeline.
+
+Random Boolean networks are decomposed and mapped with both mappers under
+two libraries; the paper's invariants must hold on every sample:
+
+* mapped netlists are functionally equivalent to the source;
+* DAG-covering delay <= tree-covering delay;
+* STA delay of the cover equals the labeling's optimal arrival;
+* FlowMap LUT networks are equivalent and depth-optimal (vs cutmap).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.dag_mapper import map_dag
+from repro.core.tree_mapper import map_tree
+from repro.fpga.flowmap import cutmap, flowmap
+from repro.library.builtin import lib44_1, mini_library
+from repro.library.patterns import PatternSet
+from repro.network.bnet import BooleanNetwork
+from repro.network.decompose import decompose_network
+from repro.network.simulate import check_equivalent
+from repro.timing.sta import analyze
+
+_EPS = 1e-9
+
+_MINI = PatternSet(mini_library(), max_variants=8)
+_L441 = PatternSet(lib44_1(), max_variants=8)
+
+_OPS = ["{x}*{y}", "{x}+{y}", "{x}^{y}", "!({x}*{y})", "!({x}+{y})", "!{x}"]
+
+
+@st.composite
+def random_networks(draw):
+    n_inputs = draw(st.integers(min_value=2, max_value=5))
+    n_nodes = draw(st.integers(min_value=2, max_value=18))
+    net = BooleanNetwork("hyp")
+    signals = [net.add_pi(f"i{j}") for j in range(n_inputs)]
+    for idx in range(n_nodes):
+        op = draw(st.sampled_from(_OPS))
+        x = draw(st.sampled_from(signals))
+        y = draw(st.sampled_from(signals))
+        expr = op.format(x=x, y=y) if x != y else f"!{x}"
+        signals.append(net.add_node(f"w{idx}", expr))
+    n_pos = draw(st.integers(min_value=1, max_value=3))
+    for sig in signals[-n_pos:]:
+        if sig not in net.pos:
+            net.add_po(sig)
+    return net
+
+
+_SETTINGS = settings(
+    deadline=None,
+    max_examples=25,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@_SETTINGS
+@given(random_networks())
+def test_mapping_invariants(net):
+    subject = decompose_network(net)
+    for patterns in (_MINI, _L441):
+        dag = map_dag(subject, patterns)
+        tree = map_tree(subject, patterns)
+        check_equivalent(net, dag.netlist)
+        check_equivalent(net, tree.netlist)
+        assert dag.delay <= tree.delay + _EPS
+        assert analyze(dag.netlist).delay == pytest.approx(dag.delay)
+        assert analyze(tree.netlist).delay == pytest.approx(tree.delay)
+
+
+@_SETTINGS
+@given(random_networks(), st.integers(min_value=3, max_value=5))
+def test_flowmap_invariants(net, k):
+    flow = flowmap(net, k=k)
+    check_equivalent(net, flow.network)
+    assert flow.depth == cutmap(net, k=k).depth
+    assert all(len(l.inputs) <= k for l in flow.network.luts)
+
+
+@_SETTINGS
+@given(random_networks())
+def test_mapped_io_roundtrip(net):
+    """Mapped netlists survive the .gate BLIF round trip on any circuit."""
+    from repro.network.mapped_io import dumps_mapped_blif, loads_mapped_blif
+
+    subject = decompose_network(net)
+    dag = map_dag(subject, _MINI)
+    again = loads_mapped_blif(dumps_mapped_blif(dag.netlist), _MINI.library)
+    check_equivalent(net, again)
+    assert again.area() == pytest.approx(dag.netlist.area())
+
+
+@_SETTINGS
+@given(random_networks())
+def test_area_recovery_invariants(net):
+    from repro.core.area_recovery import recover_area
+
+    subject = decompose_network(net)
+    dag = map_dag(subject, _MINI)
+    recovered = recover_area(dag.labels, _MINI)
+    check_equivalent(net, recovered)
+    assert analyze(recovered).delay <= dag.delay + 1e-6
+    assert recovered.area() <= dag.area + 1e-6

@@ -1,0 +1,86 @@
+"""Property tests for the library layer: random gate functions.
+
+Every non-trivial Boolean function of up to 4 inputs, rendered as a gate,
+must decompose into pattern graphs that compute exactly that function —
+the soundness property the whole matcher relies on.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.library.gate import make_gate
+from repro.library.genlib import dumps_genlib, parse_genlib
+from repro.library.gate import GateLibrary, Pin
+from repro.library.patterns import generate_patterns
+from repro.network.functions import TruthTable
+from repro.network.subject import NodeType
+
+_NAMES = ["a", "b", "c", "d"]
+
+
+def _gate_from_tt(tt: TruthTable):
+    small, keep = tt.shrunk()
+    names = [_NAMES[i] for i in keep]
+    if small.n_vars == 0:
+        sop = "CONST1" if small.bits else "CONST0"
+    else:
+        sop = small.to_sop_string(names)
+    return make_gate("g", 1.0, f"O={sop}")
+
+
+def _eval_pattern(pattern, assignment):
+    values = {}
+    for node in pattern.nodes:
+        if node.is_leaf:
+            values[node.uid] = assignment[node.pin]
+        elif node.kind is NodeType.INV:
+            values[node.uid] = 1 - values[node.fanins[0].uid]
+        else:
+            x, y = node.fanins
+            values[node.uid] = 1 - (values[x.uid] & values[y.uid])
+    return values[pattern.root.uid]
+
+
+@settings(deadline=None, max_examples=60)
+@given(st.integers(min_value=1, max_value=2 ** 16 - 2))
+def test_patterns_compute_random_functions(bits):
+    tt = TruthTable(4, bits)
+    gate = _gate_from_tt(tt)
+    patterns = generate_patterns(gate, max_variants=6)
+    if gate.n_inputs == 0 or gate.is_buffer():
+        assert patterns == []
+        return
+    assert patterns, f"no pattern for {gate.expr.to_string()}"
+    for pattern in patterns:
+        for m in range(1 << gate.n_inputs):
+            assignment = {
+                pin: (m >> i) & 1 for i, pin in enumerate(gate.inputs)
+            }
+            assert _eval_pattern(pattern, assignment) == gate.tt.evaluate(m)
+
+
+@settings(deadline=None, max_examples=40)
+@given(
+    st.integers(min_value=1, max_value=254),
+    st.floats(min_value=0.1, max_value=9.9),
+    st.floats(min_value=0.1, max_value=9.9),
+)
+def test_genlib_roundtrip_random_gates(bits, area, block):
+    tt = TruthTable(3, bits)
+    small, keep = tt.shrunk()
+    if small.n_vars == 0:
+        return  # constants carry no pins; uninteresting here
+    names = [_NAMES[i] for i in keep]
+    gate = make_gate(
+        "g", round(area, 3), f"O={small.to_sop_string(names)}",
+        default_pin=Pin("*", rise_block=round(block, 3),
+                        fall_block=round(block, 3)),
+    )
+    library = GateLibrary([gate], name="one")
+    again = parse_genlib(dumps_genlib(library))
+    twin = again.gate("g")
+    assert twin.tt == gate.tt
+    assert twin.area == gate.area
+    for pin in gate.pins:
+        assert twin.pin(pin.name).block_delay == pytest.approx(pin.block_delay)

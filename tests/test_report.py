@@ -1,0 +1,76 @@
+"""Tests for the EXPERIMENTS.md report machinery (repro.harness.report)."""
+
+import pytest
+
+from repro.harness.experiment import ComparisonRow
+from repro.harness.report import (
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    _md_comparison,
+    _md_dicts,
+    _paper_improvement,
+    _verdict,
+)
+
+
+def _row(circuit="C2670s", iscas="C2670", tree=10.0, dag=8.0):
+    return ComparisonRow(
+        circuit=circuit,
+        iscas=iscas,
+        subject_gates=100,
+        tree_delay=tree,
+        dag_delay=dag,
+        tree_area=50.0,
+        dag_area=60.0,
+        tree_cpu=0.1,
+        dag_cpu=0.2,
+        verified=True,
+    )
+
+
+class TestPaperData:
+    def test_tables_cover_the_five_circuits(self):
+        expected = {"C2670", "C3540", "C5315", "C6288", "C7552"}
+        assert set(PAPER_TABLE2) == expected
+        assert set(PAPER_TABLE3) == expected
+
+    def test_paper_dag_always_wins(self):
+        for table in (PAPER_TABLE2, PAPER_TABLE3):
+            for tree_delay, dag_delay, *_ in table.values():
+                assert dag_delay <= tree_delay
+
+    def test_paper_trend_table3_stronger(self):
+        assert _paper_improvement(PAPER_TABLE3) > _paper_improvement(PAPER_TABLE2)
+
+    def test_paper_table3_cpu_larger(self):
+        """Table 3's rich library costs far more CPU than Table 2's."""
+        for circuit in PAPER_TABLE2:
+            assert PAPER_TABLE3[circuit][4] > PAPER_TABLE2[circuit][4]
+
+
+class TestRendering:
+    def test_md_comparison_with_paper_column(self):
+        lines = _md_comparison([_row()], PAPER_TABLE2)
+        assert lines[0].startswith("| circuit |")
+        body = lines[2]
+        assert "C2670s" in body
+        assert "| 33 |" in body  # paper improvement (27 -> 18)
+
+    def test_md_comparison_without_paper(self):
+        lines = _md_comparison([_row(iscas="XYZ")])
+        assert "XYZ" in lines[2]
+
+    def test_md_dicts(self):
+        lines = _md_dicts([{"a": 1, "b": 2.5}, {"a": 3, "b": 4.0}])
+        assert lines[0] == "| a | b |"
+        assert "2.500" in lines[2]
+        assert _md_dicts([]) == ["(no rows)"]
+
+    def test_verdict(self):
+        assert _verdict(True, "claim").startswith("- **REPRODUCED**")
+        assert "NOT REPRODUCED" in _verdict(False, "claim")
+
+    def test_improvement_property(self):
+        row = _row(tree=10.0, dag=8.0)
+        assert row.improvement == pytest.approx(0.2)
+        assert _row(tree=0.0, dag=0.0).improvement == 0.0

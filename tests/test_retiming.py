@@ -1,0 +1,152 @@
+"""Tests for Leiserson-Saxe retiming (repro.sequential.retiming)."""
+
+import itertools
+
+import pytest
+
+from repro.errors import RetimingError
+from repro.sequential.retiming import HOST, RetimeGraph, min_period, retime_for_period
+
+
+def correlator() -> RetimeGraph:
+    """The classic Leiserson-Saxe correlator example.
+
+    Ring of vertices: host(0) -> d1(3) -> d2(3) -> d3(3) -> host, with
+    comparison vertices c1..c3 (delay 7) hanging off; original period 24,
+    optimal period 13.
+    """
+    g = RetimeGraph()
+    g.add_node("h", 0.0)
+    for name in ("d1", "d2", "d3"):
+        g.add_node(name, 3.0)
+    for name in ("c1", "c2", "c3"):
+        g.add_node(name, 7.0)
+    g.add_edge("h", "d1", 1)
+    g.add_edge("d1", "d2", 1)
+    g.add_edge("d2", "d3", 1)
+    g.add_edge("d1", "c1", 0)
+    g.add_edge("d2", "c2", 0)
+    g.add_edge("d3", "c3", 0)
+    g.add_edge("c1", "h", 0)
+    g.add_edge("c2", "c1", 0)
+    g.add_edge("c3", "c2", 0)
+    return g
+
+
+def brute_force_min_period(graph: RetimeGraph, bound: int = 2) -> float:
+    """Try every lag vector in [-bound, bound]^V; exact on tiny graphs."""
+    nodes = graph.nodes()
+    best = graph.clock_period()
+    for lags in itertools.product(range(-bound, bound + 1), repeat=len(nodes)):
+        assignment = dict(zip(nodes, lags))
+        try:
+            retimed = graph.retimed(assignment)
+            period = retimed.clock_period()
+        except RetimingError:
+            continue
+        best = min(best, period)
+    return best
+
+
+class TestGraphBasics:
+    def test_clock_period(self):
+        g = correlator()
+        assert g.clock_period() == pytest.approx(24.0)
+
+    def test_register_count(self):
+        assert correlator().total_registers() == 3
+
+    def test_zero_register_loop_rejected(self):
+        g = RetimeGraph()
+        g.add_node("a", 1.0)
+        g.add_node("b", 1.0)
+        g.add_edge("a", "b", 0)
+        g.add_edge("b", "a", 0)
+        with pytest.raises(RetimingError):
+            g.clock_period()
+
+    def test_parallel_edges_keep_min_weight(self):
+        g = RetimeGraph()
+        g.add_node("a", 1.0)
+        g.add_node("b", 1.0)
+        g.add_edge("a", "b", 3)
+        g.add_edge("a", "b", 1)
+        assert g.weight[("a", "b")] == 1
+
+    def test_negative_weight_rejected(self):
+        g = RetimeGraph()
+        g.add_node("a", 1.0)
+        g.add_node("b", 1.0)
+        with pytest.raises(RetimingError):
+            g.add_edge("a", "b", -1)
+
+    def test_edge_before_node_rejected(self):
+        g = RetimeGraph()
+        with pytest.raises(RetimingError):
+            g.add_edge("a", "b", 0)
+
+    def test_illegal_retiming_detected(self):
+        g = correlator()
+        with pytest.raises(RetimingError):
+            g.retimed_weights({"c1": -1})  # edge d1->c1 would go negative
+
+
+class TestFeasAndMinPeriod:
+    def test_correlator_optimal_period(self):
+        g = correlator()
+        period, lags = min_period(g, fixed="h")
+        assert period == pytest.approx(13.0)
+        retimed = g.retimed(lags)
+        assert retimed.clock_period() == pytest.approx(13.0)
+        assert lags["h"] == 0
+
+    def test_feasibility_boundary(self):
+        g = correlator()
+        assert retime_for_period(g, 13.0, fixed="h") is not None
+        assert retime_for_period(g, 12.9, fixed="h") is None
+
+    def test_registers_conserved_on_cycles(self):
+        """Retiming preserves the register count around every cycle."""
+        g = correlator()
+        _, lags = min_period(g, fixed="h")
+        retimed = g.retimed(lags)
+        cycle = [("h", "d1"), ("d1", "c1"), ("c1", "h")]
+        before = sum(g.weight[e] for e in cycle)
+        after = sum(retimed.weight[e] for e in cycle)
+        assert before == after
+
+    def test_already_optimal(self):
+        g = RetimeGraph()
+        g.add_node("a", 5.0)
+        g.add_node("b", 5.0)
+        g.add_edge("a", "b", 1)
+        g.add_edge("b", "a", 1)
+        period, _ = min_period(g)
+        assert period == pytest.approx(5.0)
+
+    def test_empty_graph(self):
+        period, lags = min_period(RetimeGraph())
+        assert period == 0.0 and lags == {}
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_against_brute_force(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        g = RetimeGraph()
+        names = ["v0", "v1", "v2", "v3"]
+        for name in names:
+            g.add_node(name, rng.randint(1, 5))
+        # A register ring plus random chords keeps every cycle weighted.
+        for i in range(4):
+            g.add_edge(names[i], names[(i + 1) % 4], 1)
+        for _ in range(3):
+            u, v = rng.sample(names, 2)
+            g.add_edge(u, v, rng.randint(0, 2))
+        try:
+            g.clock_period()
+        except RetimingError:
+            pytest.skip("random chords formed a zero-weight cycle")
+        period, lags = min_period(g)
+        assert period <= g.clock_period() + 1e-9
+        assert period == pytest.approx(brute_force_min_period(g), abs=1e-6)

@@ -1,0 +1,95 @@
+"""Tests for dual-phase (rise/fall) STA (repro.timing.risefall)."""
+
+import pytest
+
+from repro.bench import circuits
+from repro.core.dag_mapper import map_dag
+from repro.core.netlist import MappedNetlist
+from repro.errors import TimingError
+from repro.library.builtin import lib2_like
+from repro.library.gate import Gate, Pin
+from repro.network.decompose import decompose_network
+from repro.network.expr import parse_expr
+from repro.timing.risefall import analyze_rise_fall
+from repro.timing.sta import analyze
+
+
+def asymmetric_inv(name="inv", rise=2.0, fall=1.0):
+    return Gate(
+        name, 1.0, "O", parse_expr("!a"),
+        [Pin("a", phase="INV", rise_block=rise, fall_block=fall)],
+    )
+
+
+class TestHandComputed:
+    def test_inverter_chain_alternates_phases(self):
+        """INV(rise=2, fall=1) chain: output rise is caused by input fall
+        and vice versa, so the transitions alternate down the chain."""
+        inv = asymmetric_inv()
+        netlist = MappedNetlist("chain")
+        netlist.add_pi("a")
+        netlist.add_gate(inv, ["a"], "x")
+        netlist.add_gate(inv, ["x"], "y")
+        netlist.add_po("out", "y")
+        report = analyze_rise_fall(netlist)
+        # x: rise caused by a falling (0 + 2 = 2); fall by a rising (1).
+        assert report.rise["x"] == pytest.approx(2.0)
+        assert report.fall["x"] == pytest.approx(1.0)
+        # y: rise caused by x falling (1 + 2 = 3); fall by x rising (2+1).
+        assert report.rise["y"] == pytest.approx(3.0)
+        assert report.fall["y"] == pytest.approx(3.0)
+        assert report.delay == pytest.approx(3.0)
+        # The collapsed model charges max(2,1)=2 per stage: 4.0 total.
+        assert analyze(netlist).delay == pytest.approx(4.0)
+
+    def test_unknown_phase_is_conservative(self):
+        xor = Gate(
+            "xor2", 1.0, "O", parse_expr("a*!b+!a*b"),
+            [Pin("a", phase="UNKNOWN", rise_block=1.5, fall_block=1.0),
+             Pin("b", phase="UNKNOWN", rise_block=1.5, fall_block=1.0)],
+        )
+        netlist = MappedNetlist("x")
+        netlist.add_pi("a")
+        netlist.add_pi("b")
+        netlist.add_gate(xor, ["a", "b"], "y")
+        netlist.add_po("out", "y")
+        report = analyze_rise_fall(netlist, arrival_times={"a": 1.0})
+        assert report.rise["y"] == pytest.approx(2.5)  # 1.0 + 1.5
+        assert report.fall["y"] == pytest.approx(2.0)
+
+    def test_missing_arrival(self):
+        netlist = MappedNetlist("bad")
+        netlist.add_pi("a")
+        netlist.add_po("out", "ghost")
+        with pytest.raises(TimingError):
+            analyze_rise_fall(netlist)
+
+
+class TestRefinement:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: circuits.alu(4),
+            lambda: circuits.carry_lookahead_adder(8),
+            lambda: circuits.sec_corrector(8),
+        ],
+    )
+    def test_never_exceeds_collapsed_model(self, factory):
+        """Dual-phase delay <= single-value delay on real mappings: the
+        collapsed model charges the worst transition on every edge."""
+        net = factory()
+        dag = map_dag(decompose_network(net), lib2_like())
+        coarse = analyze(dag.netlist).delay
+        fine = analyze_rise_fall(dag.netlist).delay
+        assert fine <= coarse + 1e-9
+        assert fine > 0
+
+    def test_worst_po_consistent(self):
+        net = circuits.alu(4)
+        dag = map_dag(decompose_network(net), lib2_like())
+        report = analyze_rise_fall(dag.netlist)
+        worst = report.worst_po()
+        assert report.po_arrivals[worst] == pytest.approx(report.delay)
+        assert report.arrival_of(dict(dag.netlist.pos)[worst]) == pytest.approx(
+            report.delay
+        )

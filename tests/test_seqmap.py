@@ -1,0 +1,86 @@
+"""Tests for sequential mapping with retiming (repro.sequential.seqmap)."""
+
+import pytest
+
+from repro.bench import circuits
+from repro.library.builtin import lib2_like, mini_library
+from repro.library.patterns import PatternSet
+from repro.sequential.retiming import HOST
+from repro.sequential.seqmap import map_sequential, retime_graph_of
+
+_EPS = 1e-9
+
+
+@pytest.fixture(scope="module")
+def patterns():
+    return PatternSet(lib2_like(), max_variants=8)
+
+
+class TestRetimeGraphConstruction:
+    def test_accumulator_graph(self, patterns):
+        net = circuits.accumulator(4)
+        result = map_sequential(net, patterns)
+        graph = result.graph
+        assert HOST in graph.delay
+        # One vertex per mapped gate plus the host.
+        assert len(graph.delay) == result.comb.netlist.gate_count() + 1
+        # Latch edges carry the register weight.
+        assert graph.total_registers() > 0
+
+    def test_latch_chain_resolution(self, patterns):
+        # The LFSR's shift chain is pure latch-to-latch wiring: weights
+        # must accumulate across the chain.
+        net = circuits.lfsr(6)
+        result = map_sequential(net, patterns)
+        assert result.graph.total_registers() >= 6
+
+    def test_register_loop_detected(self):
+        """A pure register ring with no logic inside (the wires collapse
+        to aliases during decomposition) must raise, never hang."""
+        from repro.network.bnet import BooleanNetwork
+        from repro.errors import RetimingError
+
+        net = BooleanNetwork("loop2")
+        net.add_pi("x")
+        net.add_latch("w0", "q0")
+        net.add_latch("w1", "q1")
+        net.add_node("w0", "q1^CONST0")
+        net.add_node("w1", "q0^CONST0")
+        net.add_node("f", "x*q0")
+        net.add_po("f")
+        with pytest.raises(RetimingError):
+            map_sequential(net, lib2_like())
+
+
+class TestFlow:
+    @pytest.mark.parametrize("mode", ["tree", "dag"])
+    def test_retiming_never_hurts(self, patterns, mode):
+        net = circuits.accumulator(6)
+        result = map_sequential(net, patterns, mode=mode)
+        assert result.retimed_period <= result.mapped_period + _EPS
+        assert result.registers_before >= 0
+        assert "SequentialMappingResult" in repr(result)
+
+    def test_pipeline_improves(self, patterns):
+        net = circuits.register_boundaries(
+            circuits.array_multiplier(4), output_stages=3
+        )
+        result = map_sequential(net, patterns)
+        # Three boundary stages must spread into the multiplier array.
+        assert result.retimed_period < result.mapped_period * 0.6
+        assert result.improvement > 0.4
+
+    def test_single_stage_wrap(self, patterns):
+        net = circuits.register_boundaries(circuits.ripple_adder(4))
+        result = map_sequential(net, patterns)
+        assert result.retimed_period <= result.mapped_period + _EPS
+
+    def test_bad_mode(self, patterns):
+        with pytest.raises(ValueError):
+            map_sequential(circuits.accumulator(2), patterns, mode="fast")
+
+    def test_combinational_delay_matches_mapper(self, patterns):
+        net = circuits.accumulator(4)
+        result = map_sequential(net, patterns, mode="dag")
+        assert result.comb.mode == "dag"
+        assert result.comb.delay > 0

@@ -1,0 +1,113 @@
+"""Tests for simulation and equivalence checking (repro.network.simulate)."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.network.bnet import BooleanNetwork
+from repro.network.simulate import (
+    Counterexample,
+    check_equivalent,
+    exhaustive_equivalence,
+    input_names,
+    output_names,
+    random_equivalence,
+    simulate_outputs,
+)
+
+
+def make_net(expr: str) -> BooleanNetwork:
+    net = BooleanNetwork("n")
+    net.add_pi("a")
+    net.add_pi("b")
+    net.add_node("f", expr)
+    net.add_po("f")
+    return net
+
+
+class TestAdapters:
+    def test_names(self):
+        net = make_net("a*b")
+        assert input_names(net) == ["a", "b"]
+        assert output_names(net) == ["f"]
+
+    def test_simulate_outputs(self):
+        net = make_net("a*b")
+        assert simulate_outputs(net, {"a": 1, "b": 1}, 1) == {"f": 1}
+
+    def test_latch_boundary_names(self):
+        net = BooleanNetwork()
+        net.add_pi("d")
+        net.add_latch("nxt", "q")
+        net.add_node("nxt", "d^q")
+        net.add_po("q")
+        assert input_names(net) == ["d", "q"]
+        assert set(output_names(net)) == {"q", "nxt"}
+
+
+class TestEquivalence:
+    def test_equal_networks(self):
+        assert exhaustive_equivalence(make_net("a*b"), make_net("b*a")) is None
+        assert random_equivalence(make_net("a^b"), make_net("!a*b + a*!b")) is None
+
+    def test_counterexample_found(self):
+        cex = exhaustive_equivalence(make_net("a*b"), make_net("a+b"))
+        assert isinstance(cex, Counterexample)
+        assert cex.output == "f"
+        # Verify the counterexample really distinguishes the circuits.
+        a_val = simulate_outputs(make_net("a*b"), cex.assignment, 1)["f"]
+        b_val = simulate_outputs(make_net("a+b"), cex.assignment, 1)["f"]
+        assert a_val != b_val
+        assert str(cex)
+
+    def test_random_finds_difference(self):
+        cex = random_equivalence(make_net("a"), make_net("b"), vectors=64)
+        assert cex is not None
+
+    def test_input_mismatch(self):
+        other = BooleanNetwork()
+        other.add_pi("a")
+        other.add_node("f", "!a")
+        other.add_po("f")
+        with pytest.raises(NetworkError):
+            exhaustive_equivalence(make_net("a*b"), other)
+
+    def test_no_common_outputs(self):
+        other = BooleanNetwork()
+        other.add_pi("a")
+        other.add_pi("b")
+        other.add_node("zzz", "a*b")
+        other.add_po("zzz")
+        with pytest.raises(NetworkError):
+            exhaustive_equivalence(make_net("a*b"), other)
+
+    def test_check_equivalent_raises(self):
+        with pytest.raises(NetworkError):
+            check_equivalent(make_net("a*b"), make_net("a+b"))
+
+    def test_exhaustive_limit(self):
+        big = BooleanNetwork()
+        for i in range(17):
+            big.add_pi(f"p{i}")
+        big.add_node("f", "+".join(f"p{i}" for i in range(17)))
+        big.add_po("f")
+        with pytest.raises(NetworkError):
+            exhaustive_equivalence(big, big.copy())
+        # check_equivalent falls back to random simulation.
+        check_equivalent(big, big.copy())
+
+    def test_corner_probing(self):
+        # Circuits differing only on the all-ones vector: corner probing
+        # in random_equivalence must catch it even with few vectors.
+        wide_and = BooleanNetwork()
+        for i in range(12):
+            wide_and.add_pi(f"p{i}")
+        wide_and.add_node("f", "*".join(f"p{i}" for i in range(12)))
+        wide_and.add_po("f")
+        const0 = BooleanNetwork()
+        for i in range(12):
+            const0.add_pi(f"p{i}")
+        const0.add_node("f", "CONST0")
+        const0.add_po("f")
+        cex = random_equivalence(wide_and, const0, vectors=1)
+        assert cex is not None
+        assert all(cex.assignment[f"p{i}"] == 1 for i in range(12))

@@ -1,0 +1,96 @@
+"""Tests for static timing analysis (repro.timing)."""
+
+import math
+
+import pytest
+
+from repro.core.netlist import MappedNetlist
+from repro.errors import TimingError
+from repro.library.gate import Pin, make_gate
+from repro.timing.delay_model import (
+    LoadDependentModel,
+    LoadIndependentModel,
+    UnitDelayModel,
+)
+from repro.timing.sta import analyze
+
+
+def chain_netlist():
+    """a -> inv(1.0) -> x -> nand2(2.0) with b -> y; PO out=y."""
+    inv = make_gate("inv", 1.0, "O=!a",
+                    default_pin=Pin("*", rise_block=1.0, fall_block=1.0,
+                                    rise_fanout=0.5, fall_fanout=0.5))
+    nand = make_gate("nand2", 2.0, "O=!(a*b)",
+                     default_pin=Pin("*", rise_block=2.0, fall_block=2.0,
+                                     rise_fanout=0.25, fall_fanout=0.25))
+    netlist = MappedNetlist("chain")
+    netlist.add_pi("a")
+    netlist.add_pi("b")
+    netlist.add_gate(inv, ["a"], "x")
+    netlist.add_gate(nand, ["x", "b"], "y")
+    netlist.add_po("out", "y")
+    return netlist
+
+
+class TestArrivals:
+    def test_hand_computed(self):
+        report = analyze(chain_netlist())
+        assert report.arrivals["x"] == pytest.approx(1.0)
+        assert report.arrivals["y"] == pytest.approx(3.0)
+        assert report.delay == pytest.approx(3.0)
+        assert report.po_arrivals["out"] == pytest.approx(3.0)
+        assert report.worst_po() == "out"
+
+    def test_pi_arrival_times(self):
+        report = analyze(chain_netlist(), arrival_times={"b": 10.0})
+        assert report.delay == pytest.approx(12.0)
+
+    def test_unit_model(self):
+        report = analyze(chain_netlist(), model=UnitDelayModel())
+        assert report.delay == pytest.approx(2.0)
+
+    def test_load_model_slower(self):
+        independent = analyze(chain_netlist(), model=LoadIndependentModel())
+        loaded = analyze(chain_netlist(), model=LoadDependentModel())
+        # Non-negative fanout coefficients can only add delay.
+        assert loaded.delay >= independent.delay
+        # x drives one nand2 pin of load 1: 1.0 + 0.5*1 = 1.5.
+        assert loaded.arrivals["x"] == pytest.approx(1.5)
+
+
+class TestRequiredAndSlack:
+    def test_critical_path_zero_slack(self):
+        report = analyze(chain_netlist())
+        assert report.slack_of("y") == pytest.approx(0.0)
+        assert report.slack_of("x") == pytest.approx(0.0)
+        assert report.slack_of("a") == pytest.approx(0.0)
+        # b arrives at 0 but is only needed at 1.0.
+        assert report.slack_of("b") == pytest.approx(1.0)
+
+    def test_explicit_required_time(self):
+        report = analyze(chain_netlist(), required_time=5.0)
+        assert report.slack_of("y") == pytest.approx(2.0)
+
+    def test_critical_path_walk(self):
+        report = analyze(chain_netlist())
+        assert report.critical_path == ["a", "x", "y"]
+
+    def test_unknown_slack_is_inf(self):
+        report = analyze(chain_netlist())
+        assert report.slack_of("nonexistent") == math.inf
+
+
+class TestDegenerate:
+    def test_empty_netlist(self):
+        netlist = MappedNetlist("empty")
+        netlist.add_pi("a")
+        netlist.add_po("out", "a")
+        report = analyze(netlist)
+        assert report.delay == 0.0
+
+    def test_missing_driver(self):
+        netlist = MappedNetlist("bad")
+        netlist.add_pi("a")
+        netlist.add_po("out", "ghost")
+        with pytest.raises(TimingError):
+            analyze(netlist)

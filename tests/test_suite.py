@@ -1,0 +1,66 @@
+"""Tests for the named benchmark suite (repro.bench.suite)."""
+
+import random
+
+import pytest
+
+from repro.bench.suite import (
+    SUITE,
+    TABLE1_NAMES,
+    TABLE23_NAMES,
+    get_circuit,
+    get_reference,
+    suite_circuits,
+)
+from repro.network.simulate import simulate_outputs
+
+
+class TestRegistry:
+    def test_table_subsets(self):
+        assert set(TABLE23_NAMES) <= set(TABLE1_NAMES)
+        assert len(TABLE23_NAMES) == 5  # the paper's Tables 2/3 rows
+        for name in TABLE23_NAMES:
+            assert SUITE[name].iscas in (
+                "C2670", "C3540", "C5315", "C6288", "C7552",
+            )
+
+    def test_every_entry_builds_and_checks(self):
+        for entry, net in suite_circuits():
+            net.check()
+            assert net.n_nodes > 0
+            assert entry.description
+
+    @pytest.mark.parametrize("name", TABLE1_NAMES)
+    def test_reference_agreement(self, name):
+        net = get_circuit(name)
+        ref = get_reference(name)
+        assert ref is not None
+        rng = random.Random(hash(name) & 0xFFFF)
+        ins = net.combinational_inputs()
+        for _ in range(20):
+            assignment = {s: rng.getrandbits(1) for s in ins}
+            got = simulate_outputs(net, assignment, 1)
+            for key, value in ref(assignment).items():
+                assert got[key] == value
+
+    def test_subset_iteration(self):
+        names = ["C880s", "C432s"]
+        seen = [entry.name for entry, _ in suite_circuits(names)]
+        assert seen == names
+
+    def test_extra_circuits_build_and_verify(self):
+        from repro.bench.suite import EXTRA, ALL_CIRCUITS
+
+        assert set(EXTRA) <= set(ALL_CIRCUITS)
+        rng = random.Random(99)
+        for name, entry in EXTRA.items():
+            net = entry.build()
+            net.check()
+            if entry.ref is None:
+                continue
+            ins = net.combinational_inputs()
+            for _ in range(10):
+                assignment = {s: rng.getrandbits(1) for s in ins}
+                got = simulate_outputs(net, assignment, 1)
+                for key, value in entry.ref(assignment).items():
+                    assert got[key] == value, (name, key)

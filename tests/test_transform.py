@@ -1,0 +1,116 @@
+"""Tests for sweep and cone extraction (repro.network.transform)."""
+
+import pytest
+
+from repro.bench import circuits
+from repro.errors import NetworkError
+from repro.network.bnet import BooleanNetwork
+from repro.network.simulate import check_equivalent
+from repro.network.transform import extract_cone, sweep
+
+
+def messy_network() -> BooleanNetwork:
+    """Dead logic, constants, identity chains — everything sweep targets."""
+    net = BooleanNetwork("messy")
+    net.add_pi("a")
+    net.add_pi("b")
+    net.add_node("zero", "CONST0")
+    net.add_node("x", "a*b + zero")       # zero is vacuous
+    net.add_node("wire1", "x", ["x"])     # identity chain
+    net.add_node("wire2", "wire1", ["wire1"])
+    net.add_node("dead", "!a")            # feeds nothing
+    net.add_node("deader", "dead*b")
+    net.add_node("f", "wire2 ^ zero")     # == x
+    net.add_po("f")
+    return net
+
+
+class TestSweep:
+    def test_equivalent_and_smaller(self):
+        net = messy_network()
+        report = sweep(net)
+        check_equivalent(net, report.network)
+        assert report.network.n_nodes < net.n_nodes
+        assert report.removed > 0
+        assert report.constants_propagated >= 1
+        assert report.identities_collapsed >= 2
+        assert "SweepReport" in repr(report)
+
+    def test_already_clean_unchanged_count(self):
+        net = circuits.c17()
+        report = sweep(net)
+        check_equivalent(net, report.network)
+        assert report.network.n_nodes == net.n_nodes
+
+    def test_constant_po_preserved(self):
+        net = BooleanNetwork("k")
+        net.add_pi("a")
+        net.add_node("f", "a*!a")  # constant 0 but drives a PO
+        net.add_po("f")
+        report = sweep(net)
+        check_equivalent(net, report.network)
+        assert report.network.node("f").tt.is_const0()
+
+    def test_sequential_boundaries_respected(self):
+        net = circuits.accumulator(4)
+        report = sweep(net)
+        assert len(report.network.latches) == len(net.latches)
+        # Lock-step simulation over a few cycles.
+        from tests.test_sequential_equivalence import step_network
+
+        state_a = {f"q{i}": 0 for i in range(4)}
+        state_b = dict(state_a)
+        for value in (3, 7, 1, 15, 2):
+            inputs = {f"in{i}": (value >> i) & 1 for i in range(4)}
+            state_a, _ = step_network(net, state_a, inputs)
+            state_b, _ = step_network(report.network, state_b, inputs)
+            assert state_a == state_b
+
+    def test_sweep_then_map(self):
+        from repro.core.dag_mapper import map_dag
+        from repro.library.builtin import mini_library
+        from repro.network.decompose import decompose_network
+
+        net = messy_network()
+        report = sweep(net)
+        result = map_dag(decompose_network(report.network), mini_library())
+        check_equivalent(net, result.netlist)
+
+
+class TestExtractCone:
+    def test_single_output(self):
+        net = circuits.alu(4)
+        cone = extract_cone(net, ["cout"])
+        assert cone.pos == ["cout"]
+        assert cone.n_nodes < net.n_nodes
+        # The cone computes the same function of the same inputs.
+        import random
+
+        rng = random.Random(5)
+        for _ in range(30):
+            full_iv = {s: rng.getrandbits(1) for s in net.combinational_inputs()}
+            sub_iv = {s: full_iv[s] for s in cone.combinational_inputs()}
+            from repro.network.simulate import simulate_outputs
+
+            assert (
+                simulate_outputs(net, full_iv, 1)["cout"]
+                == simulate_outputs(cone, sub_iv, 1)["cout"]
+            )
+
+    def test_unused_inputs_dropped(self):
+        net = circuits.adder_comparator_mix(6)
+        cone = extract_cone(net, ["pa"])  # parity of bus a only
+        assert set(cone.pis) == {f"a{i}" for i in range(6)}
+
+    def test_latch_boundary_cut(self):
+        net = circuits.accumulator(4)
+        cone = extract_cone(net, ["nq0"])
+        assert "q0" in cone.pis  # the latch output became a PI
+
+    def test_missing_output(self):
+        with pytest.raises(NetworkError):
+            extract_cone(circuits.c17(), ["nonexistent"])
+
+    def test_empty_outputs(self):
+        with pytest.raises(NetworkError):
+            extract_cone(circuits.c17(), [])
