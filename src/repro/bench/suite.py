@@ -16,7 +16,8 @@ from repro.bench import circuits, reference
 from repro.network.bnet import BooleanNetwork
 
 __all__ = ["BenchCircuit", "SUITE", "EXTRA", "ALL_CIRCUITS", "TABLE1_NAMES",
-           "TABLE23_NAMES", "get_circuit", "get_reference", "suite_circuits"]
+           "TABLE23_NAMES", "get_circuit", "get_reference", "suite_circuits",
+           "build_subject"]
 
 
 @dataclass(frozen=True)
@@ -161,3 +162,16 @@ def suite_circuits(names: Optional[List[str]] = None):
     for name in names or TABLE1_NAMES:
         entry = ALL_CIRCUITS[name]
         yield entry, entry.build()
+
+
+def build_subject(name: str, style: str = "balanced"):
+    """Build a named circuit and decompose it into a subject graph.
+
+    The (circuit, subject) pair is what every mapper benchmark needs;
+    centralising it keeps bench scripts and perf tests in lockstep with
+    the table experiments' decomposition defaults.
+    """
+    from repro.network.decompose import decompose_network
+
+    net = ALL_CIRCUITS[name].build()
+    return net, decompose_network(net, style=style)

@@ -63,12 +63,14 @@ def _cmd_map(args: argparse.Namespace) -> int:
     subject = decompose_network(net, style=args.decompose)
     kind = MatchKind(args.match)
     arrivals = _parse_arrivals(args.arrivals)
+    cache = not args.no_cache
     if args.mode == "dag":
         result = map_dag(subject, library, kind=kind,
-                         max_variants=args.variants, arrival_times=arrivals)
+                         max_variants=args.variants, arrival_times=arrivals,
+                         cache=cache)
     else:
         result = map_tree(subject, library, max_variants=args.variants,
-                          arrival_times=arrivals)
+                          arrival_times=arrivals, cache=cache)
     if args.verify:
         check_equivalent(net, result.netlist)
     print(f"circuit   : {net.name}")
@@ -78,6 +80,11 @@ def _cmd_map(args: argparse.Namespace) -> int:
     print(f"delay     : {result.delay:.3f}")
     print(f"area      : {result.area:.2f} ({result.netlist.gate_count()} gates)")
     print(f"cpu       : {result.cpu_seconds:.3f}s ({result.n_matches} matches)")
+    if cache and result.counters and result.counters.get("signature_hits") is not None:
+        print(f"cache     : signature hit rate "
+              f"{result.counters.get('signature_hit_rate', 0.0):.2f} "
+              f"({int(result.counters['signature_hits'])} hits / "
+              f"{int(result.counters['signature_misses'])} misses)")
     if args.verify:
         print("verified  : equivalent to the source network")
     if args.path:
@@ -141,17 +148,38 @@ def _cmd_flowmap(args: argparse.Namespace) -> int:
 
 
 def _cmd_table(args: argparse.Namespace) -> int:
+    import time
+
     names = TABLE23_NAMES if args.fast else None
+    common = dict(verify=not args.no_verify, jobs=args.jobs,
+                  cache=not args.no_cache)
+    started = time.perf_counter()
     if args.number == 1:
-        rows = exp.table1(names=names, verify=not args.no_verify)
+        rows = exp.table1(names=names, **common)
         title = "Table 1: tree vs DAG mapping, lib2-like library"
+        library = "lib2"
     elif args.number == 2:
-        rows = exp.table2(verify=not args.no_verify)
+        rows = exp.table2(**common)
         title = "Table 2: tree vs DAG mapping, 44-1 library (7 gates)"
+        library = "44-1"
     else:
-        rows = exp.table3(verify=not args.no_verify)
+        rows = exp.table3(**common)
         title = "Table 3: tree vs DAG mapping, 44-3 library (rich)"
+        library = "44-3"
+    total = time.perf_counter() - started
     print(format_comparison_table(rows, title))
+    if args.bench_json:
+        from repro.perf.benchjson import rows_to_records, write_bench_json
+
+        write_bench_json(
+            args.bench_json,
+            library=library,
+            circuits=rows_to_records(rows),
+            jobs=args.jobs,
+            total_wall_s=total,
+            extra={"table": args.number, "cache": not args.no_cache},
+        )
+        print(f"written {args.bench_json}")
     return 0
 
 
@@ -259,13 +287,18 @@ def _cmd_libstats(args: argparse.Namespace) -> int:
 def _cmd_experiments(args: argparse.Namespace) -> int:
     sections: List[str] = []
     names = TABLE23_NAMES if args.fast else None
+    jobs = args.jobs
     sections.append(
         format_comparison_table(
-            exp.table1(names=names), "Table 1: lib2-like library"
+            exp.table1(names=names, jobs=jobs), "Table 1: lib2-like library"
         )
     )
-    sections.append(format_comparison_table(exp.table2(), "Table 2: 44-1 library"))
-    sections.append(format_comparison_table(exp.table3(), "Table 3: 44-3 library"))
+    sections.append(
+        format_comparison_table(exp.table2(jobs=jobs), "Table 2: 44-1 library")
+    )
+    sections.append(
+        format_comparison_table(exp.table3(jobs=jobs), "Table 3: 44-3 library")
+    )
     sections.append(
         format_rows(exp.match_class_ablation(), "E9: standard vs extended matches")
     )
@@ -339,6 +372,9 @@ def build_parser() -> argparse.ArgumentParser:
                        default="logic",
                        help="output format: logic BLIF (.names), mapped "
                             "BLIF (.gate) or structural Verilog")
+    p_map.add_argument("--no-cache", action="store_true",
+                       help="disable the signature/trie matching caches "
+                            "(reference path; identical results)")
     p_map.add_argument("--verify", action="store_true",
                        help="simulate mapped vs source network")
     p_map.add_argument("--path", action="store_true",
@@ -364,6 +400,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_tab.add_argument("--fast", action="store_true",
                        help="table 1 only: use the 5-circuit subset")
     p_tab.add_argument("--no-verify", action="store_true")
+    p_tab.add_argument("--jobs", "-j", type=int, default=1,
+                       help="worker processes for the suite cells "
+                            "(parallel rows are identical to serial)")
+    p_tab.add_argument("--no-cache", action="store_true",
+                       help="disable the signature/trie matching caches "
+                            "(reference path)")
+    p_tab.add_argument("--bench-json", metavar="FILE",
+                       help="also write wall times and cache counters "
+                            "as JSON (BENCH_mapper.json schema)")
     p_tab.set_defaults(func=_cmd_table)
 
     p_bench = sub.add_parser("bench", help="list or emit benchmark circuits")
@@ -402,6 +447,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp = sub.add_parser("experiments", help="run the full experiment battery")
     p_exp.add_argument("--output", "-o")
     p_exp.add_argument("--fast", action="store_true")
+    p_exp.add_argument("--jobs", "-j", type=int, default=1,
+                       help="worker processes for the table experiments")
     p_exp.set_defaults(func=_cmd_experiments)
 
     return parser

@@ -37,6 +37,8 @@ def map_dag(
     arrival_times: Optional[Dict[str, float]] = None,
     objective: str = "delay",
     max_variants: int = 16,
+    cache: bool = True,
+    matcher=None,
 ) -> MappingResult:
     """Map a subject DAG directly, without tree decomposition.
 
@@ -52,6 +54,10 @@ def map_dag(
         objective: ``'delay'`` (the paper) or ``'area'`` (heuristic
             area-flow covering for comparison experiments).
         max_variants: pattern-decomposition variants per gate.
+        cache: enable the :mod:`repro.perf` matching caches (identical
+            results; ``False`` selects the seed reference path).
+        matcher: optional pre-built :class:`repro.core.match.Matcher`
+            reused across circuits (amortises its signature cache).
 
     Returns:
         A :class:`MappingResult`; ``result.delay`` equals the labeling's
@@ -65,6 +71,8 @@ def map_dag(
         kind=kind,
         arrival_times=arrival_times,
         objective=objective,
+        cache=cache,
+        matcher=matcher,
     )
     netlist = build_cover(labels, name=f"{subject.name}_dag")
     elapsed = time.perf_counter() - start
@@ -83,4 +91,5 @@ def map_dag(
         match_kind=kind.value,
         library=patterns.library.name,
         n_matches=labels.n_matches,
+        counters=labels.match_stats,
     )

@@ -60,6 +60,7 @@ class Labels:
     objective: str
     area_flow: List[float]
     matches_per_node: Optional[List[List[Match]]] = None
+    match_stats: Optional[Dict[str, float]] = None
 
     @property
     def max_arrival(self) -> float:
@@ -78,6 +79,8 @@ def compute_labels(
     objective: str = "delay",
     keep_matches: bool = False,
     boundary_uids: Optional[set] = None,
+    cache: bool = True,
+    matcher: Optional[Matcher] = None,
 ) -> Labels:
     """Label every subject node with its optimal cost and best match.
 
@@ -94,6 +97,13 @@ def compute_labels(
         boundary_uids: for the area objective, subject uids whose area is
             accounted elsewhere (tree leaves); their label contributes 0
             to covering matches.
+        cache: enable the :mod:`repro.perf` layer (signature memoization
+            and pattern-trie sharing).  ``False`` runs the seed reference
+            path; both produce identical labels.
+        matcher: reuse a pre-built matcher (its signature cache is
+            subject-independent, so sharing one across circuits amortises
+            both the trie construction and the memoized match sets).
+            Must have been constructed with the same patterns and kind.
 
     Raises:
         MappingError: if some node has no match (library lacks INV/NAND2).
@@ -101,7 +111,8 @@ def compute_labels(
     if objective not in ("delay", "area"):
         raise ValueError(f"unknown objective {objective!r}")
     arrival_times = arrival_times or {}
-    matcher = Matcher(patterns, kind)
+    if matcher is None:
+        matcher = Matcher(patterns, kind, cache=cache)
     matcher.attach(subject)
 
     n = len(subject.nodes)
@@ -175,4 +186,5 @@ def compute_labels(
         objective=objective,
         area_flow=area_flow,
         matches_per_node=all_matches,
+        match_stats=matcher.stats.as_dict(),
     )

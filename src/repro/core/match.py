@@ -32,6 +32,9 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 from repro.errors import MappingError
 from repro.library.patterns import PatternGraph, PatternNode, PatternSet
 from repro.network.subject import NodeType, SubjectGraph, SubjectNode
+from repro.perf.counters import MatchStats
+from repro.perf.signature import cone_signature
+from repro.perf.trie import PatternTrie
 
 __all__ = ["MatchKind", "Match", "Matcher", "verify_match"]
 
@@ -113,19 +116,57 @@ class Match:
 
 
 class Matcher:
-    """Enumerates matches of a pattern set on a subject graph."""
+    """Enumerates matches of a pattern set on a subject graph.
 
-    def __init__(self, patterns: PatternSet, kind: MatchKind = MatchKind.STANDARD):
+    With ``cache=True`` (the default) the matcher runs the performance
+    layer of :mod:`repro.perf`: structural cone signatures memoize whole
+    ``matches_at`` results across structurally identical subject nodes,
+    and the pattern trie shares binding enumeration and feasibility work
+    across patterns.  Both are exact — the produced match lists are
+    byte-identical, in content and order, to the uncached path
+    (``cache=False``), which is preserved as the reference implementation.
+    """
+
+    def __init__(
+        self,
+        patterns: PatternSet,
+        kind: MatchKind = MatchKind.STANDARD,
+        cache: bool = True,
+        stats: Optional[MatchStats] = None,
+    ):
         self.patterns = patterns
         self.kind = kind
+        self.cache = cache
+        self.stats = stats if stats is not None else MatchStats()
         # Pattern-side fanout counts, needed for the exact-match condition.
         self._pattern_fanout: Dict[int, Dict[int, int]] = {}
-        for idx, pattern in enumerate(patterns.patterns):
+        for pattern in patterns.patterns:
             counts: Dict[int, int] = {}
             for node in pattern.nodes:
                 for fanin in node.fanins:
                     counts[fanin.uid] = counts.get(fanin.uid, 0) + 1
             self._pattern_fanout[id(pattern)] = counts
+        if cache:
+            self._trie: Optional[PatternTrie] = PatternTrie(patterns)
+            self._shape_of: Optional[Dict[int, int]] = self._trie.shape_of
+            # Exact-kind signatures record min(uses, cap): any use count
+            # above every pattern-side fanout fails out-degree equality
+            # the same way, so larger counts need not be distinguished.
+            self._use_cap = 1 + max(
+                (
+                    max(counts.values(), default=0)
+                    for counts in self._pattern_fanout.values()
+                ),
+                default=0,
+            )
+            # signature key -> list of (pattern, ((pattern uid, cone index), ...))
+            # templates; subject-independent, so it survives attach().
+            self._sig_cache: Optional[Dict[Tuple[int, ...], List]] = {}
+        else:
+            self._trie = None
+            self._shape_of = None
+            self._use_cap = 0
+            self._sig_cache = None
 
     # ------------------------------------------------------------------
     def attach(self, subject: SubjectGraph) -> None:
@@ -142,21 +183,27 @@ class Matcher:
                 self._depth[node.uid] = 1 + max(
                     self._depth[f.uid] for f in node.fanins
                 )
-        # Structural-feasibility memo: (pattern node id, subject uid) ->
+        # Structural-feasibility memo: (pattern shape, subject uid) ->
         # can the pattern subtree embed at the subject node, ignoring
         # binding constraints?  A necessary condition that is computed at
         # most once per pair — this is what keeps the labeling within the
-        # paper's O(s*p) bound in practice.
+        # paper's O(s*p) bound in practice.  With the trie enabled the
+        # key is the interned subtree shape, so every pattern sharing the
+        # shape shares the entry.
         self._feasible_cache: Dict[Tuple[int, int], bool] = {}
 
     def _feasible(self, pnode: PatternNode, snode: SubjectNode) -> bool:
         """Binding-independent embeddability of a pattern subtree."""
-        if pnode.is_leaf:
+        if pnode.kind is NodeType.PI:
             return True
-        key = (id(pnode), snode.uid)
+        shape_of = self._shape_of
+        pid = shape_of[id(pnode)] if shape_of is not None else id(pnode)
+        key = (pid, snode.uid)
         cached = self._feasible_cache.get(key)
         if cached is not None:
+            self.stats.feasibility_hits += 1
             return cached
+        self.stats.feasibility_misses += 1
         if pnode.kind is not snode.kind:
             result = False
         elif pnode.kind is NodeType.INV:
@@ -181,6 +228,46 @@ class Matcher:
         """
         if snode.is_pi:
             return []
+        if not self.cache:
+            return self._matches_at_direct(snode)
+        stats = self.stats
+        sig, cone = cone_signature(
+            snode,
+            self.patterns.max_depth,
+            uses=self._uses if self.kind is MatchKind.EXACT else None,
+            use_cap=self._use_cap,
+        )
+        templates = self._sig_cache.get(sig)
+        if templates is not None:
+            # Replay: rebind every cached match onto this root through the
+            # canonical cone ordering.  Never recomputed.
+            stats.signature_hits += 1
+            stats.matches_replayed += len(templates)
+            return [
+                Match(pattern, snode, {puid: cone[pos] for puid, pos in items})
+                for pattern, items in templates
+            ]
+        stats.signature_misses += 1
+        results = self._matches_at_grouped(snode)
+        index = {id(node): pos for pos, node in enumerate(cone)}
+        templates = []
+        for match in results:
+            try:
+                items = tuple(
+                    (puid, index[id(node)])
+                    for puid, node in match.binding.items()
+                )
+            except KeyError:
+                # A bound node escaped the signature cone — impossible by
+                # the depth argument in repro.perf.signature; refuse to
+                # cache rather than risk an unsound replay.
+                return results
+            templates.append((match.pattern, items))
+        self._sig_cache[sig] = templates
+        return results
+
+    def _matches_at_direct(self, snode: SubjectNode) -> List[Match]:
+        """The seed path: every pattern enumerated independently."""
         results: List[Match] = []
         seen: set = set()
         depth = self._depth[snode.uid]
@@ -195,67 +282,125 @@ class Matcher:
                     results.append(match)
         return results
 
+    def _matches_at_grouped(self, snode: SubjectNode) -> List[Match]:
+        """Trie path: one enumeration per pattern group, bindings translated.
+
+        Patterns are still visited in pattern-set order and each group's
+        binding list is in enumeration order, so the match stream — and
+        therefore the identity dedup — is exactly the direct path's.
+        """
+        results: List[Match] = []
+        seen: set = set()
+        depth = self._depth[snode.uid]
+        stats = self.stats
+        group_of = self._trie.group_of
+        group_bindings: Dict[int, List[Dict[int, SubjectNode]]] = {}
+        for pattern in self.patterns.for_root(snode.kind):
+            if pattern.depth > depth:
+                continue  # the pattern cannot fit above the PIs
+            group = group_of[id(pattern)]
+            bindings = group_bindings.get(id(group))
+            if bindings is None:
+                bindings = list(self._enumerate(group.rep, snode))
+                group_bindings[id(group)] = bindings
+                stats.groups_enumerated += 1
+                stats.bindings_enumerated += len(bindings)
+            translation = group.translations[id(pattern)]
+            for b in bindings:
+                if translation is None:
+                    binding = b
+                else:
+                    binding = {
+                        translation[puid]: node for puid, node in b.items()
+                    }
+                match = Match(pattern, snode, binding)
+                key = match.identity()
+                if key not in seen:
+                    seen.add(key)
+                    results.append(match)
+        return results
+
     # ------------------------------------------------------------------
     def _enumerate(
         self, pattern: PatternGraph, root: SubjectNode
     ) -> Iterator[Dict[int, SubjectNode]]:
-        """Yield complete bindings of ``pattern`` rooted at ``root``."""
+        """Yield complete bindings of ``pattern`` rooted at ``root``.
+
+        Obligations live on one shared stack (top = end of list): each
+        frame pops its obligation, pushes child obligations before
+        recursing and restores the stack on the way out, so a step costs
+        O(1) instead of the former O(n) list slice per recursion level.
+        """
         injective = self.kind is not MatchKind.EXTENDED
         exact = self.kind is MatchKind.EXACT
         pattern_fanout = self._pattern_fanout[id(pattern)]
         swap_safe = pattern.swap_safe
         binding: Dict[int, SubjectNode] = {}
         images: Dict[int, int] = {}  # subject uid -> pattern uid
+        stack: List[Tuple[PatternNode, SubjectNode]] = [(pattern.root, root)]
 
-        def assign(obligations: List[Tuple[PatternNode, SubjectNode]]) -> Iterator[None]:
-            if not obligations:
+        def assign() -> Iterator[None]:
+            if not stack:
                 yield None
                 return
-            (pnode, snode), rest = obligations[0], obligations[1:]
-            prior = binding.get(pnode.uid)
-            if prior is not None:
-                if prior is snode:
-                    yield from assign(rest)
-                return
-            if injective and snode.uid in images:
-                return
-            if pnode.is_leaf:
+            pnode, snode = stack.pop()
+            try:
+                prior = binding.get(pnode.uid)
+                if prior is not None:
+                    if prior is snode:
+                        yield from assign()
+                    return
+                if injective and snode.uid in images:
+                    return
+                if pnode.kind is NodeType.PI:
+                    binding[pnode.uid] = snode
+                    images[snode.uid] = pnode.uid
+                    try:
+                        yield from assign()
+                    finally:
+                        del binding[pnode.uid]
+                        if images.get(snode.uid) == pnode.uid:
+                            del images[snode.uid]
+                    return
+                if not self._feasible(pnode, snode):
+                    return
+                if exact and pattern_fanout.get(pnode.uid, 0) > 0:
+                    # Interior node: all subject fanout must stay inside the
+                    # match, i.e. out-degree equality (Definition 2, cond. 3).
+                    if self._uses[snode.uid] != pattern_fanout[pnode.uid]:
+                        return
                 binding[pnode.uid] = snode
                 images[snode.uid] = pnode.uid
-                yield from assign(rest)
-                del binding[pnode.uid]
-                if images.get(snode.uid) == pnode.uid:
-                    del images[snode.uid]
-                return
-            if not self._feasible(pnode, snode):
-                return
-            if exact and pattern_fanout.get(pnode.uid, 0) > 0:
-                # Interior node: all subject fanout must stay inside the
-                # match, i.e. out-degree equality (Definition 2, cond. 3).
-                if self._uses[snode.uid] != pattern_fanout[pnode.uid]:
-                    return
-            binding[pnode.uid] = snode
-            images[snode.uid] = pnode.uid
-            try:
-                if pnode.kind is NodeType.INV:
-                    yield from assign(
-                        [(pnode.fanins[0], snode.fanins[0])] + rest
-                    )
-                else:
-                    p0, p1 = pnode.fanins
-                    s0, s1 = snode.fanins
-                    yield from assign([(p0, s0), (p1, s1)] + rest)
-                    if s0 is not s1 and pnode.uid not in swap_safe:
-                        # swap_safe: disjoint isomorphic tree children
-                        # make the swapped order redundant (it can only
-                        # reproduce cost-identical matches).
-                        yield from assign([(p0, s1), (p1, s0)] + rest)
+                try:
+                    if pnode.kind is NodeType.INV:
+                        stack.append((pnode.fanins[0], snode.fanins[0]))
+                        yield from assign()
+                        stack.pop()
+                    else:
+                        p0, p1 = pnode.fanins
+                        s0, s1 = snode.fanins
+                        stack.append((p1, s1))
+                        stack.append((p0, s0))
+                        yield from assign()
+                        stack.pop()
+                        stack.pop()
+                        if s0 is not s1 and pnode.uid not in swap_safe:
+                            # swap_safe: disjoint isomorphic tree children
+                            # make the swapped order redundant (it can only
+                            # reproduce cost-identical matches).
+                            stack.append((p1, s0))
+                            stack.append((p0, s1))
+                            yield from assign()
+                            stack.pop()
+                            stack.pop()
+                finally:
+                    del binding[pnode.uid]
+                    if images.get(snode.uid) == pnode.uid:
+                        del images[snode.uid]
             finally:
-                del binding[pnode.uid]
-                if images.get(snode.uid) == pnode.uid:
-                    del images[snode.uid]
+                stack.append((pnode, snode))
 
-        for _ in assign([(pattern.root, root)]):
+        for _ in assign():
             yield dict(binding)
 
     def subject_uses(self, snode: SubjectNode) -> int:

@@ -26,6 +26,9 @@ class MappingResult:
         match_kind: the match class used.
         library: library name.
         n_matches: matches enumerated during labeling (work measure).
+        counters: per-run instrumentation from the :mod:`repro.perf`
+            layer (signature-cache hits/misses, feasibility-cache hits,
+            bindings enumerated); ``None`` when unavailable.
     """
 
     netlist: MappedNetlist
@@ -37,9 +40,10 @@ class MappingResult:
     match_kind: str
     library: str
     n_matches: int
+    counters: Optional[Dict[str, float]] = None
 
     def summary(self) -> Dict[str, object]:
-        return {
+        out: Dict[str, object] = {
             "mode": self.mode,
             "library": self.library,
             "delay": round(self.delay, 4),
@@ -48,6 +52,9 @@ class MappingResult:
             "cpu_s": round(self.cpu_seconds, 3),
             "matches": self.n_matches,
         }
+        if self.counters is not None:
+            out["signature_hit_rate"] = self.counters.get("signature_hit_rate")
+        return out
 
     def __repr__(self) -> str:
         return (

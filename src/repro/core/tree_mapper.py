@@ -46,8 +46,14 @@ def map_tree(
     arrival_times: Optional[Dict[str, float]] = None,
     objective: str = "delay",
     max_variants: int = 16,
+    cache: bool = True,
+    matcher=None,
 ) -> MappingResult:
-    """Map via conventional tree covering (exact matches, no duplication)."""
+    """Map via conventional tree covering (exact matches, no duplication).
+
+    ``cache``/``matcher`` select and share the :mod:`repro.perf` matching
+    caches exactly as in :func:`repro.core.dag_mapper.map_dag`.
+    """
     if isinstance(library, PatternSet):
         patterns = library
     else:
@@ -63,6 +69,8 @@ def map_tree(
         arrival_times=arrival_times,
         objective=objective,
         boundary_uids=boundary,
+        cache=cache,
+        matcher=matcher,
     )
     netlist = build_cover(labels, name=f"{subject.name}_tree")
     elapsed = time.perf_counter() - start
@@ -81,4 +89,5 @@ def map_tree(
         match_kind=MatchKind.EXACT.value,
         library=patterns.library.name,
         n_matches=labels.n_matches,
+        counters=labels.match_stats,
     )

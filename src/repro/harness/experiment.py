@@ -40,6 +40,7 @@ from repro.timing.sta import analyze
 
 __all__ = [
     "ComparisonRow",
+    "tree_vs_dag_cell",
     "run_tree_vs_dag",
     "table1",
     "table2",
@@ -74,6 +75,8 @@ class ComparisonRow:
     tree_cpu: float
     dag_cpu: float
     verified: bool
+    tree_counters: Optional[Dict[str, float]] = None
+    dag_counters: Optional[Dict[str, float]] = None
 
     @property
     def improvement(self) -> float:
@@ -83,60 +86,102 @@ class ComparisonRow:
         return (self.tree_delay - self.dag_delay) / self.tree_delay
 
 
+def tree_vs_dag_cell(
+    name: str,
+    patterns: PatternSet,
+    kind: MatchKind = MatchKind.STANDARD,
+    verify: bool = True,
+    cache: bool = True,
+) -> ComparisonRow:
+    """One (circuit, library) cell of a tree-vs-DAG table: both mappers.
+
+    Self-contained so that :func:`repro.perf.parallel.run_cells_parallel`
+    can dispatch cells to worker processes; each cell is deterministic,
+    so rows are identical however the cells are scheduled.
+    """
+    entry = SUITE[name]
+    net = entry.build()
+    subject = decompose_network(net)
+    tree = map_tree(subject, patterns, cache=cache)
+    dag = map_dag(subject, patterns, kind=kind, cache=cache)
+    verified = False
+    if verify:
+        check_equivalent(net, tree.netlist)
+        check_equivalent(net, dag.netlist)
+        verified = True
+    return ComparisonRow(
+        circuit=name,
+        iscas=entry.iscas,
+        subject_gates=subject.n_gates,
+        tree_delay=tree.delay,
+        dag_delay=dag.delay,
+        tree_area=tree.area,
+        dag_area=dag.area,
+        tree_cpu=tree.cpu_seconds,
+        dag_cpu=dag.cpu_seconds,
+        verified=verified,
+        tree_counters=tree.counters,
+        dag_counters=dag.counters,
+    )
+
+
 def run_tree_vs_dag(
     library: Union[GateLibrary, PatternSet],
     names: Optional[Sequence[str]] = None,
     kind: MatchKind = MatchKind.STANDARD,
     max_variants: int = 8,
     verify: bool = True,
+    cache: bool = True,
+    jobs: int = 1,
+    library_spec: Optional[str] = None,
 ) -> List[ComparisonRow]:
-    """Map every named suite circuit with both mappers on one library."""
+    """Map every named suite circuit with both mappers on one library.
+
+    ``jobs > 1`` fans the cells out over worker processes via
+    :mod:`repro.perf.parallel`; this needs ``library_spec`` (a builtin
+    library name or genlib path) so each worker can rebuild the pattern
+    set, and falls back to the serial path when no spec is available.
+    Serial and parallel runs produce identical rows.
+    """
+    names = list(names or TABLE1_NAMES)
+    if jobs > 1 and library_spec is not None:
+        from repro.perf.parallel import run_cells_parallel
+
+        return run_cells_parallel(
+            library_spec,
+            names,
+            kind,
+            max_variants=max_variants,
+            verify=verify,
+            cache=cache,
+            jobs=jobs,
+        )
     patterns = (
         library
         if isinstance(library, PatternSet)
         else PatternSet(library, max_variants=max_variants)
     )
-    rows: List[ComparisonRow] = []
-    for name in names or TABLE1_NAMES:
-        entry = SUITE[name]
-        net = entry.build()
-        subject = decompose_network(net)
-        tree = map_tree(subject, patterns)
-        dag = map_dag(subject, patterns, kind=kind)
-        verified = False
-        if verify:
-            check_equivalent(net, tree.netlist)
-            check_equivalent(net, dag.netlist)
-            verified = True
-        rows.append(
-            ComparisonRow(
-                circuit=name,
-                iscas=entry.iscas,
-                subject_gates=subject.n_gates,
-                tree_delay=tree.delay,
-                dag_delay=dag.delay,
-                tree_area=tree.area,
-                dag_area=dag.area,
-                tree_cpu=tree.cpu_seconds,
-                dag_cpu=dag.cpu_seconds,
-                verified=verified,
-            )
-        )
-    return rows
+    return [
+        tree_vs_dag_cell(name, patterns, kind=kind, verify=verify, cache=cache)
+        for name in names
+    ]
 
 
 def table1(**kwargs) -> List[ComparisonRow]:
     """E1 / paper Table 1: tree vs DAG under the lib2-like library."""
+    kwargs.setdefault("library_spec", "lib2")
     return run_tree_vs_dag(lib2_like(), names=kwargs.pop("names", TABLE1_NAMES), **kwargs)
 
 
 def table2(**kwargs) -> List[ComparisonRow]:
     """E2 / paper Table 2: tree vs DAG under the 7-gate 44-1 library."""
+    kwargs.setdefault("library_spec", "44-1")
     return run_tree_vs_dag(lib44_1(), names=kwargs.pop("names", TABLE23_NAMES), **kwargs)
 
 
 def table3(max_variants: int = 4, **kwargs) -> List[ComparisonRow]:
     """E3 / paper Table 3: tree vs DAG under the rich 44-3 library."""
+    kwargs.setdefault("library_spec", "44-3")
     return run_tree_vs_dag(
         lib44_3(),
         names=kwargs.pop("names", TABLE23_NAMES),

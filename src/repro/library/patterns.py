@@ -68,6 +68,11 @@ class PatternNode:
 class PatternGraph:
     """One NAND2-INV decomposition of a library gate."""
 
+    __slots__ = (
+        "gate", "root", "nodes", "leaves", "n_internal", "depth",
+        "pin_classes", "key", "node_keys", "swap_safe",
+    )
+
     def __init__(
         self,
         gate: Gate,

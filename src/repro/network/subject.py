@@ -84,6 +84,8 @@ class SubjectNode:
 class SubjectGraph:
     """A NAND2-INV DAG with named primary inputs and outputs."""
 
+    __slots__ = ("name", "nodes", "pis", "pos", "_pi_by_name", "_strash")
+
     def __init__(self, name: str = "subject"):
         self.name = name
         self.nodes: List[SubjectNode] = []

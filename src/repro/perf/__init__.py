@@ -1,0 +1,39 @@
+"""Matcher/labeling performance layer.
+
+Three cooperating pieces, all correctness-preserving by construction and
+enforced byte-identical to the seed path by the test suite:
+
+* :mod:`repro.perf.signature` — structural cone signatures.  A per-node
+  canonical encoding of the local NAND2/INV cone up to the pattern set's
+  maximum depth.  Subject nodes with equal signatures have isomorphic
+  match sets, so :meth:`Matcher.matches_at` results are computed once per
+  distinct signature and *replayed* onto every other root by rebinding
+  leaves through the canonical cone ordering.
+* :mod:`repro.perf.trie` — a pattern prefix trie.  Patterns whose
+  decompositions share a structural prefix (very common across the
+  variants of one gate and across gates of a rich library) are grouped so
+  the binding enumeration runs once per group per subject node, and the
+  structural-feasibility memo is keyed by interned subtree shapes shared
+  across the whole pattern set.
+* :mod:`repro.perf.parallel` — a ``multiprocessing`` fan-out over
+  (circuit, library, mapper-mode) cells for the experiment harness,
+  exposed as ``--jobs N`` on the CLI.
+
+:mod:`repro.perf.counters` carries the instrumentation counters that
+surface in :class:`repro.core.result.MappingResult` and in
+``BENCH_mapper.json``.
+"""
+
+from repro.perf.benchjson import write_bench_json
+from repro.perf.counters import MatchStats
+from repro.perf.parallel import run_cells_parallel
+from repro.perf.signature import cone_signature
+from repro.perf.trie import PatternTrie
+
+__all__ = [
+    "MatchStats",
+    "cone_signature",
+    "PatternTrie",
+    "run_cells_parallel",
+    "write_bench_json",
+]

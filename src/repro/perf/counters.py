@@ -1,0 +1,55 @@
+"""Instrumentation counters for the matcher performance layer.
+
+A :class:`MatchStats` instance rides along with one :class:`Matcher` and
+counts the work the caches saved or performed.  The counters surface in
+:class:`repro.core.labeling.Labels`/:class:`repro.core.result.MappingResult`
+and are written to ``BENCH_mapper.json`` by the bench smoke so the perf
+trajectory is tracked across PRs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict
+
+__all__ = ["MatchStats"]
+
+
+@dataclass
+class MatchStats:
+    """Counters for one matching run (one subject graph, one matcher).
+
+    Attributes:
+        signature_hits: subject nodes whose match list was replayed from a
+            structurally identical node.
+        signature_misses: subject nodes matched from scratch (and cached).
+        feasibility_hits: structural-feasibility memo hits.
+        feasibility_misses: feasibility entries computed.
+        bindings_enumerated: complete bindings produced by the enumerator.
+        groups_enumerated: (pattern group, subject node) enumerations run.
+        matches_replayed: matches materialised via signature replay.
+    """
+
+    signature_hits: int = 0
+    signature_misses: int = 0
+    feasibility_hits: int = 0
+    feasibility_misses: int = 0
+    bindings_enumerated: int = 0
+    groups_enumerated: int = 0
+    matches_replayed: int = 0
+
+    @property
+    def signature_hit_rate(self) -> float:
+        total = self.signature_hits + self.signature_misses
+        return self.signature_hits / total if total else 0.0
+
+    def merge(self, other: "MatchStats") -> "MatchStats":
+        """Accumulate another run's counters into this one (returns self)."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    def as_dict(self) -> Dict[str, float]:
+        out: Dict[str, float] = {f.name: getattr(self, f.name) for f in fields(self)}
+        out["signature_hit_rate"] = round(self.signature_hit_rate, 4)
+        return out

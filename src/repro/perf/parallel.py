@@ -1,0 +1,109 @@
+"""Parallel suite runner: ``multiprocessing`` fan-out over experiment cells.
+
+One *cell* is a (circuit, library, mapper-mode) unit of the paper's
+table experiments — both mappers on one circuit under one library.
+Workers are seeded once per process with the pattern set (built from a
+respawnable library *spec*, i.e. a builtin name or a genlib path) so the
+per-cell payload is just the circuit name and the returned row is a
+plain dataclass of floats — cheap to pickle, deterministic to merge.
+
+Rows come back in request order regardless of completion order, so a
+parallel run is guaranteed to produce the same table as the serial run
+(each cell is independently deterministic).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import List, Optional, Sequence
+
+__all__ = ["resolve_library", "run_cells_parallel", "default_jobs"]
+
+#: Per-worker state installed by the pool initializer.
+_STATE: dict = {}
+
+
+def resolve_library(spec: str):
+    """Build a library from a respawnable spec (builtin name or genlib path)."""
+    from repro.library.builtin import lib2_like, lib44_1, lib44_3, mini_library
+
+    builders = {
+        "lib2": lib2_like,
+        "44-1": lib44_1,
+        "44-3": lib44_3,
+        "mini": mini_library,
+    }
+    if spec in builders:
+        return builders[spec]()
+    from repro.library.genlib import read_genlib
+
+    return read_genlib(spec)
+
+
+def default_jobs() -> int:
+    """A sensible ``--jobs`` default: the machine's CPU count."""
+    return os.cpu_count() or 1
+
+
+def _init_worker(
+    spec: str, max_variants: int, kind_value: str, verify: bool, cache: bool
+) -> None:
+    from repro.core.match import MatchKind
+    from repro.library.patterns import PatternSet
+
+    _STATE["patterns"] = PatternSet(
+        resolve_library(spec), max_variants=max_variants
+    )
+    _STATE["kind"] = MatchKind(kind_value)
+    _STATE["verify"] = verify
+    _STATE["cache"] = cache
+
+
+def _run_cell(name: str):
+    from repro.harness.experiment import tree_vs_dag_cell
+
+    return tree_vs_dag_cell(
+        name,
+        _STATE["patterns"],
+        kind=_STATE["kind"],
+        verify=_STATE["verify"],
+        cache=_STATE["cache"],
+    )
+
+
+def run_cells_parallel(
+    spec: str,
+    names: Sequence[str],
+    kind,
+    max_variants: int = 8,
+    verify: bool = True,
+    cache: bool = True,
+    jobs: Optional[int] = None,
+) -> List:
+    """Map every named circuit with both mappers, fanned out over ``jobs``.
+
+    Args:
+        spec: respawnable library spec (builtin name or genlib path).
+        names: suite circuit names; one cell each.
+        kind: :class:`repro.core.match.MatchKind` for the DAG mapper.
+        max_variants: pattern variants per gate.
+        verify: simulate each mapped netlist against its source.
+        cache: enable the matching caches inside each worker.
+        jobs: worker processes (default: CPU count, capped at ``len(names)``).
+
+    Returns:
+        ``List[ComparisonRow]`` in the order of ``names``.
+    """
+    names = list(names)
+    if jobs is None:
+        jobs = default_jobs()
+    jobs = max(1, min(int(jobs), len(names))) if names else 1
+    # fork (where available) shares the already-imported interpreter; the
+    # initializer still rebuilds the pattern set per worker, which keeps
+    # the behaviour identical under spawn.
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+    initargs = (spec, max_variants, kind.value, verify, cache)
+    with ctx.Pool(processes=jobs, initializer=_init_worker, initargs=initargs) as pool:
+        return pool.map(_run_cell, names)

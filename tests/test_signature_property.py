@@ -1,0 +1,90 @@
+"""Property tests: cone signatures are sound on random subject graphs.
+
+Soundness means equal signatures imply isomorphic match sets, so a match
+computed at one root can be replayed at any same-signature root by leaf
+rebinding and remain valid.  Checked three ways on Hypothesis-generated
+networks (the :mod:`tests.test_property_infrastructure` generators):
+
+* every match the cached matcher returns — replayed or not — passes the
+  independent :func:`repro.core.match.verify_match` oracle;
+* per node, the cached match list equals the seed matcher's, in content
+  *and order* (labeling's tie-breaking depends on order);
+* nodes that share a signature get identical match shapes from the seed
+  matcher alone, i.e. distinct cones never alias into one cache entry.
+"""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.match import Matcher, MatchKind, verify_match
+from repro.library.builtin import lib44_1
+from repro.library.patterns import PatternSet
+from repro.network.decompose import decompose_network
+from repro.perf.signature import cone_signature
+from tests.test_property_infrastructure import random_networks
+
+_SETTINGS = settings(
+    deadline=None, max_examples=25,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_PATTERNS = PatternSet(lib44_1(), max_variants=4)
+_KINDS = (MatchKind.STANDARD, MatchKind.EXACT, MatchKind.EXTENDED)
+
+
+def _match_shape(match):
+    """Subject-independent shape of one match, for cross-root comparison."""
+    return (id(match.pattern),
+            tuple(uid for uid, _ in sorted(match.binding.items())))
+
+
+def _match_identity(match):
+    """Exact identity of one match at one root."""
+    return (id(match.pattern),
+            tuple(sorted((uid, node.uid) for uid, node in match.binding.items())))
+
+
+@_SETTINGS
+@given(random_networks())
+def test_cached_matches_verify_and_equal_seed(net):
+    subject = decompose_network(net)
+    for kind in _KINDS:
+        cached = Matcher(_PATTERNS, kind, cache=True)
+        seed = Matcher(_PATTERNS, kind, cache=False)
+        cached.attach(subject)
+        seed.attach(subject)
+        for node in subject.topological():
+            if node.is_pi:
+                continue
+            fast = cached.matches_at(node)
+            want = seed.matches_at(node)
+            # Same matches, same order (replayed matches included).
+            assert [_match_identity(m) for m in fast] == [
+                _match_identity(m) for m in want
+            ]
+            for match in fast:
+                assert match.root is node
+                assert verify_match(match, subject, kind) == []
+
+
+@_SETTINGS
+@given(random_networks())
+def test_equal_signatures_never_alias(net):
+    """Signature equality implies isomorphic seed match sets."""
+    subject = decompose_network(net)
+    seed = Matcher(_PATTERNS, MatchKind.STANDARD, cache=False)
+    seed.attach(subject)
+    by_signature = {}
+    for node in subject.topological():
+        if node.is_pi:
+            continue
+        signature, cone = cone_signature(node, _PATTERNS.max_depth)
+        assert cone[0] is node
+        shapes = tuple(_match_shape(m) for m in seed.matches_at(node))
+        if signature in by_signature:
+            other_node, other_shapes = by_signature[signature]
+            assert shapes == other_shapes, (
+                f"cones at {node!r} and {other_node!r} share a signature "
+                f"but match differently"
+            )
+        else:
+            by_signature[signature] = (node, shapes)
