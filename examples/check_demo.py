@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Tour of the static verification subsystem (repro.check).
+
+Four stations:
+
+1. lint a malformed BLIF netlist — parse failures and semantic problems
+   arrive as located, coded diagnostics, never tracebacks;
+2. lint a gate library — completeness, per-cell sanity, NPN duplicates,
+   and the exhaustive pattern-vs-function round trip;
+3. certify a real mapping run — replay the cover from the labels and
+   re-derive delay, area and functional equivalence;
+4. falsify one claim and watch the certificate reject it.
+
+Run:  python examples/check_demo.py
+"""
+
+import copy
+import dataclasses
+
+from repro.bench.suite import build_subject
+from repro.check import certify_mapping, lint_blif_source, lint_genlib_source
+from repro.core.dag_mapper import map_dag
+from repro.library.builtin import lib44_1
+from repro.library.patterns import PatternSet
+
+BROKEN_BLIF = """\
+.model demo
+.inputs a b
+.outputs y
+.names a b x
+1- 1
+.names x y
+0 1
+.end
+"""
+
+QUIRKY_GENLIB = """\
+GATE inv    1 O=!a;
+  PIN * UNKNOWN 1 999 0.5 0.2 0.5 0.2
+GATE nand2  2 O=!(a*b);
+  PIN * UNKNOWN 1 999 1.0 0.2 1.0 0.2
+GATE nor2   2 O=!(a+b);
+  PIN * UNKNOWN 1 999 1.1 0.2 1.1 0.2
+GATE nand2b 9 O=!(a*b);
+  PIN * UNKNOWN 1 999 2.0 0.2 2.0 0.2
+"""
+
+
+def station(title: str) -> None:
+    print()
+    print("=" * 64)
+    print(title)
+    print("=" * 64)
+
+
+def demo_netlist_lint() -> None:
+    station("1. Netlist linting: located, coded diagnostics")
+    report, net = lint_blif_source(BROKEN_BLIF, filename="demo.blif")
+    print(report.format())
+    print(f"-> {report.summary()}, exit code {report.exit_code()} "
+          f"(strict: {report.exit_code(strict=True)})")
+    assert net is not None  # semantic warnings, but it parsed
+
+
+def demo_library_lint() -> None:
+    station("2. Library linting: duplicates, domination, pattern round-trip")
+    report, library = lint_genlib_source(QUIRKY_GENLIB, filename="demo.genlib")
+    print(report.format())
+    print(f"-> {report.summary()} over {len(library)} cells")
+
+
+def demo_certificate() -> None:
+    station("3. Certifying a Table-2 mapping run (C2670s under 44-1)")
+    _, subject = build_subject("C2670s")
+    patterns = PatternSet(lib44_1(), max_variants=8)
+    result = map_dag(subject, patterns)
+    report = certify_mapping(result, patterns=patterns)
+    print(f"mapped: delay {result.delay:.2f}, area {result.area:.0f}, "
+          f"{result.netlist.gate_count()} gates")
+    print(f"certificate: {report.summary()}")
+    assert not report.has_errors
+
+    station("4. Mutation: skew one arrival label and re-certify")
+    arrival = list(result.labels.arrival)
+    victim = next(d.uid for _, d in subject.pos if not d.is_pi)
+    arrival[victim] += 1.5
+    doctored = copy.copy(result)
+    doctored.labels = dataclasses.replace(result.labels, arrival=arrival)
+    rejected = certify_mapping(doctored)
+    print(rejected.format().splitlines()[0])
+    print(f"-> rejected with {sorted({d.code for d in rejected.errors()})}")
+    assert rejected.has_errors
+
+
+if __name__ == "__main__":
+    demo_netlist_lint()
+    demo_library_lint()
+    demo_certificate()
+    print("\nAll four stations behaved as documented.")

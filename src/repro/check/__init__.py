@@ -1,0 +1,57 @@
+"""Static verification subsystem: linters and mapping certificates.
+
+Three passes over the data structures the mapper trusts implicitly:
+
+* :func:`lint_network` / :func:`lint_subject` — structural lints over
+  Boolean networks and NAND2-INV subject graphs (``N###`` codes);
+* :func:`lint_library` — semantic lints over gate libraries and their
+  generated pattern sets (``L###`` codes);
+* :func:`certify_mapping` — an independent certificate checker for one
+  mapping run: cover legality, arrival self-consistency, functional
+  equivalence, and the delay bound (``C###`` codes).
+
+All passes return a :class:`CheckReport` of coded, located
+:class:`Diagnostic` records; none of them raises on bad input.  The
+``repro check`` CLI subcommand and the opt-in ``check=`` hook of the
+mappers are thin wrappers over these entry points.
+"""
+
+from repro.check.certificate import certify_mapping
+from repro.check.diagnostics import (
+    CODES,
+    CheckReport,
+    CodeInfo,
+    Diagnostic,
+    Severity,
+    SourceLoc,
+)
+from repro.check.library_lint import (
+    lint_genlib_file,
+    lint_genlib_source,
+    lint_library,
+    pattern_truth_table,
+)
+from repro.check.netlist_lint import (
+    lint_blif_file,
+    lint_blif_source,
+    lint_network,
+    lint_subject,
+)
+
+__all__ = [
+    "CODES",
+    "CheckReport",
+    "CodeInfo",
+    "Diagnostic",
+    "Severity",
+    "SourceLoc",
+    "certify_mapping",
+    "lint_blif_file",
+    "lint_blif_source",
+    "lint_genlib_file",
+    "lint_genlib_source",
+    "lint_library",
+    "lint_network",
+    "lint_subject",
+    "pattern_truth_table",
+]

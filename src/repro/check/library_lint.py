@@ -1,0 +1,250 @@
+"""Library linter: semantic checks over gate libraries and pattern sets.
+
+The deepest check (``L003``) closes the loop the matcher depends on:
+every generated NAND2-INV pattern graph is simulated exhaustively and
+compared against the gate's declared truth table, so a wrong
+decomposition can never silently corrupt a mapping.  The rest of the
+L-series flags cells that are unusable (missing INV/NAND2 makes subject
+graphs uncoverable), suspicious (negative delays, NPN duplicates,
+area-delay dominated cells) or merely informational.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.check.diagnostics import CheckReport, SourceLoc
+from repro.errors import LibraryError, ParseError
+from repro.library.gate import Gate, GateLibrary
+from repro.library.patterns import PatternGraph, PatternNode, PatternSet
+from repro.network.functions import TruthTable
+from repro.network.npn import npn_canonical
+from repro.network.subject import NodeType
+
+__all__ = [
+    "pattern_truth_table",
+    "lint_library",
+    "lint_genlib_source",
+    "lint_genlib_file",
+]
+
+#: NPN canonicalisation is exhaustive; keep the duplicate scan cheap.
+_NPN_LIMIT = 4
+
+
+def pattern_truth_table(pattern: PatternGraph, inputs: List[str]) -> TruthTable:
+    """Exhaustive truth table of a pattern graph over ``inputs`` order."""
+    n = len(inputs)
+    mask = (1 << (1 << n)) - 1
+    pin_word = {
+        pin: TruthTable.variable(i, n).bits for i, pin in enumerate(inputs)
+    }
+    memo: Dict[int, int] = {}
+
+    def value(node: PatternNode) -> int:
+        cached = memo.get(node.uid)
+        if cached is not None:
+            return cached
+        if node.is_leaf:
+            word = pin_word[node.pin]
+        elif node.kind is NodeType.INV:
+            word = ~value(node.fanins[0]) & mask
+        else:
+            word = ~(value(node.fanins[0]) & value(node.fanins[1])) & mask
+        memo[node.uid] = word
+        return word
+
+    return TruthTable(n, value(pattern.root) & mask)
+
+
+def _lint_cell(report: CheckReport, gate: Gate) -> None:
+    """Per-cell field checks (L006-L011)."""
+    if gate.area <= 0:
+        report.add(
+            "L006", f"cell {gate.name!r} has area {gate.area:g}", obj=gate.name
+        )
+    if gate.n_inputs == 0:
+        report.add(
+            "L010",
+            f"cell {gate.name!r} has no input pins "
+            f"(constant {int(gate.tt.is_const1())})",
+            obj=gate.name,
+        )
+    for pin in gate.pins:
+        if pin.rise_block < 0 or pin.fall_block < 0:
+            report.add(
+                "L007",
+                f"cell {gate.name!r} pin {pin.name!r} has negative block "
+                f"delay (rise {pin.rise_block:g}, fall {pin.fall_block:g})",
+                obj=gate.name,
+            )
+        if pin.rise_fanout < 0 or pin.fall_fanout < 0:
+            report.add(
+                "L008",
+                f"cell {gate.name!r} pin {pin.name!r} has negative fanout "
+                f"coefficient (delay not monotone in load)",
+                obj=gate.name,
+            )
+        if pin.max_load <= 0:
+            report.add(
+                "L011",
+                f"cell {gate.name!r} pin {pin.name!r} has max load "
+                f"{pin.max_load:g}",
+                obj=gate.name,
+            )
+
+
+def _dominates(winner: Gate, loser: Gate) -> bool:
+    """Same function, no worse area and per-pin delays, better somewhere."""
+    if winner.tt != loser.tt or winner.n_inputs != loser.n_inputs:
+        return False
+    if winner.area > loser.area:
+        return False
+    strictly_better = winner.area < loser.area
+    for wpin, lpin in zip(winner.pins, loser.pins):
+        if wpin.block_delay > lpin.block_delay:
+            return False
+        if wpin.block_delay < lpin.block_delay:
+            strictly_better = True
+    return strictly_better
+
+
+def lint_library(
+    library: GateLibrary,
+    max_variants: int = 4,
+    check_patterns: bool = True,
+) -> CheckReport:
+    """Run every L-series lint over a :class:`GateLibrary`."""
+    report = CheckReport()
+
+    # L001/L002: completeness — without INV and NAND2 no decomposed
+    # subject graph can be covered at all.
+    if not any(g.is_inverter() for g in library):
+        report.add(
+            "L001",
+            f"library {library.name!r} has no inverter; NAND2-INV subject "
+            f"graphs cannot be covered",
+            obj=library.name,
+        )
+    if not any(g.is_nand2() for g in library):
+        report.add(
+            "L002",
+            f"library {library.name!r} has no 2-input NAND; NAND2-INV "
+            f"subject graphs cannot be covered",
+            obj=library.name,
+        )
+
+    # Per-cell field sanity.
+    for gate in library:
+        _lint_cell(report, gate)
+
+    # L003/L009: pattern generation round-trip.
+    if check_patterns:
+        try:
+            patterns = PatternSet(library, max_variants=max_variants)
+        except LibraryError as exc:
+            report.add("L003", f"pattern generation failed: {exc}", obj=library.name)
+        else:
+            for name in patterns.skipped:
+                report.add(
+                    "L009",
+                    f"cell {name!r} has no pattern graph (constant or "
+                    f"buffer); it can never be matched",
+                    obj=name,
+                )
+            for pattern in patterns.patterns:
+                gate = pattern.gate
+                tt = pattern_truth_table(pattern, gate.inputs)
+                if tt != gate.tt:
+                    report.add(
+                        "L003",
+                        f"a pattern of cell {gate.name!r} computes "
+                        f"{tt.to_sop_string(gate.inputs)} instead of the "
+                        f"declared {gate.tt.to_sop_string(gate.inputs)}",
+                        obj=gate.name,
+                    )
+
+    # L004: NPN-duplicate cells among small functions.
+    first_of_class: Dict[Tuple[int, int], str] = {}
+    for gate in library:
+        if 0 < gate.n_inputs <= _NPN_LIMIT:
+            canon = npn_canonical(gate.tt)[0]
+            key = (gate.n_inputs, canon.bits)
+            if key in first_of_class:
+                report.add(
+                    "L004",
+                    f"cell {gate.name!r} is NPN-equivalent to "
+                    f"{first_of_class[key]!r}",
+                    obj=gate.name,
+                )
+            else:
+                first_of_class[key] = gate.name
+
+    # L005: area-delay dominated cells (same function, same pin order).
+    gates = list(library)
+    for loser in gates:
+        if loser.n_inputs == 0:
+            continue
+        for winner in gates:
+            if winner is loser:
+                continue
+            if _dominates(winner, loser):
+                report.add(
+                    "L005",
+                    f"cell {loser.name!r} is dominated by {winner.name!r} "
+                    f"(no worse area and pin delays); it can never win a "
+                    f"delay-optimal cover",
+                    obj=loser.name,
+                )
+                break
+
+    return report
+
+
+def lint_genlib_source(
+    text: str,
+    filename: Optional[str] = None,
+    max_variants: int = 4,
+    check_patterns: bool = True,
+) -> Tuple[CheckReport, Optional[GateLibrary]]:
+    """Parse genlib text and lint it; parse failures become ``L000``.
+
+    Returns the report and the parsed library (None when parsing failed).
+    """
+    from repro.library.genlib import parse_genlib
+
+    report = CheckReport()
+    try:
+        library = parse_genlib(
+            text, name=filename or "genlib", filename=filename
+        )
+    except ParseError as exc:
+        report.add(
+            "L000",
+            exc.bare_message + (f" (near {exc.token!r})" if exc.token else ""),
+            loc=SourceLoc(file=exc.file or filename, line=exc.line),
+        )
+        return report, None
+    except LibraryError as exc:
+        report.add("L000", str(exc), loc=SourceLoc(file=filename))
+        return report, None
+    report.extend(
+        lint_library(
+            library, max_variants=max_variants, check_patterns=check_patterns
+        )
+    )
+    return report, library
+
+
+def lint_genlib_file(
+    path: str, max_variants: int = 4, check_patterns: bool = True
+) -> Tuple[CheckReport, Optional[GateLibrary]]:
+    """Read and lint a genlib file (parse failures become ``L000``)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    return lint_genlib_source(
+        text,
+        filename=path,
+        max_variants=max_variants,
+        check_patterns=check_patterns,
+    )

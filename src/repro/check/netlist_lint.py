@@ -1,0 +1,283 @@
+"""Netlist linter: structural checks over Boolean networks and subject graphs.
+
+Unlike :meth:`BooleanNetwork.check` (which raises on the first problem),
+the linter collects *every* finding as a coded diagnostic, keeps going
+past errors where it safely can, and never raises on malformed input —
+``lint_blif_source`` turns parse failures into ``N000`` diagnostics
+carrying the file/line/token of the offending construct.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.check.diagnostics import CheckReport, SourceLoc
+from repro.errors import ParseError
+from repro.network.bnet import BooleanNetwork
+from repro.network.subject import NodeType, SubjectGraph
+
+__all__ = ["lint_network", "lint_subject", "lint_blif_source", "lint_blif_file"]
+
+
+def _find_cycle(net: BooleanNetwork) -> Optional[List[str]]:
+    """One combinational cycle as a signal path, or None."""
+    sources = set(net.combinational_inputs())
+    state: Dict[str, int] = {}  # 0 = on stack, 1 = done
+    nodes = {node.name: node for node in net.nodes()}
+
+    for root in nodes:
+        if state.get(root) == 1:
+            continue
+        path: List[str] = []
+        stack: List[Tuple[str, int]] = [(root, 0)]
+        while stack:
+            name, child_idx = stack.pop()
+            if child_idx == 0:
+                if state.get(name) == 1 or name in sources or name not in nodes:
+                    continue
+                if state.get(name) == 0:
+                    return path[path.index(name):] + [name]
+                state[name] = 0
+                path.append(name)
+            node = nodes[name]
+            if child_idx < len(node.fanins):
+                stack.append((name, child_idx + 1))
+                fanin = node.fanins[child_idx]
+                if state.get(fanin) == 0:
+                    return path[path.index(fanin):] + [fanin]
+                if state.get(fanin) != 1 and fanin in nodes:
+                    stack.append((fanin, 0))
+            else:
+                state[name] = 1
+                path.pop()
+    return None
+
+
+def _latch_only_cycle(net: BooleanNetwork) -> Optional[List[str]]:
+    """A feedback ring made of latches alone (no logic in the loop)."""
+    by_output = {latch.output: latch for latch in net.latches}
+    state: Dict[str, int] = {}
+    for start in by_output:
+        if state.get(start) == 1:
+            continue
+        path: List[str] = []
+        name: Optional[str] = start
+        while name is not None and name in by_output:
+            if state.get(name) == 1:
+                break
+            if state.get(name) == 0:
+                return path[path.index(name):] + [name]
+            state[name] = 0
+            path.append(name)
+            name = by_output[name].input if by_output[name].input in by_output else None
+        for visited in path:
+            state[visited] = 1
+    return None
+
+
+def lint_network(net: BooleanNetwork) -> CheckReport:
+    """Run every N-series lint over a :class:`BooleanNetwork`."""
+    report = CheckReport()
+
+    # N002: dangling fanin references.
+    for node in net.nodes():
+        for fanin in node.fanins:
+            if not net.has_signal(fanin):
+                report.add(
+                    "N002",
+                    f"node {node.name!r} reads undefined signal {fanin!r}",
+                    obj=node.name,
+                )
+
+    # N003 / N005: primary outputs.
+    seen_pos: Set[str] = set()
+    for po in net.pos:
+        if not net.has_signal(po):
+            report.add("N003", f"primary output {po!r} is undefined", obj=po)
+        if po in seen_pos:
+            report.add("N005", f"primary output {po!r} declared twice", obj=po)
+        seen_pos.add(po)
+
+    # N006: latch inputs.
+    for latch in net.latches:
+        if not net.has_signal(latch.input):
+            report.add(
+                "N006",
+                f"latch {latch.output!r} reads undefined signal {latch.input!r}",
+                obj=latch.output,
+            )
+
+    # N001: combinational cycles (only meaningful once references resolve).
+    cycle = _find_cycle(net)
+    if cycle is not None:
+        report.add(
+            "N001",
+            "combinational cycle: " + " -> ".join(cycle),
+            obj=cycle[0],
+        )
+
+    # N009: latch rings with no logic inside.
+    ring = _latch_only_cycle(net)
+    if ring is not None:
+        report.add(
+            "N009",
+            "latch-only feedback loop: " + " -> ".join(ring),
+            obj=ring[0],
+        )
+
+    # N004: nodes outside every output cone (needs resolvable references).
+    if not report.has_errors:
+        reachable: Set[str] = set()
+        stack = [s for s in net.combinational_outputs() if net.has_signal(s)]
+        node_names = {node.name for node in net.nodes()}
+        while stack:
+            name = stack.pop()
+            if name in reachable:
+                continue
+            reachable.add(name)
+            if name in node_names:
+                stack.extend(net.node(name).fanins)
+        for node in net.nodes():
+            if node.name not in reachable:
+                report.add(
+                    "N004",
+                    f"node {node.name!r} drives no primary output or latch",
+                    obj=node.name,
+                )
+
+    # N007 / N008: per-node function sanity.
+    for node in net.nodes():
+        for index, fanin in enumerate(node.fanins):
+            if not node.tt.depends_on(index):
+                report.add(
+                    "N007",
+                    f"node {node.name!r} ignores fanin {fanin!r}",
+                    obj=node.name,
+                )
+        if node.fanins and node.tt.is_constant():
+            value = 1 if node.tt.is_const1() else 0
+            report.add(
+                "N008",
+                f"node {node.name!r} computes constant {value} "
+                f"despite having {len(node.fanins)} fanins",
+                obj=node.name,
+            )
+
+    return report
+
+
+def lint_subject(subject: SubjectGraph) -> CheckReport:
+    """Run the subject-graph N-series lints (N020-N024)."""
+    report = CheckReport()
+    nodes = subject.nodes
+
+    # N021: uid density and topological creation order.
+    for index, node in enumerate(nodes):
+        if node.uid != index:
+            report.add(
+                "N021",
+                f"node at position {index} has uid {node.uid}",
+                obj=repr(node),
+            )
+        for fanin in node.fanins:
+            if fanin.uid >= node.uid:
+                report.add(
+                    "N021",
+                    f"node {node.uid} reads fanin {fanin.uid} that is not "
+                    f"created before it",
+                    obj=repr(node),
+                )
+
+    # N020: fanout lists must mirror fanin references exactly.
+    expected: Dict[int, List[int]] = {node.uid: [] for node in nodes}
+    for node in nodes:
+        for fanin in node.fanins:
+            if fanin.uid in expected:
+                expected[fanin.uid].append(node.uid)
+    for node in nodes:
+        actual = sorted(reader.uid for reader in node.fanouts)
+        if actual != sorted(expected.get(node.uid, [])):
+            report.add(
+                "N020",
+                f"node {node.uid}: fanout list {actual} does not match "
+                f"fanin references {sorted(expected.get(node.uid, []))}",
+                obj=repr(node),
+            )
+
+    # N022: PO drivers must be graph members.
+    for name, driver in subject.pos:
+        if driver.uid >= len(nodes) or nodes[driver.uid] is not driver:
+            report.add(
+                "N022",
+                f"PO {name!r} driver is not a node of this graph",
+                obj=name,
+            )
+
+    # N023: structural duplicates the strash should have merged.
+    seen: Dict[Tuple[NodeType, Tuple[int, ...]], int] = {}
+    for node in nodes:
+        if node.is_pi:
+            continue
+        ids = tuple(f.uid for f in node.fanins)
+        if node.kind is NodeType.NAND2:
+            ids = tuple(sorted(ids))
+        key = (node.kind, ids)
+        if key in seen:
+            report.add(
+                "N023",
+                f"node {node.uid} duplicates node {seen[key]} "
+                f"({node.kind.value} over fanins {list(ids)})",
+                obj=repr(node),
+            )
+        else:
+            seen[key] = node.uid
+
+    # N024: internal nodes outside every PO cone.
+    if not report.has_errors:
+        reachable: Set[int] = set()
+        stack = [driver for _, driver in subject.pos]
+        while stack:
+            node = stack.pop()
+            if node.uid in reachable:
+                continue
+            reachable.add(node.uid)
+            stack.extend(node.fanins)
+        for node in nodes:
+            if not node.is_pi and node.uid not in reachable:
+                report.add(
+                    "N024",
+                    f"node {node.uid} feeds no primary output",
+                    obj=repr(node),
+                )
+
+    return report
+
+
+def lint_blif_source(
+    text: str, filename: Optional[str] = None
+) -> Tuple[CheckReport, Optional[BooleanNetwork]]:
+    """Parse BLIF text and lint it; parse failures become ``N000``.
+
+    Returns the report and the parsed network (None when parsing failed).
+    """
+    from repro.network.blif import loads_blif
+
+    report = CheckReport()
+    try:
+        net = loads_blif(text, name_hint=filename or "blif", filename=filename)
+    except ParseError as exc:
+        report.add(
+            "N000",
+            exc.bare_message + (f" (near {exc.token!r})" if exc.token else ""),
+            loc=SourceLoc(file=exc.file or filename, line=exc.line),
+        )
+        return report, None
+    report.extend(lint_network(net))
+    return report, net
+
+
+def lint_blif_file(path: str) -> Tuple[CheckReport, Optional[BooleanNetwork]]:
+    """Read and lint a BLIF file from disk (parse failures become ``N000``)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    return lint_blif_source(text, filename=path)

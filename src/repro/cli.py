@@ -345,6 +345,51 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.check import CODES, certify_mapping
+    from repro.check.library_lint import lint_genlib_file
+    from repro.check.netlist_lint import lint_blif_file, lint_subject
+    from repro.library.patterns import PatternSet
+
+    if args.list_codes:
+        for code in sorted(CODES):
+            info = CODES[code]
+            print(f"{code}  {info.severity.label():7s} {info.title}")
+        return 0
+    if not args.inputs:
+        raise SystemExit(
+            "repro check: give at least one .blif/.genlib input "
+            "(or --list-codes)"
+        )
+
+    exit_code = 0
+    for path in args.inputs:
+        is_lib = path.endswith((".genlib", ".lib"))
+        if is_lib:
+            report, _ = lint_genlib_file(path, max_variants=args.variants)
+        else:
+            report, net = lint_blif_file(path)
+            if net is not None and not report.has_errors:
+                subject = decompose_network(net, style=args.decompose)
+                report.extend(lint_subject(subject))
+                if args.certify:
+                    library = _load_library(args.library)
+                    patterns = PatternSet(library, max_variants=args.variants)
+                    kind = MatchKind(args.match)
+                    if args.mode == "dag":
+                        result = map_dag(subject, patterns, kind=kind)
+                    else:
+                        result = map_tree(subject, patterns)
+                    report.extend(certify_mapping(result, patterns=patterns))
+        print(f"== {path} ==")
+        text = report.format()
+        if text:
+            print(text)
+        print(f"summary: {report.summary()}")
+        exit_code = max(exit_code, report.exit_code(strict=args.strict))
+    return exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-map",
@@ -450,6 +495,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--jobs", "-j", type=int, default=1,
                        help="worker processes for the table experiments")
     p_exp.set_defaults(func=_cmd_experiments)
+
+    p_chk = sub.add_parser(
+        "check",
+        help="lint BLIF/genlib inputs and certify mapping runs",
+        description="Static verification: netlist lints (N###) for .blif "
+                    "inputs, library lints (L###) for .genlib inputs, and "
+                    "— with --certify — an independent mapping certificate "
+                    "(C###) for each BLIF circuit.",
+    )
+    p_chk.add_argument("inputs", nargs="*",
+                       help=".blif or .genlib/.lib files")
+    p_chk.add_argument("--strict", action="store_true",
+                       help="exit non-zero on warnings too")
+    p_chk.add_argument("--certify", action="store_true",
+                       help="map each BLIF input and certify the result")
+    p_chk.add_argument("--list-codes", action="store_true",
+                       help="print the diagnostic code catalog and exit")
+    p_chk.add_argument("--library", "-l", default="lib2",
+                       help="library for --certify (builtin name or genlib)")
+    p_chk.add_argument("--mode", choices=("dag", "tree"), default="dag")
+    p_chk.add_argument("--match", choices=("standard", "exact", "extended"),
+                       default="standard")
+    p_chk.add_argument("--variants", type=int, default=8)
+    p_chk.add_argument("--decompose", choices=("balanced", "linear"),
+                       default="balanced")
+    p_chk.set_defaults(func=_cmd_check)
 
     return parser
 

@@ -21,7 +21,7 @@ import math
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.cover import build_cover
-from repro.core.labeling import Labels, compute_labels
+from repro.core.labeling import Labels
 from repro.core.match import Match, Matcher, MatchKind
 from repro.core.netlist import MappedNetlist
 from repro.errors import MappingError

@@ -13,7 +13,7 @@ tree covering (paper Figure 2).
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Optional
+from typing import Dict, Optional, Set
 
 from repro.core.labeling import Labels
 from repro.core.match import Match
@@ -47,7 +47,7 @@ def build_cover(
     for pi in subject.pis:
         netlist.add_pi(pi.name)
 
-    implemented: set = set()
+    implemented: Set[int] = set()
     queue = deque()
     for _, driver in subject.pos:
         queue.append(driver)

@@ -15,7 +15,7 @@ from typing import Dict, Optional, Union
 
 from repro.core.cover import build_cover
 from repro.core.labeling import compute_labels
-from repro.core.match import MatchKind
+from repro.core.match import Matcher, MatchKind
 from repro.core.result import MappingResult
 from repro.library.gate import GateLibrary
 from repro.library.patterns import PatternSet
@@ -38,7 +38,8 @@ def map_dag(
     objective: str = "delay",
     max_variants: int = 16,
     cache: bool = True,
-    matcher=None,
+    matcher: Optional[Matcher] = None,
+    check: bool = False,
 ) -> MappingResult:
     """Map a subject DAG directly, without tree decomposition.
 
@@ -58,6 +59,10 @@ def map_dag(
             results; ``False`` selects the seed reference path).
         matcher: optional pre-built :class:`repro.core.match.Matcher`
             reused across circuits (amortises its signature cache).
+        check: certify the result via :mod:`repro.check` before
+            returning; the report is attached as ``result.certificate``
+            and :class:`~repro.errors.CertificateError` is raised when
+            it contains error-severity diagnostics.
 
     Returns:
         A :class:`MappingResult`; ``result.delay`` equals the labeling's
@@ -81,7 +86,7 @@ def map_dag(
 
     report = analyze(netlist, arrival_times=arrival_times)
     delay = labels.max_arrival if objective == "delay" else report.delay
-    return MappingResult(
+    result = MappingResult(
         netlist=netlist,
         labels=labels,
         delay=delay,
@@ -93,3 +98,8 @@ def map_dag(
         n_matches=labels.n_matches,
         counters=labels.match_stats,
     )
+    if check:
+        from repro.check.certificate import attach_certificate
+
+        attach_certificate(result)
+    return result

@@ -26,8 +26,8 @@ and by the area-objective tree mapper.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
 
 from repro.errors import MappingError
 from repro.core.match import Match, Matcher, MatchKind
@@ -78,7 +78,7 @@ def compute_labels(
     arrival_times: Optional[Dict[str, float]] = None,
     objective: str = "delay",
     keep_matches: bool = False,
-    boundary_uids: Optional[set] = None,
+    boundary_uids: Optional[Set[int]] = None,
     cache: bool = True,
     matcher: Optional[Matcher] = None,
 ) -> Labels:

@@ -27,16 +27,23 @@ paper's footnote 2.
 from __future__ import annotations
 
 import enum
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
-from repro.errors import MappingError
+from repro.library.gate import Gate
 from repro.library.patterns import PatternGraph, PatternNode, PatternSet
 from repro.network.subject import NodeType, SubjectGraph, SubjectNode
 from repro.perf.counters import MatchStats
 from repro.perf.signature import cone_signature
 from repro.perf.trie import PatternTrie
 
-__all__ = ["MatchKind", "Match", "Matcher", "verify_match"]
+__all__ = [
+    "MatchKind",
+    "Match",
+    "Matcher",
+    "MatchViolation",
+    "MatchVerification",
+    "verify_match",
+]
 
 
 class MatchKind(enum.Enum):
@@ -45,6 +52,10 @@ class MatchKind(enum.Enum):
     STANDARD = "standard"
     EXACT = "exact"
     EXTENDED = "extended"
+
+
+#: One replayable match template: (pattern, ((pattern uid, cone position), ...)).
+_SigTemplate = Tuple["PatternGraph", Tuple[Tuple[int, int], ...]]
 
 
 class Match:
@@ -69,7 +80,7 @@ class Match:
         self.binding = binding
 
     @property
-    def gate(self):
+    def gate(self) -> Gate:
         return self.pattern.gate
 
     def leaves(self) -> List[Tuple[str, SubjectNode]]:
@@ -94,7 +105,7 @@ class Match:
                 out.append(snode)
         return out
 
-    def identity(self) -> Tuple:
+    def identity(self) -> Tuple[object, ...]:
         """Key identifying functionally identical matches for dedup.
 
         Pins are reduced to their interchangeability classes: two matches
@@ -161,7 +172,7 @@ class Matcher:
             )
             # signature key -> list of (pattern, ((pattern uid, cone index), ...))
             # templates; subject-independent, so it survives attach().
-            self._sig_cache: Optional[Dict[Tuple[int, ...], List]] = {}
+            self._sig_cache: Optional[Dict[Tuple[int, ...], List[_SigTemplate]]] = {}
         else:
             self._trie = None
             self._shape_of = None
@@ -230,6 +241,7 @@ class Matcher:
             return []
         if not self.cache:
             return self._matches_at_direct(snode)
+        assert self._sig_cache is not None  # cache=True invariant
         stats = self.stats
         sig, cone = cone_signature(
             snode,
@@ -250,7 +262,7 @@ class Matcher:
         stats.signature_misses += 1
         results = self._matches_at_grouped(snode)
         index = {id(node): pos for pos, node in enumerate(cone)}
-        templates = []
+        templates = []  # type: List[_SigTemplate]
         for match in results:
             try:
                 items = tuple(
@@ -269,7 +281,7 @@ class Matcher:
     def _matches_at_direct(self, snode: SubjectNode) -> List[Match]:
         """The seed path: every pattern enumerated independently."""
         results: List[Match] = []
-        seen: set = set()
+        seen: Set[Tuple[object, ...]] = set()
         depth = self._depth[snode.uid]
         for pattern in self.patterns.for_root(snode.kind):
             if pattern.depth > depth:
@@ -290,9 +302,10 @@ class Matcher:
         therefore the identity dedup — is exactly the direct path's.
         """
         results: List[Match] = []
-        seen: set = set()
+        seen: Set[Tuple[object, ...]] = set()
         depth = self._depth[snode.uid]
         stats = self.stats
+        assert self._trie is not None  # cache=True invariant
         group_of = self._trie.group_of
         group_bindings: Dict[int, List[Dict[int, SubjectNode]]] = {}
         for pattern in self.patterns.for_root(snode.kind):
@@ -408,21 +421,103 @@ class Matcher:
         return self._uses[snode.uid]
 
 
+class MatchViolation:
+    """One violation of a match-class definition, with a stable code.
+
+    The codes are the ``C1##`` series of the :mod:`repro.check` catalog:
+
+    ========  =====================================================
+    ``C101``  pattern node unbound
+    ``C102``  pattern edge not preserved in the subject
+    ``C103``  fanin multiset / in-degree mismatch at a pattern node
+    ``C104``  mapping not one-to-one (standard/exact matches)
+    ``C105``  out-degree mismatch at an interior node (exact matches)
+    ``C106``  root binding mismatch
+    ========  =====================================================
+    """
+
+    __slots__ = ("code", "message")
+
+    def __init__(self, code: str, message: str):
+        self.code = code
+        self.message = message
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MatchViolation):
+            return NotImplemented
+        return self.code == other.code and self.message == other.message
+
+    def __hash__(self) -> int:
+        return hash((self.code, self.message))
+
+    def __str__(self) -> str:
+        return f"{self.code}: {self.message}"
+
+    def __repr__(self) -> str:
+        return f"MatchViolation({self.code!r}, {self.message!r})"
+
+
+class MatchVerification:
+    """Structured result of :func:`verify_match`.
+
+    Behaves like the violation collection it wraps: it is *falsy when the
+    match is valid*, iterable, and sized — so ``assert not
+    verify_match(...)`` still reads "the match is valid".  ``ok`` is the
+    explicit spelling, ``codes()``/``messages()`` project the violation
+    fields, and the :mod:`repro.check` certificate checker consumes the
+    records directly as C-series diagnostics.
+    """
+
+    __slots__ = ("violations",)
+
+    def __init__(self, violations: Optional[List[MatchViolation]] = None):
+        self.violations: List[MatchViolation] = list(violations or [])
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def add(self, code: str, message: str) -> None:
+        self.violations.append(MatchViolation(code, message))
+
+    def codes(self) -> List[str]:
+        return [v.code for v in self.violations]
+
+    def messages(self) -> List[str]:
+        return [v.message for v in self.violations]
+
+    def __bool__(self) -> bool:
+        return bool(self.violations)
+
+    def __len__(self) -> int:
+        return len(self.violations)
+
+    def __iter__(self) -> Iterator[MatchViolation]:
+        return iter(self.violations)
+
+    def __repr__(self) -> str:
+        if self.ok:
+            return "MatchVerification(ok)"
+        return f"MatchVerification({self.codes()})"
+
+
 def verify_match(
     match: Match, subject: SubjectGraph, kind: MatchKind
-) -> List[str]:
+) -> MatchVerification:
     """Independently check a match against Definitions 1-3.
 
-    Returns a list of violation descriptions (empty when valid).  Used by
-    the test suite as an oracle for the matcher.
+    Returns a :class:`MatchVerification` — falsy when the match is valid,
+    otherwise a collection of coded :class:`MatchViolation` records.
+    Used by the test suite as an oracle for the matcher and by
+    :mod:`repro.check` as the certificate primitive for cover legality.
     """
-    problems: List[str] = []
+    problems = MatchVerification()
     pattern = match.pattern
     binding = match.binding
 
     for pnode in pattern.nodes:
         if pnode.uid not in binding:
-            problems.append(f"pattern node {pnode.uid} unbound")
+            problems.add("C101", f"pattern node {pnode.uid} unbound")
     if problems:
         return problems
 
@@ -435,8 +530,9 @@ def verify_match(
         for fanin in pnode.fanins:
             edge = (binding[fanin.uid].uid, binding[pnode.uid].uid)
             if edge not in subject_edges:
-                problems.append(
-                    f"pattern edge {fanin.uid}->{pnode.uid} not preserved"
+                problems.add(
+                    "C102",
+                    f"pattern edge {fanin.uid}->{pnode.uid} not preserved",
                 )
 
     # Condition 2: in-degree equality for internal pattern nodes, plus
@@ -453,21 +549,24 @@ def verify_match(
             continue
         snode = binding[pnode.uid]
         if len(pnode.fanins) != len(snode.fanins):
-            problems.append(f"in-degree mismatch at pattern node {pnode.uid}")
+            problems.add(
+                "C103", f"in-degree mismatch at pattern node {pnode.uid}"
+            )
             continue
         child_images = sorted(binding[c.uid].uid for c in pnode.fanins)
         subject_fanins = sorted(f.uid for f in snode.fanins)
         if child_images != subject_fanins:
-            problems.append(
+            problems.add(
+                "C103",
                 f"fanin multiset mismatch at pattern node {pnode.uid}: "
-                f"children map to {child_images}, subject has {subject_fanins}"
+                f"children map to {child_images}, subject has {subject_fanins}",
             )
 
     # One-to-one for standard/exact.
     if kind is not MatchKind.EXTENDED:
         images = [binding[p.uid].uid for p in pattern.nodes]
         if len(set(images)) != len(images):
-            problems.append("mapping is not one-to-one")
+            problems.add("C104", "mapping is not one-to-one")
 
     # Out-degree equality for exact matches (interior nodes only).
     if kind is MatchKind.EXACT:
@@ -485,11 +584,11 @@ def verify_match(
             if pnode.is_leaf or pattern_fanout.get(pnode.uid, 0) == 0:
                 continue
             if uses.get(binding[pnode.uid].uid, 0) != pattern_fanout[pnode.uid]:
-                problems.append(
-                    f"out-degree mismatch at pattern node {pnode.uid}"
+                problems.add(
+                    "C105", f"out-degree mismatch at pattern node {pnode.uid}"
                 )
 
     # The root must implement the gate output at the designated node.
     if binding[pattern.root.uid] is not match.root:
-        problems.append("root binding mismatch")
+        problems.add("C106", "root binding mismatch")
     return problems

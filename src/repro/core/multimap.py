@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Sequence, Set, Union
 
 from repro.core.dag_mapper import map_dag
 from repro.core.match import MatchKind
@@ -114,7 +114,7 @@ def map_multi_decomposition(
             continue
         netlist = per_style[style].netlist
         po_signal = dict(netlist.pos)
-        keep: set = set()
+        keep: Set[int] = set()
         stack = [po_signal[po] for po in needed_pos[style]]
         driver = {g.output: g for g in netlist.gates}
         while stack:

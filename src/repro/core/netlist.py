@@ -9,10 +9,13 @@ timing analysis (:mod:`repro.timing.sta`).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import NetworkError
 from repro.library.gate import Gate
+
+if TYPE_CHECKING:  # runtime import would be circular via repro.network
+    from repro.network.bnet import BooleanNetwork
 
 __all__ = ["MappedGate", "MappedNetlist"]
 
@@ -48,7 +51,7 @@ class MappedNetlist:
         self.pos: List[Tuple[str, str]] = []
         self.gates: List[MappedGate] = []
         self._driver: Dict[str, MappedGate] = {}
-        self._pi_set: set = set()
+        self._pi_set: Set[str] = set()
 
     # ------------------------------------------------------------------
     def add_pi(self, name: str) -> str:
@@ -182,7 +185,7 @@ class MappedNetlist:
         )
 
 
-def mapped_to_network(netlist: MappedNetlist):
+def mapped_to_network(netlist: MappedNetlist) -> "BooleanNetwork":
     """Convert a mapped netlist to a :class:`BooleanNetwork`.
 
     Gate instances become logic nodes carrying the gate's truth table, so

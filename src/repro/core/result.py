@@ -2,11 +2,14 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.core.labeling import Labels
 from repro.core.netlist import MappedNetlist
+
+if TYPE_CHECKING:  # avoid a runtime repro.check <-> repro.core cycle
+    from repro.check.diagnostics import CheckReport
 
 __all__ = ["MappingResult"]
 
@@ -29,6 +32,8 @@ class MappingResult:
         counters: per-run instrumentation from the :mod:`repro.perf`
             layer (signature-cache hits/misses, feasibility-cache hits,
             bindings enumerated); ``None`` when unavailable.
+        certificate: the :class:`repro.check.CheckReport` produced when
+            the mapper ran with ``check=True``; ``None`` otherwise.
     """
 
     netlist: MappedNetlist
@@ -41,6 +46,7 @@ class MappingResult:
     library: str
     n_matches: int
     counters: Optional[Dict[str, float]] = None
+    certificate: Optional["CheckReport"] = None
 
     def summary(self) -> Dict[str, object]:
         out: Dict[str, object] = {

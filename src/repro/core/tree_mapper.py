@@ -16,11 +16,11 @@ Both objectives from the literature are provided: minimum delay
 from __future__ import annotations
 
 import time
-from typing import Dict, Optional, Union
+from typing import Dict, Optional, Set, Union
 
 from repro.core.cover import build_cover
 from repro.core.labeling import compute_labels
-from repro.core.match import MatchKind
+from repro.core.match import Matcher, MatchKind
 from repro.core.result import MappingResult
 from repro.library.gate import GateLibrary
 from repro.library.patterns import PatternSet
@@ -29,7 +29,7 @@ from repro.network.subject import SubjectGraph
 __all__ = ["map_tree", "tree_roots"]
 
 
-def tree_roots(subject: SubjectGraph) -> set:
+def tree_roots(subject: SubjectGraph) -> Set[int]:
     """Uids of tree roots: PO drivers and multi-fanout nodes.
 
     These are the points where the conventional flow cuts the DAG into a
@@ -47,12 +47,15 @@ def map_tree(
     objective: str = "delay",
     max_variants: int = 16,
     cache: bool = True,
-    matcher=None,
+    matcher: Optional[Matcher] = None,
+    check: bool = False,
 ) -> MappingResult:
     """Map via conventional tree covering (exact matches, no duplication).
 
     ``cache``/``matcher`` select and share the :mod:`repro.perf` matching
-    caches exactly as in :func:`repro.core.dag_mapper.map_dag`.
+    caches exactly as in :func:`repro.core.dag_mapper.map_dag`, and
+    ``check=True`` certifies the result the same way (the report lands on
+    ``result.certificate``; errors raise ``CertificateError``).
     """
     if isinstance(library, PatternSet):
         patterns = library
@@ -79,7 +82,7 @@ def map_tree(
 
     report = analyze(netlist, arrival_times=arrival_times)
     delay = labels.max_arrival if objective == "delay" else report.delay
-    return MappingResult(
+    result = MappingResult(
         netlist=netlist,
         labels=labels,
         delay=delay,
@@ -91,3 +94,8 @@ def map_tree(
         n_matches=labels.n_matches,
         counters=labels.match_stats,
     )
+    if check:
+        from repro.check.certificate import attach_certificate
+
+        attach_certificate(result)
+    return result

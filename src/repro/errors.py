@@ -1,11 +1,49 @@
 """Exception hierarchy for the repro package.
 
 All library-specific errors derive from :class:`ReproError` so callers can
-catch one base class.  Parse errors carry location information where
-available.
+catch one base class.  Parse errors carry a :class:`SourceLoc` — file name,
+1-based line number and the offending token where available — which the
+static-analysis layer (:mod:`repro.check`) converts into located
+diagnostics instead of tracebacks.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class SourceLoc:
+    """A position in a textual input (genlib, BLIF, expression).
+
+    Attributes:
+        file: source file name, when the text came from disk.
+        line: 1-based line number of the offending construct.
+        column: 1-based column, when the tokenizer tracks it.
+    """
+
+    file: Optional[str] = None
+    line: Optional[int] = None
+    column: Optional[int] = None
+
+    def __str__(self) -> str:
+        if self.file is None:
+            if self.line is None:
+                return "<input>"
+            text = f"line {self.line}"
+            if self.column is not None:
+                text += f", column {self.column}"
+            return text
+        parts = [self.file]
+        if self.line is not None:
+            parts.append(str(self.line))
+            if self.column is not None:
+                parts.append(str(self.column))
+        return ":".join(parts)
+
+    def is_known(self) -> bool:
+        return self.file is not None or self.line is not None
 
 
 class ReproError(Exception):
@@ -17,13 +55,35 @@ class ParseError(ReproError):
 
     Attributes:
         line: 1-based line number of the offending token, when known.
+        file: name of the source file, when known.
+        token: the offending token text, when known.
+        loc: the same information as a :class:`SourceLoc`.
     """
 
-    def __init__(self, message: str, line: int | None = None):
-        if line is not None:
-            message = f"line {line}: {message}"
-        super().__init__(message)
+    def __init__(
+        self,
+        message: str,
+        line: Optional[int] = None,
+        file: Optional[str] = None,
+        token: Optional[str] = None,
+    ):
+        prefix = ""
+        if file is not None and line is not None:
+            prefix = f"{file}:{line}: "
+        elif file is not None:
+            prefix = f"{file}: "
+        elif line is not None:
+            prefix = f"line {line}: "
+        suffix = f" (near {token!r})" if token is not None else ""
+        super().__init__(f"{prefix}{message}{suffix}")
         self.line = line
+        self.file = file
+        self.token = token
+        self.bare_message = message
+
+    @property
+    def loc(self) -> SourceLoc:
+        return SourceLoc(file=self.file, line=self.line)
 
 
 class NetworkError(ReproError):
@@ -40,6 +100,10 @@ class LibraryIncompleteError(LibraryError):
 
 class MappingError(ReproError):
     """Technology mapping failed (e.g. no match at a node)."""
+
+
+class CertificateError(MappingError):
+    """A mapping certificate was rejected by :mod:`repro.check`."""
 
 
 class TimingError(ReproError):

@@ -92,18 +92,21 @@ def tree_vs_dag_cell(
     kind: MatchKind = MatchKind.STANDARD,
     verify: bool = True,
     cache: bool = True,
+    check: bool = False,
 ) -> ComparisonRow:
     """One (circuit, library) cell of a tree-vs-DAG table: both mappers.
 
     Self-contained so that :func:`repro.perf.parallel.run_cells_parallel`
     can dispatch cells to worker processes; each cell is deterministic,
-    so rows are identical however the cells are scheduled.
+    so rows are identical however the cells are scheduled.  ``check=True``
+    runs the :mod:`repro.check` certificate on both mapping results
+    (raising :class:`~repro.errors.CertificateError` on any error).
     """
     entry = SUITE[name]
     net = entry.build()
     subject = decompose_network(net)
-    tree = map_tree(subject, patterns, cache=cache)
-    dag = map_dag(subject, patterns, kind=kind, cache=cache)
+    tree = map_tree(subject, patterns, cache=cache, check=check)
+    dag = map_dag(subject, patterns, kind=kind, cache=cache, check=check)
     verified = False
     if verify:
         check_equivalent(net, tree.netlist)
@@ -134,6 +137,7 @@ def run_tree_vs_dag(
     cache: bool = True,
     jobs: int = 1,
     library_spec: Optional[str] = None,
+    check: bool = False,
 ) -> List[ComparisonRow]:
     """Map every named suite circuit with both mappers on one library.
 
@@ -141,7 +145,8 @@ def run_tree_vs_dag(
     :mod:`repro.perf.parallel`; this needs ``library_spec`` (a builtin
     library name or genlib path) so each worker can rebuild the pattern
     set, and falls back to the serial path when no spec is available.
-    Serial and parallel runs produce identical rows.
+    Serial and parallel runs produce identical rows.  ``check=True``
+    certifies every mapping result (serial and parallel alike).
     """
     names = list(names or TABLE1_NAMES)
     if jobs > 1 and library_spec is not None:
@@ -155,6 +160,7 @@ def run_tree_vs_dag(
             verify=verify,
             cache=cache,
             jobs=jobs,
+            check=check,
         )
     patterns = (
         library
@@ -162,7 +168,9 @@ def run_tree_vs_dag(
         else PatternSet(library, max_variants=max_variants)
     )
     return [
-        tree_vs_dag_cell(name, patterns, kind=kind, verify=verify, cache=cache)
+        tree_vs_dag_cell(
+            name, patterns, kind=kind, verify=verify, cache=cache, check=check
+        )
         for name in names
     ]
 

@@ -11,6 +11,10 @@ sequence of statements::
 comment.  LATCH statements (sequential genlib) are recognised and skipped —
 the paper's flow maps the combinational core and handles latches by
 retiming, so library latches are not needed.
+
+Parse errors carry the source file name, the 1-based line number and the
+offending token (:class:`repro.errors.ParseError`), so callers — the CLI
+and the :mod:`repro.check` linters — can report located diagnostics.
 """
 
 from __future__ import annotations
@@ -32,69 +36,124 @@ def _strip_comments(text: str) -> str:
     return "\n".join(lines)
 
 
-def _tokens(text: str) -> List[str]:
-    # ';' terminates the function expression; keep it as its own token.
-    return text.replace(";", " ; ").split()
+def _tokens(text: str) -> List[Tuple[str, int]]:
+    """Tokenize into (token, 1-based line) pairs.
+
+    ';' terminates the function expression; keep it as its own token.
+    """
+    out: List[Tuple[str, int]] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for token in line.replace(";", " ; ").split():
+            out.append((token, lineno))
+    return out
 
 
-def parse_genlib(text: str, name: str = "genlib") -> GateLibrary:
-    """Parse genlib text into a :class:`GateLibrary`."""
+def parse_genlib(
+    text: str, name: str = "genlib", filename: Optional[str] = None
+) -> GateLibrary:
+    """Parse genlib text into a :class:`GateLibrary`.
+
+    ``filename`` (when given) is attached to every :class:`ParseError`
+    alongside the line number and offending token.
+    """
     tokens = _tokens(_strip_comments(text))
     gates: List[Gate] = []
+    seen_names: Dict[str, int] = {}
     pos = 0
     n = len(tokens)
 
-    def need(what: str) -> str:
+    def fail(message: str, line: Optional[int] = None, token: Optional[str] = None) -> ParseError:
+        if line is None and tokens:
+            line = tokens[min(pos, n - 1)][1]
+        return ParseError(message, line=line, file=filename, token=token)
+
+    def need(what: str) -> Tuple[str, int]:
         nonlocal pos
         if pos >= n:
-            raise ParseError(f"unexpected end of genlib while reading {what}")
-        token = tokens[pos]
+            last_line = tokens[-1][1] if tokens else None
+            raise fail(f"unexpected end of genlib while reading {what}", line=last_line)
+        token, line = tokens[pos]
         pos += 1
-        return token
+        return token, line
 
     while pos < n:
-        keyword = need("statement")
+        keyword, kw_line = need("statement")
         if keyword == "LATCH":
             # Skip everything until the next GATE/LATCH keyword.
-            while pos < n and tokens[pos] not in ("GATE", "LATCH"):
+            while pos < n and tokens[pos][0] not in ("GATE", "LATCH"):
                 pos += 1
             continue
         if keyword != "GATE":
-            raise ParseError(f"expected GATE or LATCH, found {keyword!r}")
-        gate_name = need("gate name")
+            raise fail(
+                f"expected GATE or LATCH, found {keyword!r}",
+                line=kw_line,
+                token=keyword,
+            )
+        gate_name, name_line = need("gate name")
+        if gate_name in seen_names:
+            raise fail(
+                f"duplicate gate name {gate_name!r} "
+                f"(first defined at line {seen_names[gate_name]})",
+                line=name_line,
+                token=gate_name,
+            )
+        seen_names[gate_name] = name_line
+        area_token, area_line = need("gate area")
         try:
-            area = float(need("gate area"))
+            area = float(area_token)
         except ValueError as exc:
-            raise ParseError(f"gate {gate_name!r}: bad area") from exc
+            raise fail(
+                f"gate {gate_name!r}: bad area", line=area_line, token=area_token
+            ) from exc
         # Function: tokens until ';'.
         func_tokens: List[str] = []
+        func_line = area_line
         while True:
-            token = need(f"function of gate {gate_name!r}")
+            token, func_line = need(f"function of gate {gate_name!r}")
             if token == ";":
                 break
             func_tokens.append(token)
         func_text = " ".join(func_tokens)
         if "=" not in func_text:
-            raise ParseError(f"gate {gate_name!r}: function must be 'out=expr'")
+            raise fail(
+                f"gate {gate_name!r}: function must be 'out=expr'",
+                line=func_line,
+                token=func_text or None,
+            )
         output, expr_text = func_text.split("=", 1)
         output = output.strip()
-        expr = parse_expr(expr_text)
+        try:
+            expr = parse_expr(expr_text)
+        except ParseError as exc:
+            raise fail(
+                f"gate {gate_name!r}: unparseable expression: {exc.bare_message}",
+                line=func_line,
+                token=expr_text.strip(),
+            ) from exc
 
         pin_specs: List[Tuple[str, Pin]] = []
-        while pos < n and tokens[pos] == "PIN":
+        while pos < n and tokens[pos][0] == "PIN":
             pos += 1
-            pin_name = need("pin name")
-            fields = [need(f"pin field of {gate_name!r}") for _ in range(7)]
+            pin_name, pin_line = need("pin name")
+            fields: List[str] = []
+            for _ in range(7):
+                field, pin_line = need(f"pin field of {gate_name!r}")
+                fields.append(field)
             phase = fields[0]
             if phase not in ("INV", "NONINV", "UNKNOWN"):
-                raise ParseError(
-                    f"gate {gate_name!r} pin {pin_name!r}: bad phase {phase!r}"
+                raise fail(
+                    f"gate {gate_name!r} pin {pin_name!r}: bad phase {phase!r}",
+                    line=pin_line,
+                    token=phase,
                 )
             try:
                 numbers = [float(f) for f in fields[1:]]
             except ValueError as exc:
-                raise ParseError(
-                    f"gate {gate_name!r} pin {pin_name!r}: bad numeric field"
+                bad = next((f for f in fields[1:] if not _is_float(f)), None)
+                raise fail(
+                    f"gate {gate_name!r} pin {pin_name!r}: bad numeric field",
+                    line=pin_line,
+                    token=bad,
                 ) from exc
             pin_specs.append(
                 (
@@ -113,10 +172,21 @@ def parse_genlib(text: str, name: str = "genlib") -> GateLibrary:
             )
 
         support = expr.support()
-        pins = _assign_pins(gate_name, support, pin_specs)
-        gates.append(Gate(gate_name, area, output, expr, pins))
+        try:
+            pins = _assign_pins(gate_name, support, pin_specs)
+            gates.append(Gate(gate_name, area, output, expr, pins))
+        except LibraryError as exc:
+            raise fail(str(exc), line=name_line, token=gate_name) from exc
 
     return GateLibrary(gates, name=name)
+
+
+def _is_float(text: str) -> bool:
+    try:
+        float(text)
+    except ValueError:
+        return False
+    return True
 
 
 def _assign_pins(
@@ -179,7 +249,9 @@ def read_genlib(path: Union[str, os.PathLike]) -> GateLibrary:
     with open(path, "r", encoding="utf-8") as handle:
         text = handle.read()
     return parse_genlib(
-        text, name=os.path.splitext(os.path.basename(path))[0]
+        text,
+        name=os.path.splitext(os.path.basename(path))[0],
+        filename=os.fspath(path),
     )
 
 

@@ -10,9 +10,9 @@ Supports the subset SIS-era tools exchange: ``.model``, ``.inputs``,
 from __future__ import annotations
 
 import os
-from typing import Dict, Iterable, List, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from repro.errors import ParseError
+from repro.errors import NetworkError, ParseError
 from repro.network.bnet import BooleanNetwork, INIT_UNKNOWN
 from repro.network.functions import TruthTable, cube_to_tt
 
@@ -73,13 +73,27 @@ def _cover_to_tt(rows: Sequence[Tuple[str, str]], n_inputs: int, lineno: int) ->
     return table
 
 
-def loads_blif(text: str, name_hint: str = "blif") -> BooleanNetwork:
-    """Parse BLIF text into a :class:`BooleanNetwork`."""
+def loads_blif(
+    text: str, name_hint: str = "blif", filename: Optional[str] = None
+) -> BooleanNetwork:
+    """Parse BLIF text into a :class:`BooleanNetwork`.
+
+    ``filename`` (when given) is attached to every :class:`ParseError`
+    alongside the line number and, where sensible, the offending token.
+    Structural problems hit during construction (duplicate signals,
+    dangling references found by ``net.check()``) are reported as located
+    parse errors too, never as bare tracebacks.
+    """
     net = BooleanNetwork(name_hint)
     outputs: List[str] = []
     pending_names: Tuple[int, List[str]] | None = None
     pending_rows: List[Tuple[str, str]] = []
     saw_model = False
+
+    def err(
+        message: str, lineno: Optional[int], token: Optional[str] = None
+    ) -> ParseError:
+        return ParseError(message, line=lineno, file=filename, token=token)
 
     def flush_names() -> None:
         nonlocal pending_names, pending_rows
@@ -87,17 +101,25 @@ def loads_blif(text: str, name_hint: str = "blif") -> BooleanNetwork:
             return
         lineno, signals = pending_names
         *fanins, output = signals
-        if len(fanins) == 0:
-            if not pending_rows:
-                tt = TruthTable.const0(0)
+        try:
+            if len(fanins) == 0:
+                if not pending_rows:
+                    tt = TruthTable.const0(0)
+                else:
+                    tt = _cover_to_tt(
+                        [("", v) for _, v in pending_rows], 0, lineno
+                    )
+                net.add_node(output, tt, [])
             else:
-                tt = _cover_to_tt(
-                    [("", v) for _, v in pending_rows], 0, lineno
-                )
-            net.add_node(output, tt, [])
-        else:
-            tt = _cover_to_tt(pending_rows, len(fanins), lineno)
-            net.add_node(output, tt, fanins)
+                tt = _cover_to_tt(pending_rows, len(fanins), lineno)
+                net.add_node(output, tt, fanins)
+        except NetworkError as exc:
+            raise err(str(exc), lineno, token=output) from exc
+        except ParseError as exc:
+            if exc.file is None and filename is not None:
+                raise err(exc.bare_message, exc.line or lineno,
+                          token=exc.token) from exc
+            raise
         pending_names = None
         pending_rows = []
 
@@ -108,49 +130,59 @@ def loads_blif(text: str, name_hint: str = "blif") -> BooleanNetwork:
                 flush_names()
             if head == ".model":
                 if saw_model:
-                    raise ParseError("multiple .model sections unsupported", lineno)
+                    raise err("multiple .model sections unsupported", lineno,
+                              token=" ".join(tokens))
                 saw_model = True
                 if len(tokens) > 1:
                     net.name = tokens[1]
             elif head == ".inputs":
                 for sig in tokens[1:]:
-                    net.add_pi(sig)
+                    try:
+                        net.add_pi(sig)
+                    except NetworkError as exc:
+                        raise err(str(exc), lineno, token=sig) from exc
             elif head == ".outputs":
                 outputs.extend(tokens[1:])
             elif head == ".names":
                 flush_names()
                 if len(tokens) < 2:
-                    raise ParseError(".names needs at least an output", lineno)
+                    raise err(".names needs at least an output", lineno)
                 pending_names = (lineno, tokens[1:])
             elif head == ".latch":
                 if len(tokens) < 3:
-                    raise ParseError(".latch needs input and output", lineno)
+                    raise err(".latch needs input and output", lineno)
                 inp, out = tokens[1], tokens[2]
                 init = INIT_UNKNOWN
                 if tokens[-1] in ("0", "1", "2", "3"):
                     init = int(tokens[-1])
-                net.add_latch(inp, out, init)
+                try:
+                    net.add_latch(inp, out, init)
+                except NetworkError as exc:
+                    raise err(str(exc), lineno, token=out) from exc
             elif head == ".end":
                 break
             elif head in (".exdc", ".clock", ".wire_load_slope", ".default_input_arrival"):
                 continue  # harmless extensions we ignore
             else:
-                raise ParseError(f"unsupported BLIF construct {head!r}", lineno)
+                raise err(f"unsupported BLIF construct {head!r}", lineno, token=head)
         else:
             if pending_names is None:
-                raise ParseError(f"unexpected tokens {tokens!r}", lineno)
+                raise err(f"unexpected tokens {tokens!r}", lineno, token=tokens[0])
             if len(tokens) == 1:
                 # Zero-input cover row: just the output value.
                 pending_rows.append(("", tokens[0]))
             elif len(tokens) == 2:
                 pending_rows.append((tokens[0], tokens[1]))
             else:
-                raise ParseError(f"bad cover row {tokens!r}", lineno)
+                raise err(f"bad cover row {tokens!r}", lineno, token=" ".join(tokens))
 
     flush_names()
     for sig in outputs:
         net.add_po(sig)
-    net.check()
+    try:
+        net.check()
+    except NetworkError as exc:
+        raise err(str(exc), None) from exc
     return net
 
 
@@ -158,7 +190,11 @@ def read_blif(path: Union[str, os.PathLike]) -> BooleanNetwork:
     """Read a BLIF file from disk."""
     with open(path, "r", encoding="utf-8") as handle:
         text = handle.read()
-    return loads_blif(text, name_hint=os.path.splitext(os.path.basename(path))[0])
+    return loads_blif(
+        text,
+        name_hint=os.path.splitext(os.path.basename(path))[0],
+        filename=os.fspath(path),
+    )
 
 
 def dumps_blif(net: BooleanNetwork) -> str:

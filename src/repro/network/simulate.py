@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import NetworkError
 from repro.network.bnet import BooleanNetwork
@@ -47,7 +47,7 @@ class Counterexample:
         )
 
 
-def _adapt(obj) -> Tuple[List[str], List[str], Callable[[Dict[str, int], int], Dict[str, int]]]:
+def _adapt(obj: Any) -> Tuple[List[str], List[str], Callable[[Dict[str, int], int], Dict[str, int]]]:
     """Return (input names, output names, simulate fn) for any circuit object."""
     if isinstance(obj, BooleanNetwork):
         ins = obj.combinational_inputs()
@@ -68,17 +68,17 @@ def _adapt(obj) -> Tuple[List[str], List[str], Callable[[Dict[str, int], int], D
     return ins, outs, obj.simulate
 
 
-def input_names(obj) -> List[str]:
+def input_names(obj: Any) -> List[str]:
     """Combinational input names of any supported circuit object."""
     return _adapt(obj)[0]
 
 
-def output_names(obj) -> List[str]:
+def output_names(obj: Any) -> List[str]:
     """Combinational output names of any supported circuit object."""
     return _adapt(obj)[1]
 
 
-def simulate_outputs(obj, inputs: Dict[str, int], mask: int) -> Dict[str, int]:
+def simulate_outputs(obj: Any, inputs: Dict[str, int], mask: int) -> Dict[str, int]:
     """Simulate any supported circuit object; returns output name -> word."""
     return _adapt(obj)[2](inputs, mask)
 
@@ -107,7 +107,7 @@ def _compare(
     return None
 
 
-def _align(a, b) -> Tuple[List[str], List[str], Callable, Callable]:
+def _align(a: Any, b: Any) -> Tuple[List[str], List[str], Callable, Callable]:
     ins_a, outs_a, run_a = _adapt(a)
     ins_b, outs_b, run_b = _adapt(b)
     if set(ins_a) != set(ins_b):
@@ -123,8 +123,8 @@ def _align(a, b) -> Tuple[List[str], List[str], Callable, Callable]:
 
 
 def random_equivalence(
-    a,
-    b,
+    a: Any,
+    b: Any,
     vectors: int = 2048,
     seed: int = 2024,
     width: int = 1024,
@@ -148,7 +148,7 @@ def random_equivalence(
     return None
 
 
-def exhaustive_equivalence(a, b) -> Optional[Counterexample]:
+def exhaustive_equivalence(a: Any, b: Any) -> Optional[Counterexample]:
     """Exhaustive equivalence for circuits with at most 16 inputs.
 
     Simulates all ``2**n`` assignments in a single pass using one wide word
@@ -172,7 +172,7 @@ def exhaustive_equivalence(a, b) -> Optional[Counterexample]:
     return _compare(ins, outs, run_a, run_b, words, mask)
 
 
-def check_equivalent(a, b, vectors: int = 2048, seed: int = 2024) -> None:
+def check_equivalent(a: Any, b: Any, vectors: int = 2048, seed: int = 2024) -> None:
     """Assert equivalence; exhaustive when small, random otherwise.
 
     Raises :class:`NetworkError` with the counterexample on mismatch.

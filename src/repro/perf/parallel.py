@@ -47,7 +47,12 @@ def default_jobs() -> int:
 
 
 def _init_worker(
-    spec: str, max_variants: int, kind_value: str, verify: bool, cache: bool
+    spec: str,
+    max_variants: int,
+    kind_value: str,
+    verify: bool,
+    cache: bool,
+    check: bool = False,
 ) -> None:
     from repro.core.match import MatchKind
     from repro.library.patterns import PatternSet
@@ -58,6 +63,7 @@ def _init_worker(
     _STATE["kind"] = MatchKind(kind_value)
     _STATE["verify"] = verify
     _STATE["cache"] = cache
+    _STATE["check"] = check
 
 
 def _run_cell(name: str):
@@ -69,6 +75,7 @@ def _run_cell(name: str):
         kind=_STATE["kind"],
         verify=_STATE["verify"],
         cache=_STATE["cache"],
+        check=_STATE.get("check", False),
     )
 
 
@@ -80,6 +87,7 @@ def run_cells_parallel(
     verify: bool = True,
     cache: bool = True,
     jobs: Optional[int] = None,
+    check: bool = False,
 ) -> List:
     """Map every named circuit with both mappers, fanned out over ``jobs``.
 
@@ -90,6 +98,7 @@ def run_cells_parallel(
         max_variants: pattern variants per gate.
         verify: simulate each mapped netlist against its source.
         cache: enable the matching caches inside each worker.
+        check: certify every mapping result inside each worker.
         jobs: worker processes (default: CPU count, capped at ``len(names)``).
 
     Returns:
@@ -104,6 +113,6 @@ def run_cells_parallel(
     # the behaviour identical under spawn.
     methods = multiprocessing.get_all_start_methods()
     ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
-    initargs = (spec, max_variants, kind.value, verify, cache)
+    initargs = (spec, max_variants, kind.value, verify, cache, check)
     with ctx.Pool(processes=jobs, initializer=_init_worker, initargs=initargs) as pool:
         return pool.map(_run_cell, names)

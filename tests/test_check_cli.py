@@ -1,0 +1,101 @@
+"""The ``repro check`` CLI subcommand end to end (repro.cli)."""
+
+import pytest
+
+from repro.cli import main
+
+GOOD_BLIF = """\
+.model tiny
+.inputs a b c
+.outputs y
+.names a b x
+11 1
+.names x c y
+10 1
+.end
+"""
+
+GOOD_GENLIB = """\
+GATE inv 1 O=!a;
+  PIN * UNKNOWN 1 999 0.5 0.2 0.5 0.2
+GATE nand2 2 O=!(a*b);
+  PIN * UNKNOWN 1 999 1.0 0.2 1.0 0.2
+"""
+
+
+@pytest.fixture
+def good_blif(tmp_path):
+    path = tmp_path / "tiny.blif"
+    path.write_text(GOOD_BLIF)
+    return str(path)
+
+
+@pytest.fixture
+def good_genlib(tmp_path):
+    path = tmp_path / "tiny.genlib"
+    path.write_text(GOOD_GENLIB)
+    return str(path)
+
+
+class TestCheckCommand:
+    def test_clean_blif_exits_zero(self, good_blif, capsys):
+        assert main(["check", good_blif]) == 0
+        out = capsys.readouterr().out
+        assert good_blif in out
+        assert "summary:" in out
+
+    def test_clean_genlib_exits_zero(self, good_genlib, capsys):
+        assert main(["check", good_genlib]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_mixed_inputs_one_invocation(self, good_blif, good_genlib, capsys):
+        assert main(["check", good_blif, good_genlib]) == 0
+        out = capsys.readouterr().out
+        assert out.count("summary:") == 2
+
+    def test_parse_error_exits_one(self, tmp_path, capsys):
+        bad = tmp_path / "bad.blif"
+        bad.write_text(".model b\n.inputs a\n.outputs y\n.names a y\n2 1\n")
+        assert main(["check", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "N000" in out
+
+    def test_warning_needs_strict_to_fail(self, tmp_path, capsys):
+        # Vacuous fanin: N007 is a warning.
+        source = GOOD_BLIF.replace("11 1", "1- 1")
+        path = tmp_path / "warn.blif"
+        path.write_text(source)
+        assert main(["check", str(path)]) == 0
+        assert main(["check", "--strict", str(path)]) == 1
+        assert "N007" in capsys.readouterr().out
+
+    def test_certify_against_genlib_library(self, good_blif, good_genlib, capsys):
+        code = main(["check", "--certify", "-l", good_genlib, good_blif])
+        assert code == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_certify_builtin_library_tree_mode(self, good_blif):
+        assert main(
+            ["check", "--certify", "-l", "44-1", "--mode", "tree", good_blif]
+        ) == 0
+
+    def test_list_codes(self, capsys):
+        assert main(["check", "--list-codes"]) == 0
+        out = capsys.readouterr().out
+        for expected in ("N001", "L003", "C005", "C106"):
+            assert expected in out
+
+    def test_no_inputs_is_an_error(self):
+        with pytest.raises(SystemExit):
+            main(["check"])
+
+    def test_dirty_genlib_diagnostics_printed(self, tmp_path, capsys):
+        # nor2 duplicates nand2's NPN class: a warning, exit 0 without --strict.
+        path = tmp_path / "dup.genlib"
+        path.write_text(GOOD_GENLIB + "GATE nor2 2 O=!(a+b);\n"
+                        "  PIN * UNKNOWN 1 999 1.1 0.2 1.1 0.2\n")
+        assert main(["check", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "L004" in out
+        assert main(["check", "--strict", str(path)]) == 1

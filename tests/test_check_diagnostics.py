@@ -1,0 +1,136 @@
+"""Diagnostics framework invariants (repro.check.diagnostics)."""
+
+import re
+
+import pytest
+
+from repro.check import CODES, CheckReport, Diagnostic, Severity
+from repro.errors import SourceLoc
+
+
+class TestSeverity:
+    def test_escalation_order(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR
+        assert max(Severity.INFO, Severity.ERROR) is Severity.ERROR
+
+    def test_labels(self):
+        assert Severity.ERROR.label() == "error"
+        assert Severity.WARNING.label() == "warning"
+        assert Severity.INFO.label() == "info"
+
+
+class TestCatalog:
+    def test_codes_well_formed(self):
+        for code, info in CODES.items():
+            assert re.fullmatch(r"[NLC]\d{3}", code), code
+            assert info.code == code
+            assert isinstance(info.severity, Severity)
+            assert info.title
+
+    def test_series_prefixes(self):
+        series = {code[0] for code in CODES}
+        assert series == {"N", "L", "C"}
+
+    def test_parse_errors_are_errors(self):
+        assert CODES["N000"].severity is Severity.ERROR
+        assert CODES["L000"].severity is Severity.ERROR
+
+    def test_match_primitive_codes_present(self):
+        for code in ("C101", "C102", "C103", "C104", "C105", "C106"):
+            assert CODES[code].severity is Severity.ERROR
+
+
+class TestCheckReport:
+    def test_add_pulls_severity_from_catalog(self):
+        report = CheckReport()
+        diag = report.add("N001", "cycle a -> b -> a")
+        assert diag.severity is Severity.ERROR
+        assert report.diagnostics == [diag]
+
+    def test_add_unknown_code_raises(self):
+        report = CheckReport()
+        with pytest.raises(KeyError, match="X999"):
+            report.add("X999", "nope")
+        assert len(report) == 0
+
+    def test_filters_and_counts(self):
+        report = CheckReport()
+        report.add("N001", "e1")
+        report.add("N004", "w1")
+        report.add("N008", "i1")
+        report.add("N001", "e2")
+        assert [d.message for d in report.errors()] == ["e1", "e2"]
+        assert [d.message for d in report.warnings()] == ["w1"]
+        assert len(report.by_code("N001")) == 2
+        assert report.counts() == {"error": 2, "warning": 1, "info": 1}
+        assert report.has_errors
+        assert report.max_severity() is Severity.ERROR
+        assert len(report) == 4
+        assert [d.code for d in report] == ["N001", "N004", "N008", "N001"]
+
+    def test_empty_report(self):
+        report = CheckReport()
+        assert not report.has_errors
+        assert report.max_severity() is None
+        assert report.exit_code() == 0
+        assert report.exit_code(strict=True) == 0
+        assert report.format() == ""
+        assert "0 error(s)" in report.summary()
+
+    def test_exit_code_policy(self):
+        warn_only = CheckReport()
+        warn_only.add("N004", "w")
+        assert warn_only.exit_code() == 0
+        assert warn_only.exit_code(strict=True) == 1
+
+        with_error = CheckReport()
+        with_error.add("N004", "w")
+        with_error.add("N001", "e")
+        assert with_error.exit_code() == 1
+        assert with_error.exit_code(strict=True) == 1
+
+        info_only = CheckReport()
+        info_only.add("N008", "i")
+        assert info_only.exit_code(strict=True) == 0
+
+    def test_extend_preserves_order(self):
+        first = CheckReport()
+        first.add("N001", "a")
+        second = CheckReport()
+        second.add("N004", "b")
+        out = first.extend(second)
+        assert out is first
+        assert [d.message for d in first] == ["a", "b"]
+
+    def test_format_min_severity(self):
+        report = CheckReport()
+        report.add("N008", "informational")
+        report.add("N001", "broken")
+        full = report.format()
+        assert "informational" in full and "broken" in full
+        errors_only = report.format(min_severity=Severity.ERROR)
+        assert "informational" not in errors_only
+        assert "broken" in errors_only
+
+
+class TestDiagnosticFormat:
+    def test_with_location_and_object(self):
+        diag = Diagnostic(
+            "L000",
+            "bad area",
+            Severity.ERROR,
+            loc=SourceLoc(file="x.genlib", line=7),
+            obj="nand2",
+        )
+        text = diag.format()
+        assert text.startswith("L000")
+        assert "x.genlib:7" in text
+        assert "bad area" in text
+        assert "[nand2]" in text
+        assert str(diag) == text
+
+    def test_without_location(self):
+        diag = Diagnostic("C001", "po o1 not covered", Severity.ERROR)
+        text = diag.format()
+        assert "C001" in text and "po o1 not covered" in text
+        assert "<input>" not in text

@@ -1,0 +1,163 @@
+"""Library linter (repro.check.library_lint).
+
+Each L-series code is triggered by a purpose-built genlib fragment; the
+bundled libraries must stay free of errors.
+"""
+
+import pytest
+
+from repro.check import (
+    lint_genlib_file,
+    lint_genlib_source,
+    lint_library,
+    pattern_truth_table,
+)
+from repro.library.builtin import lib2_like, lib44_1, lib44_3, mini_library
+from repro.library.genlib import parse_genlib
+from repro.library.patterns import PatternSet
+from repro.network.functions import TruthTable
+
+
+def pin(block=1.0, fanout=0.2, load=1.0, max_load=999.0):
+    return (
+        f"  PIN * UNKNOWN {load:g} {max_load:g} "
+        f"{block:g} {fanout:g} {block:g} {fanout:g}"
+    )
+
+
+BASE = "\n".join(
+    [
+        "GATE inv 1 O=!a;",
+        pin(0.5),
+        "GATE nand2 2 O=!(a*b);",
+        pin(1.0),
+    ]
+)
+
+
+def lib_of(*extra_lines):
+    return parse_genlib("\n".join([BASE, *extra_lines]), name="test")
+
+
+def codes(report):
+    return [d.code for d in report]
+
+
+class TestPatternTruthTable:
+    def test_matches_declared_functions(self):
+        library = mini_library()
+        patterns = PatternSet(library, max_variants=8)
+        assert patterns.patterns
+        for pattern in patterns.patterns:
+            gate = pattern.gate
+            assert pattern_truth_table(pattern, gate.inputs) == gate.tt
+
+
+class TestCompleteness:
+    def test_l001_missing_inverter(self):
+        library = parse_genlib("GATE nand2 2 O=!(a*b);\n" + pin(), name="noinv")
+        report = lint_library(library, check_patterns=False)
+        assert "L001" in codes(report)
+
+    def test_l002_missing_nand2(self):
+        library = parse_genlib("GATE inv 1 O=!a;\n" + pin(), name="nonand")
+        report = lint_library(library, check_patterns=False)
+        assert "L002" in codes(report)
+
+
+class TestCellChecks:
+    def test_l006_non_positive_area(self):
+        library = lib_of("GATE freebie 0 O=!(a*b);", pin())
+        assert "L006" in codes(lint_library(library, check_patterns=False))
+
+    def test_l007_negative_block_delay(self):
+        library = lib_of("GATE warp 2 O=!(a+b);", pin(block=-0.5))
+        report = lint_library(library, check_patterns=False)
+        assert "L007" in codes(report)
+        assert report.has_errors
+
+    def test_l008_negative_fanout_coefficient(self):
+        library = lib_of("GATE sag 2 O=!(a+b);", pin(fanout=-0.1))
+        report = lint_library(library, check_patterns=False)
+        assert "L008" in codes(report)
+
+    def test_l009_buffer_skipped_by_patterns(self):
+        library = lib_of("GATE buf 1.5 O=a;", pin())
+        report = lint_library(library)
+        assert "L009" in codes(report)
+        assert report.by_code("L009")[0].obj == "buf"
+
+    def test_l010_zero_pin_cell(self):
+        library = lib_of("GATE tie1 1 O=CONST1;")
+        report = lint_library(library, check_patterns=False)
+        assert "L010" in codes(report)
+
+    def test_l011_non_positive_max_load(self):
+        library = lib_of("GATE weak 2 O=!(a+b);", pin(max_load=0.0))
+        assert "L011" in codes(lint_library(library, check_patterns=False))
+
+
+class TestFunctionChecks:
+    def test_l003_tampered_truth_table(self):
+        library = lib_of("GATE nor2 2 O=!(a+b);", pin(1.1))
+        # Patterns are generated from the expression; corrupting the
+        # declared table desynchronises the two and L003 must notice.
+        library.gate("nor2").tt = TruthTable(2, 0b0110)
+        report = lint_library(library)
+        assert "L003" in codes(report)
+        assert report.by_code("L003")[0].obj == "nor2"
+
+    def test_l004_npn_duplicate(self):
+        # nor2 is NPN-equivalent to nand2 (negate both inputs + output).
+        library = lib_of("GATE nor2 2 O=!(a+b);", pin(1.1))
+        report = lint_library(library, check_patterns=False)
+        assert "L004" in codes(report)
+        message = report.by_code("L004")[0].message
+        assert "nand2" in message and "nor2" in message
+
+    def test_l005_dominated_cell(self):
+        library = lib_of("GATE nand2_slow 3 O=!(a*b);", pin(2.0))
+        report = lint_library(library, check_patterns=False)
+        assert "L005" in codes(report)
+        assert report.by_code("L005")[0].obj == "nand2_slow"
+
+    def test_equal_cells_do_not_dominate_each_other(self):
+        # Identical area and delays: neither strictly dominates.
+        library = lib_of("GATE nand2_alt 2 O=!(a*b);", pin(1.0))
+        report = lint_library(library, check_patterns=False)
+        assert "L005" not in codes(report)
+
+
+class TestSourceAndFile:
+    def test_l000_parse_error_located(self):
+        report, library = lint_genlib_source(
+            "GATE inv nope O=!a;\n" + pin(), filename="bad.genlib"
+        )
+        assert library is None
+        assert codes(report) == ["L000"]
+        diag = report.by_code("L000")[0]
+        assert diag.loc is not None
+        assert diag.loc.file == "bad.genlib"
+        assert diag.loc.line == 1
+
+    def test_good_source_round_trip(self):
+        report, library = lint_genlib_source(BASE, filename="ok.genlib")
+        assert library is not None
+        assert not report.has_errors
+
+    def test_file_entry_point(self, tmp_path):
+        path = tmp_path / "lib.genlib"
+        path.write_text(BASE + "\n")
+        report, library = lint_genlib_file(str(path))
+        assert library is not None
+        assert not report.has_errors
+
+
+class TestBundledLibraries:
+    @pytest.mark.parametrize(
+        "factory", [mini_library, lib2_like, lib44_1, lib44_3]
+    )
+    def test_no_errors_in_builtin_library(self, factory):
+        library = factory()
+        report = lint_library(library, max_variants=4)
+        assert not report.has_errors, report.format()

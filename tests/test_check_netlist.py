@@ -1,0 +1,203 @@
+"""Netlist and subject-graph linters (repro.check.netlist_lint).
+
+Each N-series code is triggered by a minimal hand-built defect; clean
+inputs must produce empty reports.
+"""
+
+import pytest
+
+from repro.check import lint_blif_file, lint_blif_source, lint_network, lint_subject
+from repro.network.bnet import BooleanNetwork
+from repro.network.decompose import decompose_network
+from repro.network.functions import TruthTable
+from repro.network.subject import SubjectGraph
+
+
+def clean_net():
+    net = BooleanNetwork("clean")
+    net.add_pi("a")
+    net.add_pi("b")
+    net.add_node("x", "a*b")
+    net.add_node("y", "!x")
+    net.add_po("y")
+    return net
+
+
+def codes(report):
+    return [d.code for d in report]
+
+
+class TestNetworkLint:
+    def test_clean_network_is_clean(self):
+        report = lint_network(clean_net())
+        assert codes(report) == []
+        assert report.exit_code(strict=True) == 0
+
+    def test_n001_combinational_cycle(self):
+        net = BooleanNetwork("cyc")
+        net.add_pi("a")
+        net.add_node("x", TruthTable(2, 0b1000), fanins=["a", "y"])
+        net.add_node("y", TruthTable(1, 0b01), fanins=["x"])
+        net.add_po("y")
+        report = lint_network(net)
+        assert "N001" in codes(report)
+        diag = report.by_code("N001")[0]
+        assert "->" in diag.message
+
+    def test_n002_dangling_fanin(self):
+        net = BooleanNetwork("dangle")
+        net.add_pi("a")
+        net.add_node("x", TruthTable(2, 0b1000), fanins=["a", "ghost"])
+        net.add_po("x")
+        report = lint_network(net)
+        assert "N002" in codes(report)
+        assert "ghost" in report.by_code("N002")[0].message
+
+    def test_n003_undriven_po(self):
+        net = clean_net()
+        net.add_po("phantom")
+        assert "N003" in codes(lint_network(net))
+
+    def test_n004_unreachable_node(self):
+        net = clean_net()
+        net.add_node("orphan", "a*b*a")
+        report = lint_network(net)
+        assert "N004" in codes(report)
+        assert report.by_code("N004")[0].obj == "orphan"
+        # A warning, not an error.
+        assert report.exit_code() == 0
+        assert report.exit_code(strict=True) == 1
+
+    def test_n005_duplicate_po(self):
+        net = clean_net()
+        net.add_po("y")
+        assert "N005" in codes(lint_network(net))
+
+    def test_n006_undefined_latch_input(self):
+        net = BooleanNetwork("seq")
+        net.add_pi("a")
+        net.add_latch("missing", "q")
+        net.add_node("x", "a*q")
+        net.add_po("x")
+        assert "N006" in codes(lint_network(net))
+
+    def test_n007_vacuous_fanin(self):
+        net = BooleanNetwork("vac")
+        net.add_pi("a")
+        net.add_pi("b")
+        # Function is just `a`; fanin b is ignored.
+        net.add_node("x", TruthTable.variable(0, 2), fanins=["a", "b"])
+        net.add_po("x")
+        report = lint_network(net)
+        assert "N007" in codes(report)
+        assert "'b'" in report.by_code("N007")[0].message
+
+    def test_n008_constant_with_inputs(self):
+        net = BooleanNetwork("const")
+        net.add_pi("a")
+        net.add_node("x", TruthTable.const1(1), fanins=["a"])
+        net.add_po("x")
+        report = lint_network(net)
+        assert "N008" in codes(report)
+
+    def test_n009_latch_only_loop(self):
+        net = BooleanNetwork("ring")
+        net.add_pi("a")
+        net.add_latch("q2", "q1")
+        net.add_latch("q1", "q2")
+        net.add_node("x", "a*q1")
+        net.add_po("x")
+        report = lint_network(net)
+        assert "N009" in codes(report)
+        assert "N001" not in codes(report)
+
+
+class TestSubjectLint:
+    def test_clean_subject_is_clean(self):
+        g, *_ = self.build()
+        assert codes(lint_subject(g)) == []
+
+    def test_decomposed_network_has_no_errors(self):
+        subject = decompose_network(clean_net())
+        assert not lint_subject(subject).has_errors
+
+    def build(self):
+        g = SubjectGraph("s")
+        a = g.add_pi("a")
+        b = g.add_pi("b")
+        n = g.add_nand2(a, b)
+        o = g.add_inv(n)
+        g.set_po("o", o)
+        return g, a, b, n, o
+
+    def test_n020_fanout_inconsistent(self):
+        g, a, b, n, o = self.build()
+        a.fanouts.append(o)  # claim a reader that does not read a
+        assert "N020" in codes(lint_subject(g))
+
+    def test_n021_uid_not_topological(self):
+        g, a, b, n, o = self.build()
+        g.nodes[2], g.nodes[3] = g.nodes[3], g.nodes[2]
+        assert "N021" in codes(lint_subject(g))
+
+    def test_n022_foreign_po_driver(self):
+        g, *_ = self.build()
+        other = SubjectGraph("other")
+        x = other.add_pi("x")
+        g.pos.append(("bad", other.add_inv(x)))
+        assert "N022" in codes(lint_subject(g))
+
+    def test_n023_structural_duplicate(self):
+        g, a, b, n, o = self.build()
+        dup = g.add_nand2(b, a, share=False)  # same NAND2 modulo commutation
+        g.set_po("dup", g.add_inv(dup, share=False))
+        report = lint_subject(g)
+        assert "N023" in codes(report)
+
+    def test_n024_unreachable_subject_node(self):
+        g, a, b, n, o = self.build()
+        g.add_inv(b, share=False)  # feeds nothing
+        report = lint_subject(g)
+        assert "N024" in codes(report)
+        assert report.exit_code() == 0  # warning only
+
+
+class TestBlifLint:
+    GOOD = """\
+.model tiny
+.inputs a b
+.outputs y
+.names a b x
+11 1
+.names x y
+0 1
+.end
+"""
+
+    def test_good_source(self):
+        report, net = lint_blif_source(self.GOOD)
+        assert net is not None
+        assert codes(report) == []
+
+    def test_parse_error_becomes_n000(self):
+        bad = ".model broken\n.inputs a\n.outputs y\n.names a y\n2 1\n.end\n"
+        report, net = lint_blif_source(bad, filename="broken.blif")
+        assert net is None
+        assert codes(report) == ["N000"]
+        diag = report.by_code("N000")[0]
+        assert diag.loc is not None
+        assert diag.loc.file == "broken.blif"
+        assert diag.loc.line is not None
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "tiny.blif"
+        path.write_text(self.GOOD)
+        report, net = lint_blif_file(str(path))
+        assert net is not None and codes(report) == []
+
+    def test_semantic_problems_still_reported(self):
+        # x's table ignores b entirely: parses fine, lints N007.
+        source = self.GOOD.replace("11 1", "1- 1")
+        report, net = lint_blif_source(source)
+        assert net is not None
+        assert "N007" in codes(report)

@@ -1,8 +1,9 @@
-"""Error-type hierarchy and message sanity (repro.errors)."""
+"""Error-type hierarchy and located-diagnostic carriers (repro.errors)."""
 
 import pytest
 
 from repro.errors import (
+    CertificateError,
     LibraryError,
     LibraryIncompleteError,
     MappingError,
@@ -10,6 +11,7 @@ from repro.errors import (
     ParseError,
     ReproError,
     RetimingError,
+    SourceLoc,
     TimingError,
 )
 
@@ -23,6 +25,7 @@ class TestHierarchy:
             LibraryError,
             LibraryIncompleteError,
             MappingError,
+            CertificateError,
             TimingError,
             RetimingError,
         ],
@@ -33,13 +36,53 @@ class TestHierarchy:
     def test_incomplete_is_library_error(self):
         assert issubclass(LibraryIncompleteError, LibraryError)
 
-    def test_parse_error_line_info(self):
-        err = ParseError("bad token", line=42)
-        assert "line 42" in str(err)
-        assert err.line == 42
-        plain = ParseError("no line")
-        assert plain.line is None
+    def test_certificate_is_mapping_error(self):
+        assert issubclass(CertificateError, MappingError)
 
     def test_catch_base_class(self):
         with pytest.raises(ReproError):
             raise MappingError("boom")
+
+
+class TestSourceLoc:
+    def test_str_full(self):
+        assert str(SourceLoc(file="a.blif", line=3, column=7)) == "a.blif:3:7"
+
+    def test_str_partial(self):
+        assert str(SourceLoc(file="a.blif", line=3)) == "a.blif:3"
+        assert str(SourceLoc(line=3)) == "line 3"
+        assert str(SourceLoc(file="a.blif")) == "a.blif"
+
+    def test_unknown(self):
+        loc = SourceLoc()
+        assert not loc.is_known()
+        assert SourceLoc(line=1).is_known()
+
+
+class TestParseError:
+    def test_line_only(self):
+        err = ParseError("bad token", line=42)
+        assert "line 42" in str(err)
+        assert err.line == 42
+        assert err.file is None
+        plain = ParseError("no line")
+        assert plain.line is None
+
+    def test_file_line_token(self):
+        err = ParseError("bad area", line=7, file="x.genlib", token="oops")
+        text = str(err)
+        assert "x.genlib:7" in text
+        assert "bad area" in text
+        assert "'oops'" in text
+        assert err.token == "oops"
+        assert err.bare_message == "bad area"
+
+    def test_loc_property(self):
+        err = ParseError("msg", line=5, file="f.blif")
+        assert err.loc == SourceLoc(file="f.blif", line=5)
+        assert str(err.loc) == "f.blif:5"
+
+    def test_bare_message_excludes_location(self):
+        err = ParseError("the actual problem", line=9, file="f")
+        assert err.bare_message == "the actual problem"
+        assert "f:9" not in err.bare_message

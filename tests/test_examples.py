@@ -21,6 +21,7 @@ _FAST_EXAMPLES = [
     "custom_library.py",
     "timing_analysis.py",
     "sequential_retiming.py",
+    "check_demo.py",
 ]
 
 

@@ -76,8 +76,10 @@ class TestParsing:
             parse_genlib("GATE g 1 O=!a;\n PIN a INV x 999 1 0 1 0")
 
     def test_pin_not_in_support(self):
-        with pytest.raises(LibraryError):
+        with pytest.raises(ParseError) as info:
             parse_genlib("GATE g 1 O=!a;\n PIN zz INV 1 999 1 0 1 0")
+        assert "not in function support" in str(info.value)
+        assert info.value.line == 1  # located at the GATE statement
 
 
 class TestRoundtrip:

@@ -63,7 +63,7 @@ def test_cached_matches_verify_and_equal_seed(net):
             ]
             for match in fast:
                 assert match.root is node
-                assert verify_match(match, subject, kind) == []
+                assert verify_match(match, subject, kind).ok
 
 
 @_SETTINGS

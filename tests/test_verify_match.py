@@ -1,0 +1,197 @@
+"""Failure branches of the verify_match oracle (repro.core.match).
+
+The matcher's own tests prove every *returned* match passes the oracle;
+here we prove the oracle actually rejects — each Definition-1/2/3
+condition is broken in isolation on real matches and the resulting
+:class:`MatchVerification` must carry the documented C1## code.
+"""
+
+import pytest
+
+from repro.core.match import (
+    Match,
+    Matcher,
+    MatchKind,
+    MatchVerification,
+    MatchViolation,
+    verify_match,
+)
+from repro.library.builtin import mini_library
+from repro.library.patterns import PatternSet
+from repro.network.subject import SubjectGraph
+
+
+@pytest.fixture(scope="module")
+def patterns():
+    return PatternSet(mini_library(), max_variants=8)
+
+
+def build_subject():
+    """INV/NAND2 fabric with a NOR2-shaped cone whose interior fans out.
+
+    ::
+
+        ia = INV(a)   ib = INV(b)
+        nd = NAND2(ia, ib)          # interior of the nor2 pattern
+        out = INV(nd)               # nor2 root
+        extra = NAND2(nd, c)        # gives nd a second fanout
+    """
+    g = SubjectGraph("verify")
+    a = g.add_pi("a")
+    b = g.add_pi("b")
+    c = g.add_pi("c")
+    ia = g.add_inv(a, share=False)
+    ib = g.add_inv(b, share=False)
+    nd = g.add_nand2(ia, ib, share=False)
+    out = g.add_inv(nd, share=False)
+    extra = g.add_nand2(nd, c, share=False)
+    g.set_po("out", out)
+    g.set_po("extra", extra)
+    return g, out, nd
+
+
+def match_of_gate(matcher, node, gate_name):
+    found = [m for m in matcher.matches_at(node) if m.gate.name == gate_name]
+    assert found, f"no {gate_name} match at n{node.uid}"
+    return found[0]
+
+
+def rebound(match, **replace):
+    """Copy of ``match`` with some binding entries replaced/removed."""
+    binding = dict(match.binding)
+    for uid, target in replace.items():
+        if target is None:
+            del binding[int(uid)]
+        else:
+            binding[int(uid)] = target
+    return Match(match.pattern, match.root, binding)
+
+
+class TestValidMatches:
+    def test_ok_is_falsy_and_empty(self, patterns):
+        subject, out, _ = build_subject()
+        matcher = Matcher(patterns, MatchKind.STANDARD)
+        matcher.attach(subject)
+        result = verify_match(match_of_gate(matcher, out, "nor2"), subject,
+                              MatchKind.STANDARD)
+        assert result.ok
+        assert not result
+        assert len(result) == 0
+        assert list(result) == []
+        assert repr(result) == "MatchVerification(ok)"
+
+
+class TestFailureBranches:
+    def test_c101_unbound_pattern_node(self, patterns):
+        subject, out, _ = build_subject()
+        matcher = Matcher(patterns, MatchKind.STANDARD)
+        matcher.attach(subject)
+        match = match_of_gate(matcher, out, "nor2")
+        some_leaf = match.pattern.leaves[0].uid
+        broken = rebound(match, **{str(some_leaf): None})
+        result = verify_match(broken, subject, MatchKind.STANDARD)
+        assert "C101" in result.codes()
+
+    def test_c102_edge_not_preserved(self, patterns):
+        subject, out, _ = build_subject()
+        matcher = Matcher(patterns, MatchKind.STANDARD)
+        matcher.attach(subject)
+        match = match_of_gate(matcher, out, "inv")
+        # Rebind the single leaf to an unrelated PI: the pattern edge
+        # leaf->root then maps to a pair with no subject edge.
+        leaf = match.pattern.leaves[0]
+        stranger = subject.pis[2]  # c: feeds `extra`, not `out`
+        broken = rebound(match, **{str(leaf.uid): stranger})
+        result = verify_match(broken, subject, MatchKind.STANDARD)
+        assert "C102" in result.codes()
+
+    def test_c103_in_degree_mismatch(self, patterns):
+        subject, out, nd = build_subject()
+        matcher = Matcher(patterns, MatchKind.STANDARD)
+        matcher.attach(subject)
+        match = match_of_gate(matcher, out, "inv")
+        # Rebind the INV pattern root (one fanin) onto a NAND2 subject
+        # node (two fanins).
+        broken = Match(
+            match.pattern,
+            nd,
+            {**match.binding, match.pattern.root.uid: nd},
+        )
+        result = verify_match(broken, subject, MatchKind.STANDARD)
+        assert "C103" in result.codes()
+
+    def test_c103_fanin_multiset_mismatch(self, patterns):
+        subject, out, nd = build_subject()
+        matcher = Matcher(patterns, MatchKind.STANDARD)
+        matcher.attach(subject)
+        match = match_of_gate(matcher, out, "nor2")
+        # Swap one interior child image for a node that is not a fanin
+        # of its parent's image: same in-degree, wrong multiset.
+        inv_children = [p for p in match.pattern.nodes
+                        if not p.is_leaf and match.binding[p.uid] is not out
+                        and len(p.fanins) == 1]
+        victim = inv_children[0]
+        broken = rebound(match, **{str(victim.uid): out})
+        result = verify_match(broken, subject, MatchKind.STANDARD)
+        assert "C103" in result.codes()
+
+    def test_c104_not_one_to_one(self, patterns):
+        g = SubjectGraph("alias")
+        x = g.add_pi("x")
+        y = g.add_pi("y")
+        n = g.add_nand2(x, y, share=False)
+        sq = g.add_nand2(n, n, share=False)  # both fanins alias n
+        g.set_po("o", sq)
+        matcher = Matcher(patterns, MatchKind.EXTENDED)
+        matcher.attach(g)
+        match = match_of_gate(matcher, sq, "nand2")
+        # Valid as an extended match, rejected under Definition 1.
+        assert verify_match(match, g, MatchKind.EXTENDED).ok
+        result = verify_match(match, g, MatchKind.STANDARD)
+        assert result.codes() == ["C104"]
+
+    def test_c105_exact_out_degree(self, patterns):
+        subject, out, nd = build_subject()
+        matcher = Matcher(patterns, MatchKind.STANDARD)
+        matcher.attach(subject)
+        match = match_of_gate(matcher, out, "nor2")
+        # nd (the interior NAND) also feeds `extra`: fine for a standard
+        # match, an out-degree violation for an exact one.
+        assert verify_match(match, subject, MatchKind.STANDARD).ok
+        result = verify_match(match, subject, MatchKind.EXACT)
+        assert "C105" in result.codes()
+
+    def test_c106_root_binding_mismatch(self, patterns):
+        subject, out, nd = build_subject()
+        matcher = Matcher(patterns, MatchKind.STANDARD)
+        matcher.attach(subject)
+        match = match_of_gate(matcher, out, "inv")
+        # Same (consistent) binding, but claimed at a different root.
+        other_root = subject.pis[0]
+        broken = Match(match.pattern, other_root, dict(match.binding))
+        result = verify_match(broken, subject, MatchKind.STANDARD)
+        assert "C106" in result.codes()
+
+
+class TestVerificationValueType:
+    def test_violation_equality_and_str(self):
+        a = MatchViolation("C101", "pattern node 3 unbound")
+        b = MatchViolation("C101", "pattern node 3 unbound")
+        c = MatchViolation("C102", "pattern node 3 unbound")
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+        assert a != "C101"
+        assert str(a) == "C101: pattern node 3 unbound"
+        assert "C101" in repr(a)
+
+    def test_collection_protocol(self):
+        result = MatchVerification()
+        assert result.ok and not result
+        result.add("C102", "edge gone")
+        result.add("C104", "aliased")
+        assert not result.ok and result
+        assert len(result) == 2
+        assert result.codes() == ["C102", "C104"]
+        assert result.messages() == ["edge gone", "aliased"]
+        assert [v.code for v in result] == ["C102", "C104"]
+        assert "C102" in repr(result)
