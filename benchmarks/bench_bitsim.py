@@ -1,0 +1,162 @@
+"""Bench smoke for the bit-parallel Boolean kernel (:mod:`repro.network.bitsim`).
+
+Two entry points:
+
+* ``python benchmarks/bench_bitsim.py`` — the CI smoke.  For each
+  Table-2/3 circuit it times the packed engine against the per-vector
+  scalar oracle on the same seeded batch (asserting bit-identical output
+  words and at least ``--require-speedup`` packed advantage), then runs
+  the consumer-level equivalence check (network vs its decomposed
+  subject graph: exhaustive up to 16 inputs, seeded random beyond) and
+  writes the wall times plus the kernel's ``sim_vectors_per_sec``
+  counters to ``BENCH_bitsim.json``.
+* ``pytest benchmarks/bench_bitsim.py`` — the same packed-vs-scalar
+  comparison as pytest-benchmark cases (one circuit, so the suite
+  stays quick).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from typing import Dict, List, Optional, Sequence
+
+import pytest
+
+from repro.bench.suite import TABLE23_NAMES, build_subject
+from repro.network import bitsim
+from repro.network.bitsim import SIM_STATS, adapt, random_words, simulate_words
+from repro.network.simulate import check_equivalent
+
+SCHEMA = "repro-bench-bitsim/1"
+
+#: Batch width for the timed packed-vs-scalar comparison.  Small enough
+#: that the scalar oracle (one full network pass per lane) finishes in
+#: CI, large enough that the packed advantage is unambiguous.
+DEFAULT_COMPARE_VECTORS = 256
+
+
+def bench_circuit(name: str, vectors: int, seed: int = 2024) -> Dict[str, object]:
+    """Time packed vs scalar on one circuit; returns the report record."""
+    net, subject = build_subject(name)
+    sim = adapt(net)
+    words, mask = random_words(sim.inputs, vectors=vectors, seed=seed)
+
+    t0 = time.perf_counter()
+    packed_net = simulate_words(net, words, mask, engine="packed")
+    packed_subj = simulate_words(subject, words, mask, engine="packed")
+    t1 = time.perf_counter()
+    scalar_net = simulate_words(net, words, mask, engine="scalar")
+    scalar_subj = simulate_words(subject, words, mask, engine="scalar")
+    t2 = time.perf_counter()
+    if packed_net != scalar_net or packed_subj != scalar_subj:
+        raise AssertionError(f"{name}: packed and scalar words differ")
+
+    before = SIM_STATS.snapshot()
+    t3 = time.perf_counter()
+    check_equivalent(net, subject)
+    t4 = time.perf_counter()
+    sim_counters = SIM_STATS.delta(before).as_dict()
+
+    packed_s = t1 - t0
+    scalar_s = t2 - t1
+    n_pis = len(sim.inputs)
+    return {
+        "circuit": name,
+        "subject_gates": subject.n_gates,
+        "n_pis": n_pis,
+        "compare_vectors": vectors,
+        "packed_s": round(packed_s, 4),
+        "scalar_s": round(scalar_s, 4),
+        "speedup": round(scalar_s / max(packed_s, 1e-9), 1),
+        "equivalence": "exhaustive" if n_pis <= bitsim.EXHAUSTIVE_LIMIT else "random",
+        "check_equivalent_s": round(t4 - t3, 4),
+        "sim_counters": sim_counters,
+    }
+
+
+def run_smoke(
+    names: Sequence[str] = tuple(TABLE23_NAMES),
+    out: Optional[str] = "BENCH_bitsim.json",
+    vectors: int = DEFAULT_COMPARE_VECTORS,
+    require_speedup: float = 10.0,
+    verbose: bool = True,
+) -> float:
+    """Packed vs scalar over ``names``; returns the worst per-circuit speedup."""
+    records: List[Dict[str, object]] = []
+    for name in names:
+        record = bench_circuit(name, vectors)
+        records.append(record)
+        if verbose:
+            print(
+                f"{name:8s} packed {record['packed_s']:8.4f}s  "
+                f"scalar {record['scalar_s']:8.4f}s  "
+                f"speedup {record['speedup']:7.1f}x  "
+                f"check({record['equivalence']}) "
+                f"{record['check_equivalent_s']:.4f}s"
+            )
+    worst = min(float(r["speedup"]) for r in records)
+    if verbose:
+        print(f"WORST    speedup {worst:.1f}x (require >= {require_speedup:g}x)")
+    if out:
+        payload = {
+            "schema": SCHEMA,
+            "compare_vectors": vectors,
+            "require_speedup": require_speedup,
+            "worst_speedup": worst,
+            "circuits": records,
+        }
+        with open(out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        if verbose:
+            print(f"written {out}")
+    if worst < require_speedup:
+        raise AssertionError(
+            f"packed engine only {worst:.1f}x faster than the scalar "
+            f"oracle; require >= {require_speedup:g}x"
+        )
+    return worst
+
+
+# ---------------------------------------------------------------- pytest
+
+
+@pytest.mark.parametrize("engine", ["packed", "scalar"])
+def test_bitsim_engines_c2670(benchmark, engine, get_network):
+    net = get_network("C2670s")
+    sim = adapt(net)
+    words, mask = random_words(sim.inputs, vectors=64, seed=2024)
+    result = benchmark.pedantic(
+        lambda: simulate_words(net, words, mask, engine=engine),
+        rounds=1,
+        iterations=1,
+    )
+    reference = simulate_words(net, words, mask, engine="scalar")
+    assert result == reference
+    benchmark.extra_info.update({"vectors": 64, "engine": engine})
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_bitsim.json",
+                        help="report path ('' to skip writing)")
+    parser.add_argument("--fast", action="store_true",
+                        help="only run C2670s and C6288s")
+    parser.add_argument("--vectors", type=int, default=DEFAULT_COMPARE_VECTORS,
+                        help="batch width for the timed comparison")
+    parser.add_argument("--require-speedup", type=float, default=10.0)
+    args = parser.parse_args(argv)
+    names = ["C2670s", "C6288s"] if args.fast else TABLE23_NAMES
+    run_smoke(
+        names=names,
+        out=args.out or None,
+        vectors=args.vectors,
+        require_speedup=args.require_speedup,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -43,6 +43,7 @@ from repro.core.match import Match, MatchKind, verify_match
 from repro.core.result import MappingResult
 from repro.errors import CertificateError, MappingError, NetworkError
 from repro.library.patterns import PatternSet
+from repro.network.bitsim import configured_seed, configured_vectors
 from repro.network.simulate import exhaustive_equivalence, random_equivalence
 
 __all__ = ["certify_mapping", "attach_certificate"]
@@ -70,11 +71,19 @@ def certify_mapping(
     result: MappingResult,
     selection: Optional[Dict[int, Match]] = None,
     patterns: Optional[PatternSet] = None,
-    vectors: int = 2048,
-    seed: int = 2024,
+    vectors: Optional[int] = None,
+    seed: Optional[int] = None,
     exhaustive_limit: int = DEFAULT_EXHAUSTIVE_LIMIT,
 ) -> CheckReport:
     """Certify one mapping run; every finding becomes a coded diagnostic.
+
+    The equivalence stage (``C005``) runs on the bit-parallel kernel:
+    one packed pass per circuit, exhaustive up to ``exhaustive_limit``
+    primary inputs and a seeded random batch beyond.  The batch width
+    and seed resolve explicit arguments > ``REPRO_SIM_VECTORS`` /
+    ``REPRO_SIM_SEED`` environment > defaults, and are recorded in
+    ``report.meta`` and on ``result.sim_vectors`` / ``result.sim_seed``
+    so the run is reproducible.
 
     Args:
         result: the mapping run to certify.
@@ -84,11 +93,19 @@ def certify_mapping(
             cover from ``labels.best`` alone.
         patterns: when given, an independent cache-free relabeling
             cross-checks the delay bound (slow; off by default).
-        vectors: random simulation words when past ``exhaustive_limit``.
-        seed: PRNG seed for the random equivalence stage.
+        vectors: random simulation batch width past ``exhaustive_limit``
+            (default: ``REPRO_SIM_VECTORS`` or 4096).
+        seed: PRNG seed for the random equivalence stage (default:
+            ``REPRO_SIM_SEED`` or 2024).
         exhaustive_limit: max primary inputs for exhaustive equivalence.
     """
     report = CheckReport()
+    sim_vectors = configured_vectors(vectors)
+    sim_seed = configured_seed(seed)
+    report.meta["sim_vectors"] = sim_vectors
+    report.meta["sim_seed"] = sim_seed
+    result.sim_vectors = sim_vectors
+    result.sim_seed = sim_seed
     labels = result.labels
     subject = labels.subject
     netlist = result.netlist
@@ -286,9 +303,10 @@ def certify_mapping(
                 how = "exhaustive"
             else:
                 cex = random_equivalence(
-                    subject, netlist, vectors=vectors, seed=seed
+                    subject, netlist, vectors=sim_vectors, seed=sim_seed
                 )
-                how = f"random ({vectors} vectors, seed {seed})"
+                how = f"random ({sim_vectors} vectors, seed {sim_seed})"
+            report.meta["equivalence"] = how
             if cex is not None:
                 report.add(
                     "C005",

@@ -141,9 +141,16 @@ class Diagnostic:
 
 @dataclass
 class CheckReport:
-    """Ordered diagnostics from one or more passes."""
+    """Ordered diagnostics from one or more passes.
+
+    ``meta`` carries non-diagnostic run metadata (e.g. the simulation
+    vector count and seed a certificate's equivalence stage used) so
+    runs are reproducible; it never affects :meth:`format`, severities
+    or exit codes.
+    """
 
     diagnostics: List[Diagnostic] = field(default_factory=list)
+    meta: Dict[str, object] = field(default_factory=dict)
 
     def add(
         self,

@@ -16,10 +16,10 @@ from typing import Dict, List, Optional, Tuple
 from repro.check.diagnostics import CheckReport, SourceLoc
 from repro.errors import LibraryError, ParseError
 from repro.library.gate import Gate, GateLibrary
-from repro.library.patterns import PatternGraph, PatternNode, PatternSet
+from repro.library.patterns import PatternGraph, PatternSet
+from repro.network.bitsim import pattern_table
 from repro.network.functions import TruthTable
 from repro.network.npn import npn_canonical
-from repro.network.subject import NodeType
 
 __all__ = [
     "pattern_truth_table",
@@ -33,28 +33,14 @@ _NPN_LIMIT = 4
 
 
 def pattern_truth_table(pattern: PatternGraph, inputs: List[str]) -> TruthTable:
-    """Exhaustive truth table of a pattern graph over ``inputs`` order."""
-    n = len(inputs)
-    mask = (1 << (1 << n)) - 1
-    pin_word = {
-        pin: TruthTable.variable(i, n).bits for i, pin in enumerate(inputs)
-    }
-    memo: Dict[int, int] = {}
+    """Exhaustive truth table of a pattern graph over ``inputs`` order.
 
-    def value(node: PatternNode) -> int:
-        cached = memo.get(node.uid)
-        if cached is not None:
-            return cached
-        if node.is_leaf:
-            word = pin_word[node.pin]
-        elif node.kind is NodeType.INV:
-            word = ~value(node.fanins[0]) & mask
-        else:
-            word = ~(value(node.fanins[0]) & value(node.fanins[1])) & mask
-        memo[node.uid] = word
-        return word
-
-    return TruthTable(n, value(pattern.root) & mask)
+    Delegates to the bit-parallel kernel: one packed pass over the
+    pattern's NAND2-INV nodes using the shared cached tiling words, so
+    the whole L003 round trip (every pattern of every cell) runs in
+    word-parallel form.
+    """
+    return pattern_table(pattern, inputs)
 
 
 def _lint_cell(report: CheckReport, gate: Gate) -> None:

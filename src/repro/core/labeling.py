@@ -64,8 +64,19 @@ class Labels:
 
     @property
     def max_arrival(self) -> float:
-        """The optimal delay of the circuit: worst PO arrival."""
-        return max(self.po_arrival.values(), default=0.0)
+        """The optimal delay of the circuit: worst PO arrival.
+
+        Raises:
+            MappingError: (code ``M002``) when the subject has no primary
+                outputs — the delay bound is undefined, and silently
+                reporting 0.0 would let a broken subject graph certify.
+        """
+        if not self.po_arrival:
+            raise MappingError(
+                "[M002] subject graph has no primary outputs; the delay "
+                "bound (worst PO arrival) is undefined"
+            )
+        return max(self.po_arrival.values())
 
     def match_at(self, node: SubjectNode) -> Optional[Match]:
         return self.best[node.uid]
@@ -111,19 +122,33 @@ def compute_labels(
     if objective not in ("delay", "area"):
         raise ValueError(f"unknown objective {objective!r}")
     arrival_times = arrival_times or {}
+
+    # A PO whose driver is not a member of the graph would silently label
+    # with the list default (arrival 0.0); reject it up front with a
+    # coded error (the lintable form of this defect is N022).
+    n = len(subject.nodes)
+    for po_name, driver in subject.pos:
+        if not 0 <= driver.uid < n or subject.nodes[driver.uid] is not driver:
+            raise MappingError(
+                f"[M001] primary output {po_name!r} is driven by node "
+                f"{driver.uid}, which is not part of the subject graph; "
+                f"its arrival would silently default to 0.0 (lint code "
+                f"N022 reports the same defect)"
+            )
+
     if matcher is None:
         matcher = Matcher(patterns, kind, cache=cache)
     matcher.attach(subject)
-
-    n = len(subject.nodes)
     arrival: List[float] = [0.0] * n
     area_flow: List[float] = [0.0] * n
     best: List[Optional[Match]] = [None] * n
     all_matches: Optional[List[List[Match]]] = [[] for _ in range(n)] if keep_matches else None
     n_matches = 0
 
-    # Fanout-use counts for the area-flow estimate.
-    uses = [max(1, matcher.subject_uses(node)) for node in subject.nodes]
+    # Fanout-use counts for the area-flow estimate, clamped to >= 1;
+    # hoisted into Matcher.attach() so the pass reads one precomputed
+    # list instead of a per-node (PIs included) subject_uses() call.
+    uses = matcher.uses_floor
 
     for node in subject.topological():
         if node.is_pi:

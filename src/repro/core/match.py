@@ -29,8 +29,11 @@ from __future__ import annotations
 import enum
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
+from repro.errors import MappingError
 from repro.library.gate import Gate
 from repro.library.patterns import PatternGraph, PatternNode, PatternSet
+from repro.network.bitsim import cone_words
+from repro.network.functions import variable_bits
 from repro.network.subject import NodeType, SubjectGraph, SubjectNode
 from repro.perf.counters import MatchStats
 from repro.perf.signature import cone_signature
@@ -144,10 +147,12 @@ class Matcher:
         kind: MatchKind = MatchKind.STANDARD,
         cache: bool = True,
         stats: Optional[MatchStats] = None,
+        crosscheck: bool = False,
     ):
         self.patterns = patterns
         self.kind = kind
         self.cache = cache
+        self.crosscheck = crosscheck
         self.stats = stats if stats is not None else MatchStats()
         # Pattern-side fanout counts, needed for the exact-match condition.
         self._pattern_fanout: Dict[int, Dict[int, int]] = {}
@@ -188,6 +193,10 @@ class Matcher:
                 self._uses[fanin.uid] += 1
         for _, driver in subject.pos:
             self._uses[driver.uid] += 1
+        # Clamped-to-1 view for area-flow denominators: hoisted here so
+        # the labeling pass reads one list instead of calling
+        # subject_uses() per node (PIs included).
+        self._uses_floor: List[int] = [u if u > 1 else 1 for u in self._uses]
         self._depth: List[int] = [0] * len(subject.nodes)
         for node in subject.nodes:
             if node.fanins:
@@ -240,7 +249,7 @@ class Matcher:
         if snode.is_pi:
             return []
         if not self.cache:
-            return self._matches_at_direct(snode)
+            return self._crosschecked(self._matches_at_direct(snode))
         assert self._sig_cache is not None  # cache=True invariant
         stats = self.stats
         sig, cone = cone_signature(
@@ -255,10 +264,14 @@ class Matcher:
             # canonical cone ordering.  Never recomputed.
             stats.signature_hits += 1
             stats.matches_replayed += len(templates)
-            return [
-                Match(pattern, snode, {puid: cone[pos] for puid, pos in items})
-                for pattern, items in templates
-            ]
+            return self._crosschecked(
+                [
+                    Match(
+                        pattern, snode, {puid: cone[pos] for puid, pos in items}
+                    )
+                    for pattern, items in templates
+                ]
+            )
         stats.signature_misses += 1
         results = self._matches_at_grouped(snode)
         index = {id(node): pos for pos, node in enumerate(cone)}
@@ -273,10 +286,10 @@ class Matcher:
                 # A bound node escaped the signature cone — impossible by
                 # the depth argument in repro.perf.signature; refuse to
                 # cache rather than risk an unsound replay.
-                return results
+                return self._crosschecked(results)
             templates.append((match.pattern, items))
         self._sig_cache[sig] = templates
-        return results
+        return self._crosschecked(results)
 
     def _matches_at_direct(self, snode: SubjectNode) -> List[Match]:
         """The seed path: every pattern enumerated independently."""
@@ -419,6 +432,72 @@ class Matcher:
     def subject_uses(self, snode: SubjectNode) -> int:
         """Fanout-use count of a subject node (edges plus PO references)."""
         return self._uses[snode.uid]
+
+    @property
+    def uses_floor(self) -> List[int]:
+        """Per-uid use counts clamped to at least 1 (area-flow denominators).
+
+        Computed once in :meth:`attach`; treat as read-only.
+        """
+        return self._uses_floor
+
+    # ------------------------------------------------------------------
+    # Packed-cone functional cross-check (EXTENDED matches)
+    # ------------------------------------------------------------------
+    def _crosschecked(self, matches: List[Match]) -> List[Match]:
+        """Optionally cross-check EXTENDED matches before returning them."""
+        if self.crosscheck and self.kind is MatchKind.EXTENDED:
+            for match in matches:
+                self._crosscheck_cone(match)
+        return matches
+
+    def _crosscheck_cone(self, match: Match) -> None:
+        """Verify the matched subject cone computes the gate's function.
+
+        EXTENDED matches drop injectivity, so structural replay is the
+        one match class where an unsound binding could silently change
+        functionality.  The check evaluates the subject cone between the
+        match root and its leaf nodes over packed truth-table words and
+        compares against the gate's truth table with its pins bound to
+        the same words.  Free variables are assigned only to *pure*
+        leaves: a subject node bound both as a leaf and as an interior
+        node (an unfolding artefact) is constrained — its value always
+        equals its own cone function of the deeper leaves — so both
+        sides evaluate it that way, making the comparison exact under
+        exactly the correlations the subject graph enforces.  Shared
+        leaves likewise tie the corresponding gate inputs together on
+        both sides.
+        """
+        leaves = match.leaves()
+        interior = {snode.uid for snode in match.internal_nodes()}
+        order: List[SubjectNode] = []
+        seen: Set[int] = set()
+        for _, node in leaves:
+            if node.uid not in seen and node.uid not in interior:
+                seen.add(node.uid)
+                order.append(node)
+        n_leaves = len(order)
+        mask = (1 << (1 << n_leaves)) - 1
+        leaf_words = {
+            node.uid: variable_bits(k, n_leaves) for k, node in enumerate(order)
+        }
+        cone = cone_words(match.root, leaf_words, mask)
+        gate = match.gate
+        # Dual-role leaves get their computed cone word, not a variable.
+        pin_word = {
+            pin: cone_words(node, leaf_words, mask) for pin, node in leaves
+        }
+        expected = gate.tt.eval_words(
+            [pin_word.get(pin, 0) for pin in gate.inputs], mask
+        )
+        self.stats.cone_crosschecks += 1
+        if cone != expected:
+            raise MappingError(
+                f"extended match of {gate.name!r} at subject node "
+                f"{match.root.uid} fails the packed-cone functional "
+                f"cross-check: the covered cone does not compute the "
+                f"gate's function"
+            )
 
 
 class MatchViolation:

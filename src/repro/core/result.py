@@ -34,6 +34,11 @@ class MappingResult:
             bindings enumerated); ``None`` when unavailable.
         certificate: the :class:`repro.check.CheckReport` produced when
             the mapper ran with ``check=True``; ``None`` otherwise.
+        sim_vectors: random-batch width the certificate's equivalence
+            stage used (``None`` until a certificate runs); recorded so
+            the run is reproducible under ``REPRO_SIM_VECTORS``.
+        sim_seed: PRNG seed of that stage (``None`` until a certificate
+            runs); pairs with ``REPRO_SIM_SEED``.
     """
 
     netlist: MappedNetlist
@@ -47,6 +52,8 @@ class MappingResult:
     n_matches: int
     counters: Optional[Dict[str, float]] = None
     certificate: Optional["CheckReport"] = None
+    sim_vectors: Optional[int] = None
+    sim_seed: Optional[int] = None
 
     def summary(self) -> Dict[str, object]:
         out: Dict[str, object] = {

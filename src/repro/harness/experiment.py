@@ -77,6 +77,9 @@ class ComparisonRow:
     verified: bool
     tree_counters: Optional[Dict[str, float]] = None
     dag_counters: Optional[Dict[str, float]] = None
+    #: Bit-parallel kernel counters for this cell's verification stage
+    #: (vectors, seconds, sim_vectors_per_sec); None when verify=False.
+    sim_counters: Optional[Dict[str, float]] = None
 
     @property
     def improvement(self) -> float:
@@ -108,10 +111,15 @@ def tree_vs_dag_cell(
     tree = map_tree(subject, patterns, cache=cache, check=check)
     dag = map_dag(subject, patterns, kind=kind, cache=cache, check=check)
     verified = False
+    sim_counters: Optional[Dict[str, float]] = None
     if verify:
+        from repro.network.bitsim import SIM_STATS
+
+        before = SIM_STATS.snapshot()
         check_equivalent(net, tree.netlist)
         check_equivalent(net, dag.netlist)
         verified = True
+        sim_counters = SIM_STATS.delta(before).as_dict()
     return ComparisonRow(
         circuit=name,
         iscas=entry.iscas,
@@ -125,6 +133,7 @@ def tree_vs_dag_cell(
         verified=verified,
         tree_counters=tree.counters,
         dag_counters=dag.counters,
+        sim_counters=sim_counters,
     )
 
 

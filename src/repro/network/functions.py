@@ -14,6 +14,7 @@ functions into two-level forms before NAND2-INV decomposition.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Callable, Iterator, List, Sequence, Tuple
 
 #: A cube is a tuple of (variable index, phase) literals; phase True means
@@ -25,6 +26,99 @@ _MAX_VARS = 20
 
 def _full_mask(n_vars: int) -> int:
     return (1 << (1 << n_vars)) - 1
+
+
+# ----------------------------------------------------------------------
+# Packed-word primitives (the bit-parallel kernel's integer layer)
+#
+# A *word* is a Python int holding one function value per bit lane; over
+# 2**n_vars lanes in minterm order a word IS a truth table.  These
+# helpers are pure integer->integer operations so the bit-parallel
+# simulation kernel (repro.network.bitsim), the NPN canonicalizer and
+# the TruthTable methods below can share them.
+# ----------------------------------------------------------------------
+
+
+@lru_cache(maxsize=None)
+def variable_bits(index: int, n_vars: int) -> int:
+    """Packed word of the projection function ``x_index`` over ``2**n_vars`` lanes.
+
+    Built by doubling (O(n_vars) big-int ops) instead of one Python-loop
+    iteration per period, and cached: the tiling words are shared by every
+    exhaustive simulation, pattern evaluation and pin-class computation.
+    """
+    if not 0 <= index < n_vars:
+        raise ValueError(f"variable index {index} out of range for {n_vars} vars")
+    period = 1 << index
+    word = ((1 << period) - 1) << period
+    width = period * 2
+    total = 1 << n_vars
+    while width < total:
+        word |= word << width
+        width *= 2
+    return word
+
+
+def swap_vars_bits(bits: int, i: int, j: int, n_vars: int) -> int:
+    """Exchange variables ``i`` and ``j``: result[a] = bits[a with bits i,j swapped].
+
+    The classic delta-swap: lanes where the two variable bits differ are
+    exchanged with their partner ``(1 << j) - (1 << i)`` positions away,
+    in O(1) big-int operations.
+    """
+    if not (0 <= i < n_vars and 0 <= j < n_vars):
+        raise ValueError("swap index out of range")
+    if i == j:
+        return bits
+    if i > j:
+        i, j = j, i
+    delta = (1 << j) - (1 << i)
+    pairs = variable_bits(i, n_vars) & ~variable_bits(j, n_vars)
+    t = ((bits >> delta) ^ bits) & pairs
+    return bits ^ t ^ (t << delta)
+
+
+def permute_bits(bits: int, perm: Sequence[int], n_vars: int) -> int:
+    """Apply an input permutation: result[a] = bits[b] where b_i = a_{perm[i]}.
+
+    This is the transform the NPN enumeration uses (variable ``i`` of the
+    result reads variable ``perm[i]`` of the assignment).  Decomposed into
+    delta swaps: each step right-multiplies the residual permutation by a
+    transposition, fixing one more position, so at most ``n_vars - 1``
+    swaps run.
+    """
+    residual = list(perm)
+    if sorted(residual) != list(range(n_vars)):
+        raise ValueError("perm must be a permutation of the input indices")
+    for i in range(n_vars):
+        while residual[i] != i:
+            j = residual[i]
+            bits = swap_vars_bits(bits, i, j, n_vars)
+            residual[i], residual[j] = residual[j], residual[i]
+    return bits
+
+
+def negate_inputs_bits(bits: int, negations: int, n_vars: int) -> int:
+    """Complement a subset of inputs: result[a] = bits[a ^ negations].
+
+    Bit ``i`` of ``negations`` flips variable ``i`` by exchanging the two
+    Shannon halves along that variable — one shift pair per set bit.
+    """
+    full = _full_mask(n_vars)
+    for i in range(n_vars):
+        if (negations >> i) & 1:
+            period = 1 << i
+            vmask = variable_bits(i, n_vars)
+            bits = ((bits & vmask) >> period) | ((bits & ~vmask & full) << period)
+    return bits
+
+
+def invert_permutation(perm: Sequence[int]) -> List[int]:
+    """The inverse permutation: ``out[perm[i]] = i``."""
+    out = [0] * len(perm)
+    for i, p in enumerate(perm):
+        out[p] = i
+    return out
 
 
 class TruthTable:
@@ -61,17 +155,7 @@ class TruthTable:
     @classmethod
     def variable(cls, index: int, n_vars: int) -> "TruthTable":
         """The projection function returning input ``index``."""
-        if not 0 <= index < n_vars:
-            raise ValueError(f"variable index {index} out of range for {n_vars} vars")
-        bits = 0
-        period = 1 << index
-        # Build the standard tiling pattern: blocks of `period` zeros then
-        # `period` ones, repeated.
-        block = ((1 << period) - 1) << period
-        stride = period * 2
-        for offset in range(0, 1 << n_vars, stride):
-            bits |= block << offset
-        return cls(n_vars, bits & _full_mask(n_vars))
+        return cls(n_vars, variable_bits(index, n_vars))
 
     @classmethod
     def from_function(cls, fn: Callable[..., int], n_vars: int) -> "TruthTable":
@@ -190,30 +274,25 @@ class TruthTable:
         if not 0 <= index < self.n_vars:
             raise ValueError("cofactor index out of range")
         period = 1 << index
-        stride = period * 2
-        out = 0
-        total = 1 << self.n_vars
-        select = range(period, total, stride) if value else range(0, total, stride)
-        chunk_mask = (1 << period) - 1
-        for pos, base in enumerate(select):
-            chunk = (self.bits >> base) & chunk_mask
-            out |= chunk << (pos * stride)
-            out |= chunk << (pos * stride + period)
+        vmask = variable_bits(index, self.n_vars)
+        if value:
+            keep = self.bits & vmask
+            out = keep | (keep >> period)
+        else:
+            keep = self.bits & ~vmask & _full_mask(self.n_vars)
+            out = keep | (keep << period)
         return TruthTable(self.n_vars, out)
 
     def permuted(self, perm: Sequence[int]) -> "TruthTable":
         """Reorder inputs: new input ``i`` is old input ``perm[i]``."""
         if sorted(perm) != list(range(self.n_vars)):
             raise ValueError("perm must be a permutation of the input indices")
-        bits = 0
-        for i in range(1 << self.n_vars):
-            old = 0
-            for new_idx in range(self.n_vars):
-                if (i >> new_idx) & 1:
-                    old |= 1 << perm[new_idx]
-            if (self.bits >> old) & 1:
-                bits |= 1 << i
-        return TruthTable(self.n_vars, bits)
+        # permuted(): new input i is old input perm[i], i.e. result[a] =
+        # bits[b] with b_{perm[j]} = a_j — permute_bits with the inverse.
+        return TruthTable(
+            self.n_vars,
+            permute_bits(self.bits, invert_permutation(perm), self.n_vars),
+        )
 
     def extended(self, n_vars: int) -> "TruthTable":
         """Pad with vacuous high-order inputs up to ``n_vars`` total."""

@@ -17,7 +17,11 @@ from __future__ import annotations
 from itertools import permutations
 from typing import Dict, Iterable, List, NamedTuple, Tuple
 
-from repro.network.functions import TruthTable
+from repro.network.functions import (
+    TruthTable,
+    negate_inputs_bits,
+    permute_bits,
+)
 
 __all__ = ["NPNTransform", "npn_canonical", "npn_equivalent", "npn_classes"]
 
@@ -38,7 +42,24 @@ class NPNTransform(NamedTuple):
 
 
 def _apply(tt: TruthTable, perm: Tuple[int, ...], neg: int, out_neg: bool) -> int:
-    """Bits of the transformed function (see :class:`NPNTransform`)."""
+    """Bits of the transformed function (see :class:`NPNTransform`).
+
+    Packed formulation: transformed[a] = tt[m(a) ^ neg] with
+    ``m(a)_i = a_{perm[i]}``, i.e. input negation then word permutation,
+    byte-identical to per-minterm evaluation (pinned by the scalar
+    reference :func:`_apply_scalar` in the differential tests).
+    """
+    n = tt.n_vars
+    bits = permute_bits(negate_inputs_bits(tt.bits, neg, n), perm, n)
+    if out_neg:
+        bits ^= (1 << (1 << n)) - 1
+    return bits
+
+
+def _apply_scalar(
+    tt: TruthTable, perm: Tuple[int, ...], neg: int, out_neg: bool
+) -> int:
+    """Per-minterm reference implementation of :func:`_apply` (the oracle)."""
     n = tt.n_vars
     bits = 0
     for assignment in range(1 << n):

@@ -1,21 +1,31 @@
-"""Bit-parallel simulation and equivalence checking.
+"""Equivalence checking on top of the bit-parallel kernel.
 
 All circuit representations in this package (Boolean networks, subject
-graphs, mapped netlists, LUT networks) can be simulated with packed integer
-words, one bit lane per vector.  This module provides a uniform interface
-plus random and exhaustive combinational equivalence checks, which the test
-suite and the experiment harness use to certify every mapping.
+graphs, mapped netlists, LUT networks) are evaluated through
+:mod:`repro.network.bitsim`: one topological pass over packed big-int
+words — the full ``2**n``-lane truth-table batch up to
+:data:`~repro.network.bitsim.EXHAUSTIVE_LIMIT` inputs, a seeded random
+batch beyond.  An equivalence check is then a single XOR per common
+output; the counterexample is read off the first set bit of the
+difference word.
+
+The per-vector scalar engine is retained behind ``engine='scalar'`` as
+the reference oracle — it produces bit-identical difference words, hence
+identical counterexamples (the differential property tests pin this).
+The random batch width and seed follow ``REPRO_SIM_VECTORS`` /
+``REPRO_SIM_SEED`` (:func:`~repro.network.bitsim.configured_vectors`,
+:func:`~repro.network.bitsim.configured_seed`) unless given explicitly.
 """
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import NetworkError
-from repro.network.bnet import BooleanNetwork
-from repro.network.subject import SubjectGraph
+from repro.network import bitsim
+from repro.network.bitsim import EXHAUSTIVE_LIMIT as _EXHAUSTIVE_LIMIT
+from repro.network.bitsim import SimObject
 
 __all__ = [
     "Counterexample",
@@ -26,8 +36,6 @@ __all__ = [
     "input_names",
     "output_names",
 ]
-
-_EXHAUSTIVE_LIMIT = 16
 
 
 @dataclass
@@ -49,50 +57,36 @@ class Counterexample:
 
 def _adapt(obj: Any) -> Tuple[List[str], List[str], Callable[[Dict[str, int], int], Dict[str, int]]]:
     """Return (input names, output names, simulate fn) for any circuit object."""
-    if isinstance(obj, BooleanNetwork):
-        ins = obj.combinational_inputs()
-        outs = obj.combinational_outputs()
-
-        def run(inputs: Dict[str, int], mask: int) -> Dict[str, int]:
-            values = obj.simulate(inputs, mask)
-            return {name: values[name] for name in outs}
-
-        return ins, outs, run
-    if isinstance(obj, SubjectGraph):
-        ins = [pi.name for pi in obj.pis]
-        outs = [name for name, _ in obj.pos]
-        return ins, outs, obj.simulate
-    # Protocol fallback: mapped netlists / LUT networks implement these.
-    ins = list(obj.sim_inputs())
-    outs = list(obj.sim_outputs())
-    return ins, outs, obj.simulate
+    sim = bitsim.adapt(obj)
+    return sim.inputs, sim.outputs, sim.run
 
 
 def input_names(obj: Any) -> List[str]:
     """Combinational input names of any supported circuit object."""
-    return _adapt(obj)[0]
+    return bitsim.adapt(obj).inputs
 
 
 def output_names(obj: Any) -> List[str]:
     """Combinational output names of any supported circuit object."""
-    return _adapt(obj)[1]
+    return bitsim.adapt(obj).outputs
 
 
 def simulate_outputs(obj: Any, inputs: Dict[str, int], mask: int) -> Dict[str, int]:
     """Simulate any supported circuit object; returns output name -> word."""
-    return _adapt(obj)[2](inputs, mask)
+    return bitsim.simulate_words(obj, inputs, mask)
 
 
 def _compare(
     ins: Sequence[str],
     outs_common: Sequence[str],
-    run_a,
-    run_b,
+    sim_a: SimObject,
+    sim_b: SimObject,
     words: Dict[str, int],
     mask: int,
+    engine: str,
 ) -> Optional[Counterexample]:
-    res_a = run_a(words, mask)
-    res_b = run_b(words, mask)
+    res_a = bitsim.simulate_words(sim_a, words, mask, engine=engine)
+    res_b = bitsim.simulate_words(sim_b, words, mask, engine=engine)
     for name in outs_common:
         diff = (res_a[name] ^ res_b[name]) & mask
         if diff:
@@ -107,79 +101,76 @@ def _compare(
     return None
 
 
-def _align(a: Any, b: Any) -> Tuple[List[str], List[str], Callable, Callable]:
-    ins_a, outs_a, run_a = _adapt(a)
-    ins_b, outs_b, run_b = _adapt(b)
+def _align(a: Any, b: Any) -> Tuple[List[str], List[str], SimObject, SimObject]:
+    sim_a = bitsim.adapt(a)
+    sim_b = bitsim.adapt(b)
+    ins_a, ins_b = sim_a.inputs, sim_b.inputs
     if set(ins_a) != set(ins_b):
         raise NetworkError(
             "input mismatch: "
             f"only-a={sorted(set(ins_a) - set(ins_b))}, "
             f"only-b={sorted(set(ins_b) - set(ins_a))}"
         )
-    common = [name for name in outs_a if name in set(outs_b)]
+    common = [name for name in sim_a.outputs if name in set(sim_b.outputs)]
     if not common:
         raise NetworkError("no common outputs to compare")
-    return ins_a, common, run_a, run_b
+    return ins_a, common, sim_a, sim_b
 
 
 def random_equivalence(
     a: Any,
     b: Any,
-    vectors: int = 2048,
-    seed: int = 2024,
-    width: int = 1024,
+    vectors: Optional[int] = None,
+    seed: Optional[int] = None,
+    engine: str = "packed",
 ) -> Optional[Counterexample]:
-    """Random-vector equivalence check; None means no difference found."""
-    ins, outs, run_a, run_b = _align(a, b)
-    rng = random.Random(seed)
-    mask = (1 << width) - 1
-    rounds = max(1, (vectors + width - 1) // width)
-    for _ in range(rounds):
-        words = {name: rng.getrandbits(width) for name in ins}
-        cex = _compare(ins, outs, run_a, run_b, words, mask)
-        if cex is not None:
-            return cex
+    """Random-batch equivalence check; None means no difference found.
+
+    One seeded batch of ``vectors`` lanes (``REPRO_SIM_VECTORS`` /
+    ``REPRO_SIM_SEED`` supply the defaults) plus the all-0 / all-1
+    corner probes, evaluated in one pass per circuit.
+    """
+    ins, outs, sim_a, sim_b = _align(a, b)
+    words, mask = bitsim.random_words(ins, vectors=vectors, seed=seed)
+    cex = _compare(ins, outs, sim_a, sim_b, words, mask, engine)
+    if cex is not None:
+        return cex
     # Also probe the all-0 / all-1 corners, cheap and often revealing.
     for fill in (0, mask):
-        words = {name: fill for name in ins}
-        cex = _compare(ins, outs, run_a, run_b, words, mask)
+        corner = {name: fill for name in ins}
+        cex = _compare(ins, outs, sim_a, sim_b, corner, mask, engine)
         if cex is not None:
             return cex
     return None
 
 
-def exhaustive_equivalence(a: Any, b: Any) -> Optional[Counterexample]:
+def exhaustive_equivalence(
+    a: Any, b: Any, engine: str = "packed"
+) -> Optional[Counterexample]:
     """Exhaustive equivalence for circuits with at most 16 inputs.
 
-    Simulates all ``2**n`` assignments in a single pass using one wide word
-    per input (the truth-table tiling pattern).
+    Simulates all ``2**n`` assignments in a single pass using one wide
+    tiling word per input, then XORs the packed output tables.
     """
-    ins, outs, run_a, run_b = _align(a, b)
-    n = len(ins)
-    if n > _EXHAUSTIVE_LIMIT:
-        raise NetworkError(
-            f"{n} inputs is too many for exhaustive check (limit {_EXHAUSTIVE_LIMIT})"
-        )
-    mask = (1 << (1 << n)) - 1
-    words: Dict[str, int] = {}
-    for i, name in enumerate(ins):
-        period = 1 << i
-        block = ((1 << period) - 1) << period
-        word = 0
-        for offset in range(0, 1 << n, period * 2):
-            word |= block << offset
-        words[name] = word & mask
-    return _compare(ins, outs, run_a, run_b, words, mask)
+    ins, outs, sim_a, sim_b = _align(a, b)
+    words, mask = bitsim.exhaustive_words(ins)
+    return _compare(ins, outs, sim_a, sim_b, words, mask, engine)
 
 
-def check_equivalent(a: Any, b: Any, vectors: int = 2048, seed: int = 2024) -> None:
+def check_equivalent(
+    a: Any,
+    b: Any,
+    vectors: Optional[int] = None,
+    seed: Optional[int] = None,
+    engine: str = "packed",
+) -> None:
     """Assert equivalence; exhaustive when small, random otherwise.
 
     Raises :class:`NetworkError` with the counterexample on mismatch.
     """
     if len(input_names(a)) <= _EXHAUSTIVE_LIMIT:
-        cex = exhaustive_equivalence(a, b)
+        cex = exhaustive_equivalence(a, b, engine=engine)
     else:
-        cex = random_equivalence(a, b, vectors=vectors, seed=seed)
+        cex = random_equivalence(a, b, vectors=vectors, seed=seed, engine=engine)
     if cex is not None:
         raise NetworkError(f"circuits differ: {cex}")

@@ -53,6 +53,7 @@ def rows_to_records(rows) -> List[Dict[str, object]]:
                 "verified": row.verified,
                 "tree_counters": row.tree_counters,
                 "dag_counters": row.dag_counters,
+                "sim_counters": getattr(row, "sim_counters", None),
             }
         )
     return records

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, fields
 from typing import Dict
 
-__all__ = ["MatchStats"]
+__all__ = ["MatchStats", "SimStats"]
 
 
 @dataclass
@@ -28,6 +28,8 @@ class MatchStats:
         bindings_enumerated: complete bindings produced by the enumerator.
         groups_enumerated: (pattern group, subject node) enumerations run.
         matches_replayed: matches materialised via signature replay.
+        cone_crosschecks: EXTENDED matches functionally verified by the
+            packed-cone cross-check (``Matcher(crosscheck=True)``).
     """
 
     signature_hits: int = 0
@@ -37,6 +39,7 @@ class MatchStats:
     bindings_enumerated: int = 0
     groups_enumerated: int = 0
     matches_replayed: int = 0
+    cone_crosschecks: int = 0
 
     @property
     def signature_hit_rate(self) -> float:
@@ -52,4 +55,65 @@ class MatchStats:
     def as_dict(self) -> Dict[str, float]:
         out: Dict[str, float] = {f.name: getattr(self, f.name) for f in fields(self)}
         out["signature_hit_rate"] = round(self.signature_hit_rate, 4)
+        return out
+
+
+@dataclass
+class SimStats:
+    """Counters for the bit-parallel simulation kernel (:mod:`repro.network.bitsim`).
+
+    One process-wide accumulator (``repro.network.bitsim.SIM_STATS``)
+    collects every kernel invocation; the harness snapshots it around a
+    run and writes the per-run ``sim_vectors_per_sec`` into
+    ``BENCH_mapper.json``/``BENCH_bitsim.json``.
+
+    Attributes:
+        runs: kernel invocations (one per simulated object per pass).
+        vectors: simulation vectors evaluated, summed over runs (the
+            number of active bit lanes per pass).
+        seconds: wall-clock time spent inside the kernel.
+        scalar_runs: invocations that ran the per-vector reference
+            engine (``engine='scalar'``) instead of the packed one.
+    """
+
+    runs: int = 0
+    vectors: int = 0
+    seconds: float = 0.0
+    scalar_runs: int = 0
+
+    @property
+    def vectors_per_sec(self) -> float:
+        return self.vectors / self.seconds if self.seconds > 0 else 0.0
+
+    def record(self, vectors: int, seconds: float, scalar: bool = False) -> None:
+        """Account one kernel invocation."""
+        self.runs += 1
+        self.vectors += vectors
+        self.seconds += seconds
+        if scalar:
+            self.scalar_runs += 1
+
+    def merge(self, other: "SimStats") -> "SimStats":
+        """Accumulate another run's counters into this one (returns self)."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    def snapshot(self) -> "SimStats":
+        """An independent copy (for before/after deltas)."""
+        return SimStats(self.runs, self.vectors, self.seconds, self.scalar_runs)
+
+    def delta(self, since: "SimStats") -> "SimStats":
+        """Counters accumulated after ``since`` was snapshotted."""
+        return SimStats(
+            self.runs - since.runs,
+            self.vectors - since.vectors,
+            self.seconds - since.seconds,
+            self.scalar_runs - since.scalar_runs,
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        out: Dict[str, float] = {f.name: getattr(self, f.name) for f in fields(self)}
+        out["seconds"] = round(self.seconds, 6)
+        out["sim_vectors_per_sec"] = round(self.vectors_per_sec, 1)
         return out

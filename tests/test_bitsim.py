@@ -1,0 +1,319 @@
+"""Tests for the bit-parallel Boolean kernel (repro.network.bitsim).
+
+The core contract is differential: the packed engine and the per-vector
+scalar oracle must produce bit-identical words — same truth tables, same
+equivalence verdicts, same counterexamples — on every supported object
+kind (networks, subject graphs, expressions, patterns), including the
+seeded random batch beyond the exhaustive limit.
+"""
+
+import random
+
+import pytest
+
+from repro.bench import circuits
+from repro.errors import NetworkError
+from repro.library.builtin import mini_library
+from repro.library.patterns import PatternSet
+from repro.network import bitsim
+from repro.network.bitsim import (
+    DEFAULT_SEED,
+    DEFAULT_VECTORS,
+    EXHAUSTIVE_LIMIT,
+    SIM_STATS,
+    SimObject,
+    adapt,
+    cone_words,
+    configured_seed,
+    configured_vectors,
+    exhaustive_words,
+    pattern_table,
+    random_words,
+    simulate_words,
+    truth_tables,
+)
+from repro.network.bnet import BooleanNetwork
+from repro.network.expr import parse_expr
+from repro.network.functions import TruthTable, variable_bits
+from repro.network.simulate import (
+    check_equivalent,
+    exhaustive_equivalence,
+    random_equivalence,
+)
+from repro.network.subject import SubjectGraph
+from repro.perf.counters import SimStats
+
+
+def random_network(seed: int, n_pis: int = 4, n_nodes: int = 12) -> BooleanNetwork:
+    rng = random.Random(seed)
+    net = BooleanNetwork(f"rand{seed}")
+    names = [f"p{i}" for i in range(n_pis)]
+    for name in names:
+        net.add_pi(name)
+    for k in range(n_nodes):
+        a, b = rng.sample(names, 2)
+        op = rng.choice(["*", "+", "^"])
+        expr = f"{'!' if rng.random() < 0.5 else ''}{a} {op} {b}"
+        node = f"n{k}"
+        net.add_node(node, expr)
+        names.append(node)
+    net.add_po(names[-1])
+    return net
+
+
+class TestConfig:
+    def test_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_VECTORS", raising=False)
+        monkeypatch.delenv("REPRO_SIM_SEED", raising=False)
+        assert configured_vectors() == DEFAULT_VECTORS
+        assert configured_seed() == DEFAULT_SEED
+
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_VECTORS", "128")
+        monkeypatch.setenv("REPRO_SIM_SEED", "7")
+        assert configured_vectors() == 128
+        assert configured_seed() == 7
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_VECTORS", "128")
+        monkeypatch.setenv("REPRO_SIM_SEED", "7")
+        assert configured_vectors(64) == 64
+        assert configured_seed(3) == 3
+
+    def test_bad_env_values(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_VECTORS", "many")
+        with pytest.raises(NetworkError):
+            configured_vectors()
+        monkeypatch.setenv("REPRO_SIM_VECTORS", "0")
+        with pytest.raises(NetworkError):
+            configured_vectors()
+        monkeypatch.setenv("REPRO_SIM_SEED", "x")
+        with pytest.raises(NetworkError):
+            configured_seed()
+
+    def test_random_words_seeded(self):
+        w1, m1 = random_words(["a", "b"], vectors=256, seed=11)
+        w2, m2 = random_words(["a", "b"], vectors=256, seed=11)
+        w3, _ = random_words(["a", "b"], vectors=256, seed=12)
+        assert (w1, m1) == (w2, m2)
+        assert w1 != w3
+        assert m1 == (1 << 256) - 1
+
+
+class TestAdapters:
+    def test_simobject_passthrough(self):
+        sim = SimObject(["a"], ["out"], lambda words, mask: {"out": words["a"]})
+        assert adapt(sim) is sim
+
+    def test_network(self):
+        net = random_network(1)
+        sim = adapt(net)
+        assert sim.inputs == net.combinational_inputs()
+        assert sim.outputs == net.combinational_outputs()
+
+    def test_subject_graph(self):
+        g = SubjectGraph()
+        a, b = g.add_pi("a"), g.add_pi("b")
+        g.set_po("o", g.add_nand2(a, b))
+        sim = adapt(g)
+        assert sim.inputs == ["a", "b"]
+        assert sim.outputs == ["o"]
+        out = simulate_words(g, {"a": 0b0101, "b": 0b0011}, 0b1111)
+        assert out["o"] == 0b1110  # NAND in minterm order
+
+    def test_expr(self):
+        sim = adapt(parse_expr("a*b + !c"))
+        assert sim.outputs == ["out"]
+        assert set(sim.inputs) == {"a", "b", "c"}
+
+    def test_unsupported(self):
+        with pytest.raises(NetworkError):
+            adapt(42)
+
+    def test_unknown_engine(self):
+        with pytest.raises(ValueError):
+            simulate_words(random_network(2), {"p0": 0}, 1, engine="vector")
+
+
+class TestExhaustiveWords:
+    def test_zero_inputs(self):
+        words, mask = exhaustive_words([])
+        assert words == {}
+        assert mask == 1  # one lane: the empty assignment
+
+    def test_limit_boundary(self):
+        names = [f"p{i}" for i in range(EXHAUSTIVE_LIMIT)]
+        words, mask = exhaustive_words(names)
+        assert mask == (1 << (1 << EXHAUSTIVE_LIMIT)) - 1
+        assert words["p0"] == variable_bits(0, EXHAUSTIVE_LIMIT)
+        with pytest.raises(NetworkError):
+            exhaustive_words(names + ["extra"])
+
+    def test_minterm_order(self):
+        words, mask = exhaustive_words(["a", "b"])
+        # lane i encodes assignment i: a is bit 0, b is bit 1.
+        assert words["a"] == 0b1010
+        assert words["b"] == 0b1100
+
+
+class TestDifferential:
+    """Packed engine == scalar oracle, bit for bit."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_networks_exhaustive(self, seed):
+        net = random_network(seed)
+        sim = adapt(net)
+        words, mask = exhaustive_words(sim.inputs)
+        assert simulate_words(net, words, mask, engine="packed") == simulate_words(
+            net, words, mask, engine="scalar"
+        )
+
+    @pytest.mark.parametrize("seed", [5, 6])
+    def test_networks_random_batch(self, seed):
+        net = random_network(seed, n_pis=6, n_nodes=20)
+        sim = adapt(net)
+        words, mask = random_words(sim.inputs, vectors=64, seed=seed)
+        assert simulate_words(net, words, mask, engine="packed") == simulate_words(
+            net, words, mask, engine="scalar"
+        )
+
+    def test_wide_network_random_batch(self):
+        """Seeded batch beyond the exhaustive limit (>16 PIs)."""
+        net = BooleanNetwork("wide")
+        for i in range(20):
+            net.add_pi(f"p{i}")
+        net.add_node("f", "^".join(f"p{i}" for i in range(20)))
+        net.add_po("f")
+        words, mask = random_words([f"p{i}" for i in range(20)], vectors=128, seed=9)
+        packed = simulate_words(net, words, mask, engine="packed")
+        scalar = simulate_words(net, words, mask, engine="scalar")
+        assert packed == scalar
+
+    @pytest.mark.parametrize(
+        "text", ["a*b", "a + b*!c", "a^b^c^d", "!(a*b) + (c^!d)"]
+    )
+    def test_expressions(self, text):
+        expr = parse_expr(text)
+        ins, packed = truth_tables(expr, engine="packed")
+        ins2, scalar = truth_tables(expr, engine="scalar")
+        assert ins == ins2
+        assert packed == scalar
+
+    def test_patterns(self):
+        patterns = PatternSet(mini_library(), max_variants=8)
+        words_checked = 0
+        for pattern in patterns.patterns:
+            gate = pattern.gate
+            sim = adapt(pattern)
+            words, mask = exhaustive_words(sim.inputs)
+            packed = simulate_words(pattern, words, mask, engine="packed")
+            scalar = simulate_words(pattern, words, mask, engine="scalar")
+            assert packed == scalar
+            # The pattern's table must be the gate's function.
+            assert pattern_table(pattern, gate.inputs) == gate.tt
+            words_checked += 1
+        assert words_checked == len(patterns.patterns)
+
+    def test_subject_graphs(self):
+        subject_words = []
+        for factory in (circuits.c17, lambda: circuits.parity_tree(4)):
+            from repro.network.decompose import decompose_network
+
+            subject = decompose_network(factory())
+            sim = adapt(subject)
+            words, mask = exhaustive_words(sim.inputs)
+            packed = simulate_words(subject, words, mask, engine="packed")
+            scalar = simulate_words(subject, words, mask, engine="scalar")
+            assert packed == scalar
+            subject_words.append(mask)
+        assert subject_words
+
+    def test_equivalence_counterexamples_identical(self):
+        """Both engines find the same counterexample (same first set bit)."""
+        a = random_network(7)
+        b = random_network(8)
+        cex_packed = exhaustive_equivalence(a, b, engine="packed")
+        cex_scalar = exhaustive_equivalence(a, b, engine="scalar")
+        if cex_packed is None:
+            assert cex_scalar is None
+        else:
+            assert cex_scalar is not None
+            assert cex_packed.assignment == cex_scalar.assignment
+            assert cex_packed.output == cex_scalar.output
+            assert cex_packed.value_a == cex_scalar.value_a
+            assert cex_packed.value_b == cex_scalar.value_b
+
+    def test_random_equivalence_engines_agree(self):
+        net = random_network(9, n_pis=5, n_nodes=16)
+        copy = net.copy()
+        assert random_equivalence(net, copy, vectors=64, engine="packed") is None
+        assert random_equivalence(net, copy, vectors=64, engine="scalar") is None
+
+
+class TestTruthTables:
+    def test_matches_expr_to_tt(self):
+        expr = parse_expr("a*b + c")
+        ins, tables = truth_tables(expr)
+        tt = tables["out"]
+        assert isinstance(tt, TruthTable)
+        # Verify against direct pointwise evaluation.
+        for minterm in range(1 << len(ins)):
+            env = {name: (minterm >> i) & 1 for i, name in enumerate(ins)}
+            assert tt.evaluate(minterm) == (env["a"] & env["b"]) | env["c"]
+
+    def test_network_tables(self):
+        net = BooleanNetwork()
+        net.add_pi("a")
+        net.add_pi("b")
+        net.add_node("f", "a^b")
+        net.add_po("f")
+        ins, tables = truth_tables(net)
+        assert ins == ["a", "b"]
+        assert tables["f"].bits == 0b0110
+
+
+class TestConeWords:
+    def test_nand_cone(self):
+        g = SubjectGraph()
+        a, b = g.add_pi("a"), g.add_pi("b")
+        n = g.add_nand2(a, b)
+        root = g.add_inv(n)  # AND(a, b)
+        leaf_words = {a.uid: 0b1010, b.uid: 0b1100}
+        assert cone_words(root, leaf_words, 0b1111) == 0b1000
+
+    def test_escape_is_error(self):
+        g = SubjectGraph()
+        a, b = g.add_pi("a"), g.add_pi("b")
+        n = g.add_nand2(a, b)
+        with pytest.raises(NetworkError):
+            cone_words(n, {a.uid: 0b1010}, 0b1111)  # b not in the leaf set
+
+    def test_root_is_leaf(self):
+        g = SubjectGraph()
+        a = g.add_pi("a")
+        assert cone_words(a, {a.uid: 0b01}, 0b11) == 0b01
+
+
+class TestSimStats:
+    def test_records_runs(self):
+        before = SIM_STATS.snapshot()
+        net = random_network(10)
+        sim = adapt(net)
+        words, mask = exhaustive_words(sim.inputs)
+        simulate_words(net, words, mask, engine="packed")
+        simulate_words(net, words, mask, engine="scalar")
+        delta = SIM_STATS.delta(before)
+        assert delta.runs == 2
+        assert delta.scalar_runs == 1
+        assert delta.vectors == 2 * (1 << len(sim.inputs))
+        d = delta.as_dict()
+        assert "sim_vectors_per_sec" in d
+
+    def test_merge_and_rate(self):
+        s = SimStats()
+        s.record(100, 0.5)
+        s.merge(SimStats(runs=1, vectors=100, seconds=0.5, scalar_runs=1))
+        assert s.runs == 2
+        assert s.vectors == 200
+        assert s.vectors_per_sec == pytest.approx(200.0)
+        assert SimStats().vectors_per_sec == 0.0

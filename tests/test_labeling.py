@@ -161,3 +161,34 @@ class TestAreaObjective:
         for node in subject.topological():
             if not node.is_pi:
                 assert labels.matches_per_node[node.uid]
+
+
+class TestCodedDiagnostics:
+    """[M001]/[M002]: dangling PO drivers and missing POs raise coded
+    errors instead of silently defaulting the arrival to 0.0."""
+
+    def test_m001_dangling_po_driver(self, mini_patterns):
+        g = SubjectGraph()
+        a, b = g.add_pi("a"), g.add_pi("b")
+        g.set_po("ok", g.add_nand2(a, b))
+        foreign = SubjectGraph()
+        fa, fb = foreign.add_pi("x"), foreign.add_pi("y")
+        g.set_po("bad", foreign.add_nand2(fa, fb))
+        with pytest.raises(MappingError) as err:
+            compute_labels(g, mini_patterns, MatchKind.STANDARD)
+        assert "[M001]" in str(err.value)
+        assert "'bad'" in str(err.value)
+
+    def test_m002_no_primary_outputs(self, mini_patterns):
+        g = SubjectGraph()
+        a, b = g.add_pi("a"), g.add_pi("b")
+        g.add_nand2(a, b)  # internal node, never exported as a PO
+        labels = compute_labels(g, mini_patterns, MatchKind.STANDARD)
+        with pytest.raises(MappingError) as err:
+            labels.max_arrival
+        assert "[M002]" in str(err.value)
+
+    def test_valid_graph_unaffected(self, mini_patterns):
+        subject = decompose_network(circuits.c17())
+        labels = compute_labels(subject, mini_patterns, MatchKind.STANDARD)
+        assert labels.max_arrival > 0

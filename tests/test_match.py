@@ -217,3 +217,43 @@ class TestCompletenessOracle:
         assert leaf_uids == sorted([a.uid, b.uid, c.uid])
         # The inverter's trivial pattern also matches at n3.
         assert "inv" in by_gate3
+
+
+class TestConeCrosscheck:
+    """Matcher(crosscheck=True) functionally verifies EXTENDED matches
+    against the packed subject-cone function; it must accept every match
+    the plain matcher produces (the matches are sound) while counting
+    the verifications it performed."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_crosscheck_accepts_all_matches(self, mini_patterns, seed):
+        subject = random_subject(seed)
+        plain = Matcher(mini_patterns, MatchKind.EXTENDED)
+        checked = Matcher(mini_patterns, MatchKind.EXTENDED, crosscheck=True)
+        plain.attach(subject)
+        checked.attach(subject)
+        total = 0
+        for node in subject.topological():
+            a = plain.matches_at(node)
+            b = checked.matches_at(node)
+            assert [(m.pattern.gate.name, m.root.uid) for m in a] == [
+                (m.pattern.gate.name, m.root.uid) for m in b
+            ]
+            total += len(b)
+        assert checked.stats.cone_crosschecks == total > 0
+
+    def test_crosscheck_noop_for_other_kinds(self, mini_patterns):
+        subject = random_subject(5)
+        matcher = Matcher(mini_patterns, MatchKind.STANDARD, crosscheck=True)
+        matcher.attach(subject)
+        for node in subject.topological():
+            matcher.matches_at(node)
+        assert matcher.stats.cone_crosschecks == 0
+
+    def test_uses_floor_hoisted(self, mini_patterns):
+        subject = random_subject(6)
+        matcher = Matcher(mini_patterns, MatchKind.STANDARD)
+        matcher.attach(subject)
+        floor = matcher.uses_floor
+        for node in subject.nodes:
+            assert floor[node.uid] == max(1, matcher.subject_uses(node))

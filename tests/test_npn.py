@@ -82,3 +82,38 @@ def test_canonical_invariant_under_transforms(bits, perm, neg, out_neg):
     tt = TruthTable(3, bits)
     transformed = TruthTable(3, _apply(tt, tuple(perm), neg, out_neg))
     assert npn_canonical(tt)[0] == npn_canonical(transformed)[0]
+
+
+class TestPackedApply:
+    """The packed word-permutation _apply == per-minterm _apply_scalar."""
+
+    def test_all_transforms_small(self):
+        from itertools import permutations
+
+        from repro.network.npn import _apply_scalar
+
+        rng = random.Random(5)
+        for n in (1, 2, 3):
+            for _ in range(4):
+                tt = TruthTable(n, rng.getrandbits(1 << n))
+                for perm in permutations(range(n)):
+                    for neg in range(1 << n):
+                        for out_neg in (False, True):
+                            assert _apply(tt, perm, neg, out_neg) == _apply_scalar(
+                                tt, perm, neg, out_neg
+                            )
+
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1), st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_random_transforms_n5(self, bits, pick):
+        from itertools import permutations
+
+        from repro.network.npn import _apply_scalar
+
+        n = 5
+        tt = TruthTable(n, bits)
+        perms = list(permutations(range(n)))
+        perm = perms[pick % len(perms)]
+        neg = (pick // len(perms)) % (1 << n)
+        out_neg = bool(pick & 1)
+        assert _apply(tt, perm, neg, out_neg) == _apply_scalar(tt, perm, neg, out_neg)

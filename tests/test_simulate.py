@@ -95,6 +95,19 @@ class TestEquivalence:
         # check_equivalent falls back to random simulation.
         check_equivalent(big, big.copy())
 
+    def test_scalar_engine_agrees(self):
+        cex = exhaustive_equivalence(
+            make_net("a*b"), make_net("a+b"), engine="scalar"
+        )
+        packed = exhaustive_equivalence(make_net("a*b"), make_net("a+b"))
+        assert cex is not None and packed is not None
+        assert cex.assignment == packed.assignment
+        assert (cex.output, cex.value_a, cex.value_b) == (
+            packed.output,
+            packed.value_a,
+            packed.value_b,
+        )
+
     def test_corner_probing(self):
         # Circuits differing only on the all-ones vector: corner probing
         # in random_equivalence must catch it even with few vectors.
@@ -111,3 +124,68 @@ class TestEquivalence:
         cex = random_equivalence(wide_and, const0, vectors=1)
         assert cex is not None
         assert all(cex.assignment[f"p{i}"] == 1 for i in range(12))
+
+
+class TestCounterexampleFormatting:
+    def test_str_lists_sorted_assignment(self):
+        cex = Counterexample({"b": 0, "a": 1}, "f", 1, 0)
+        text = str(cex)
+        assert text == "output 'f' differs (1 vs 0) on [a=1, b=0]"
+
+    def test_str_empty_assignment(self):
+        # A 0-PI counterexample (constant outputs differing).
+        cex = Counterexample({}, "f", 0, 1)
+        assert str(cex) == "output 'f' differs (0 vs 1) on []"
+
+
+class TestAlignErrors:
+    def test_name_mismatch_lists_both_sides(self):
+        left = BooleanNetwork()
+        left.add_pi("a")
+        left.add_pi("x")
+        left.add_node("f", "a*x")
+        left.add_po("f")
+        right = BooleanNetwork()
+        right.add_pi("a")
+        right.add_pi("y")
+        right.add_node("f", "a*y")
+        right.add_po("f")
+        with pytest.raises(NetworkError) as err:
+            exhaustive_equivalence(left, right)
+        assert "only-a=['x']" in str(err.value)
+        assert "only-b=['y']" in str(err.value)
+
+
+class TestMaskEdges:
+    def test_zero_pi_networks(self):
+        # No inputs: one lane (the empty assignment), mask == 1.
+        c0 = BooleanNetwork()
+        c0.add_node("f", "CONST0")
+        c0.add_po("f")
+        c1 = BooleanNetwork()
+        c1.add_node("f", "CONST1")
+        c1.add_po("f")
+        assert exhaustive_equivalence(c0, c0.copy()) is None
+        cex = exhaustive_equivalence(c0, c1)
+        assert cex is not None
+        assert cex.assignment == {}
+        assert (cex.value_a, cex.value_b) == (0, 1)
+
+    def test_sixteen_pi_exhaustive(self):
+        # Exactly the exhaustive limit: one 65536-lane pass; the mask
+        # must cover every lane so the XOR diff is exact.
+        net = BooleanNetwork()
+        for i in range(16):
+            net.add_pi(f"p{i}")
+        net.add_node("f", "^".join(f"p{i}" for i in range(16)))
+        net.add_po("f")
+        assert exhaustive_equivalence(net, net.copy()) is None
+        flipped = BooleanNetwork()
+        for i in range(16):
+            flipped.add_pi(f"p{i}")
+        flipped.add_node("f", "!(" + "^".join(f"p{i}" for i in range(16)) + ")")
+        flipped.add_po("f")
+        cex = exhaustive_equivalence(net, flipped)
+        assert cex is not None
+        # First differing lane is the all-zero assignment.
+        assert all(v == 0 for v in cex.assignment.values())
