@@ -18,6 +18,7 @@ from typing import List, Optional
 
 from repro.bench.suite import ALL_CIRCUITS, SUITE, TABLE23_NAMES
 from repro.core.dag_mapper import map_dag
+from repro.errors import ReproError
 from repro.core.match import MatchKind
 from repro.core.netlist import mapped_to_network
 from repro.core.tree_mapper import map_tree
@@ -25,7 +26,7 @@ from repro.fpga.flowmap import flowmap
 from repro.harness import experiment as exp
 from repro.harness.tables import format_comparison_table, format_rows
 from repro.library.builtin import lib2_like, lib44_1, lib44_3, mini_library
-from repro.library.genlib import dumps_genlib, read_genlib
+from repro.library.genlib import dumps_genlib
 from repro.network.blif import read_blif, write_blif
 from repro.network.decompose import decompose_network
 from repro.network.simulate import check_equivalent
@@ -39,9 +40,12 @@ _BUILTIN_LIBS = {
 
 
 def _load_library(spec: str):
-    if spec in _BUILTIN_LIBS:
-        return _BUILTIN_LIBS[spec]()
-    return read_genlib(spec)
+    # One resolver for the whole CLI: a mistyped spec raises the coded
+    # [R001] error naming the valid builtins instead of a bare
+    # FileNotFoundError from read_genlib.
+    from repro.perf.parallel import resolve_library
+
+    return resolve_library(spec)
 
 
 def _parse_arrivals(spec: Optional[str]) -> Optional[dict]:
@@ -152,7 +156,9 @@ def _cmd_table(args: argparse.Namespace) -> int:
 
     names = TABLE23_NAMES if args.fast else None
     common = dict(verify=not args.no_verify, jobs=args.jobs,
-                  cache=not args.no_cache)
+                  cache=not args.no_cache,
+                  cell_timeout=args.cell_timeout, retries=args.retries,
+                  journal=args.journal, resume=args.resume)
     started = time.perf_counter()
     if args.number == 1:
         rows = exp.table1(names=names, **common)
@@ -168,19 +174,24 @@ def _cmd_table(args: argparse.Namespace) -> int:
         library = "44-3"
     total = time.perf_counter() - started
     print(format_comparison_table(rows, title))
+    failed = [row for row in rows if getattr(row, "failed", False)]
     if args.bench_json:
         from repro.perf.benchjson import rows_to_records, write_bench_json
+        from repro.perf.parallel import LAST_RUN_STATS
 
+        extra = {"table": args.number, "cache": not args.no_cache}
+        if failed or args.journal or args.resume or args.cell_timeout:
+            extra["run_stats"] = LAST_RUN_STATS.as_dict()
         write_bench_json(
             args.bench_json,
             library=library,
             circuits=rows_to_records(rows),
             jobs=args.jobs,
             total_wall_s=total,
-            extra={"table": args.number, "cache": not args.no_cache},
+            extra=extra,
         )
         print(f"written {args.bench_json}")
-    return 0
+    return 1 if failed else 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -287,17 +298,22 @@ def _cmd_libstats(args: argparse.Namespace) -> int:
 def _cmd_experiments(args: argparse.Namespace) -> int:
     sections: List[str] = []
     names = TABLE23_NAMES if args.fast else None
-    jobs = args.jobs
+    # One journal serves all three tables: cell records are keyed by
+    # (spec, kind, circuit, ...), so a resumed battery skips every
+    # finished cell of every table.
+    runner = dict(jobs=args.jobs, cell_timeout=args.cell_timeout,
+                  retries=args.retries, journal=args.journal,
+                  resume=args.resume)
     sections.append(
         format_comparison_table(
-            exp.table1(names=names, jobs=jobs), "Table 1: lib2-like library"
+            exp.table1(names=names, **runner), "Table 1: lib2-like library"
         )
     )
     sections.append(
-        format_comparison_table(exp.table2(jobs=jobs), "Table 2: 44-1 library")
+        format_comparison_table(exp.table2(**runner), "Table 2: 44-1 library")
     )
     sections.append(
-        format_comparison_table(exp.table3(jobs=jobs), "Table 3: 44-3 library")
+        format_comparison_table(exp.table3(**runner), "Table 3: 44-3 library")
     )
     sections.append(
         format_rows(exp.match_class_ablation(), "E9: standard vs extended matches")
@@ -390,6 +406,26 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
+    """Fault-tolerance knobs shared by ``table`` and ``experiments``."""
+    parser.add_argument("--cell-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="kill and replace a worker whose cell exceeds "
+                             "this wall-clock budget; the cell becomes a "
+                             "structured failure row (default: "
+                             "REPRO_CELL_TIMEOUT or no timeout)")
+    parser.add_argument("--retries", type=int, default=None, metavar="N",
+                        help="bounded retries for transient cell failures "
+                             "(default: REPRO_CELL_RETRIES or 2)")
+    parser.add_argument("--journal", metavar="FILE",
+                        help="append one JSONL record per finished cell; a "
+                             "killed run loses at most the cells in flight")
+    parser.add_argument("--resume", metavar="FILE",
+                        help="replay a run journal: finished cells are "
+                             "reused, failed/missing cells re-run; new "
+                             "records append to the same file")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-map",
@@ -454,6 +490,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_tab.add_argument("--bench-json", metavar="FILE",
                        help="also write wall times and cache counters "
                             "as JSON (BENCH_mapper.json schema)")
+    _add_runner_arguments(p_tab)
     p_tab.set_defaults(func=_cmd_table)
 
     p_bench = sub.add_parser("bench", help="list or emit benchmark circuits")
@@ -494,6 +531,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--fast", action="store_true")
     p_exp.add_argument("--jobs", "-j", type=int, default=1,
                        help="worker processes for the table experiments")
+    _add_runner_arguments(p_exp)
     p_exp.set_defaults(func=_cmd_experiments)
 
     p_chk = sub.add_parser(
@@ -527,7 +565,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        # Coded, self-describing errors (e.g. [R001] unknown library
+        # spec) are user errors, not crashes: no traceback.
+        print(f"repro-map: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

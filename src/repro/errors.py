@@ -112,3 +112,39 @@ class TimingError(ReproError):
 
 class RetimingError(ReproError):
     """Retiming is infeasible or the sequential graph is malformed."""
+
+
+class RunnerError(ReproError):
+    """The fault-tolerant suite runner could not run at all.
+
+    This covers *setup* failures (bad configuration, unusable library
+    spec, workers that cannot initialise, broken journals) — coded
+    ``[R###]`` in the message, catalogued in ``docs/CHECKING.md``.
+    Individual cell failures never raise; they come back as structured
+    :class:`repro.perf.parallel.CellFailure` rows instead.
+    """
+
+
+class UnknownLibrarySpecError(RunnerError, LibraryError):
+    """[R001] A library spec is neither a builtin name nor a genlib file."""
+
+    def __init__(self, spec: str, builtins: "tuple" = ()):
+        listing = ", ".join(builtins) if builtins else "none"
+        super().__init__(
+            f"[R001] unknown library spec {spec!r}: not a builtin library "
+            f"(valid specs: {listing}) and not a readable genlib file"
+        )
+        self.spec = spec
+        self.builtins = tuple(builtins)
+
+
+class RunnerConfigError(RunnerError):
+    """[R002] An invalid runner configuration value (jobs, timeout, retries)."""
+
+
+class WorkerInitError(RunnerError):
+    """[R003] A worker process failed inside its pool initializer."""
+
+
+class JournalError(RunnerError):
+    """[R004] A run journal is malformed or incompatible with this run."""

@@ -147,18 +147,49 @@ def run_tree_vs_dag(
     jobs: int = 1,
     library_spec: Optional[str] = None,
     check: bool = False,
+    cell_timeout: Optional[float] = None,
+    retries: Optional[int] = None,
+    journal: Optional[str] = None,
+    resume: Optional[str] = None,
 ) -> List[ComparisonRow]:
     """Map every named suite circuit with both mappers on one library.
 
-    ``jobs > 1`` fans the cells out over worker processes via
-    :mod:`repro.perf.parallel`; this needs ``library_spec`` (a builtin
-    library name or genlib path) so each worker can rebuild the pattern
-    set, and falls back to the serial path when no spec is available.
-    Serial and parallel runs produce identical rows.  ``check=True``
-    certifies every mapping result (serial and parallel alike).
+    ``jobs > 1`` fans the cells out over worker processes via the
+    fault-tolerant runner in :mod:`repro.perf.parallel`; this needs
+    ``library_spec`` (a builtin library name or genlib path) so each
+    worker can rebuild the pattern set, and falls back to the serial
+    path when no spec is available.  Serial and parallel runs produce
+    identical rows.  ``check=True`` certifies every mapping result
+    (serial and parallel alike).
+
+    The runner options also *force* the supervised path (even at
+    ``jobs=1``, with one isolated worker): ``cell_timeout`` bounds each
+    cell's wall-clock, ``retries`` bounds transient-failure retries,
+    ``journal`` appends one JSONL record per finished cell, and
+    ``resume`` replays a previous journal so only missing or failed
+    cells are re-run.  Under the supervised path a failed cell yields a
+    :class:`repro.perf.parallel.CellFailure` entry in the returned list
+    instead of aborting the run.
     """
     names = list(names or TABLE1_NAMES)
-    if jobs > 1 and library_spec is not None:
+    supervised = (
+        jobs > 1
+        or cell_timeout is not None
+        or journal is not None
+        or resume is not None
+    )
+    if library_spec is None and (
+        cell_timeout is not None or journal is not None or resume is not None
+    ):
+        # jobs > 1 without a spec keeps the historical serial fallback,
+        # but the fault-tolerance options cannot be silently dropped.
+        from repro.errors import RunnerConfigError
+
+        raise RunnerConfigError(
+            "[R002] cell_timeout/journal/resume need library_spec so "
+            "worker processes can rebuild the pattern set"
+        )
+    if supervised and library_spec is not None:
         from repro.perf.parallel import run_cells_parallel
 
         return run_cells_parallel(
@@ -170,6 +201,10 @@ def run_tree_vs_dag(
             cache=cache,
             jobs=jobs,
             check=check,
+            cell_timeout=cell_timeout,
+            retries=retries,
+            journal_path=journal,
+            resume_path=resume,
         )
     patterns = (
         library

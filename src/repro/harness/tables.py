@@ -14,10 +14,26 @@ __all__ = [
 ]
 
 
+def _failures(rows: Sequence) -> List:
+    """The :class:`repro.perf.parallel.CellFailure` entries among ``rows``.
+
+    Duck-typed on the ``failed`` marker so this module needs no import
+    from the runner.
+    """
+    return [row for row in rows if getattr(row, "failed", False)]
+
+
 def format_comparison_table(
     rows: Sequence[ComparisonRow], title: str, cpu: bool = True
 ) -> str:
-    """Render rows like the paper's Tables 1-3 (circuit | delay | area | cpu)."""
+    """Render rows like the paper's Tables 1-3 (circuit | delay | area | cpu).
+
+    Failure rows from the fault-tolerant runner are listed below the
+    table (they carry no delay/area data) and excluded from the summary
+    aggregates.
+    """
+    failures = _failures(rows)
+    rows = [row for row in rows if not getattr(row, "failed", False)]
     header = ["circuit", "ISCAS", "gates", "delay tree", "delay DAG", "impr%",
               "area tree", "area DAG"]
     if cpu:
@@ -49,11 +65,22 @@ def format_comparison_table(
         f"(area ratio DAG/tree: {summary['area_ratio']:.2f}, "
         f"cpu ratio DAG/tree: {summary['cpu_ratio']:.2f})"
     )
+    for failure in failures:
+        lines.append(
+            f"FAILED  {failure.circuit}: {failure.kind} after "
+            f"{failure.attempts} attempt(s) — {failure.error}"
+        )
+    if failures:
+        lines.append(
+            f"{len(failures)} of {len(rows) + len(failures)} cells failed; "
+            "re-run with --resume <journal> to retry only those."
+        )
     return "\n".join(lines)
 
 
 def summarise_comparison(rows: Sequence[ComparisonRow]) -> Dict[str, float]:
-    """Aggregate statistics quoted alongside each table."""
+    """Aggregate statistics quoted alongside each table (failures excluded)."""
+    rows = [row for row in rows if not getattr(row, "failed", False)]
     if not rows:
         return {"avg_improvement": 0.0, "area_ratio": 0.0, "cpu_ratio": 0.0}
     avg_imp = sum(r.improvement for r in rows) / len(rows)

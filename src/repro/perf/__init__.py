@@ -15,9 +15,14 @@ enforced byte-identical to the seed path by the test suite:
   the binding enumeration runs once per group per subject node, and the
   structural-feasibility memo is keyed by interned subtree shapes shared
   across the whole pattern set.
-* :mod:`repro.perf.parallel` — a ``multiprocessing`` fan-out over
-  (circuit, library, mapper-mode) cells for the experiment harness,
-  exposed as ``--jobs N`` on the CLI.
+* :mod:`repro.perf.parallel` — a fault-tolerant ``multiprocessing``
+  fan-out over (circuit, library, mapper-mode) cells for the experiment
+  harness, exposed as ``--jobs N`` on the CLI.  Worker crashes, per-cell
+  timeouts and transient failures become structured
+  :class:`~repro.perf.parallel.CellFailure` rows instead of aborting the
+  run, and every finished cell is journalled
+  (:mod:`repro.perf.journal`) so ``--resume`` re-runs only what is
+  missing.
 
 :mod:`repro.perf.counters` carries the instrumentation counters that
 surface in :class:`repro.core.result.MappingResult` and in
@@ -25,14 +30,18 @@ surface in :class:`repro.core.result.MappingResult` and in
 """
 
 from repro.perf.benchjson import write_bench_json
-from repro.perf.counters import MatchStats
-from repro.perf.parallel import run_cells_parallel
+from repro.perf.counters import MatchStats, RunStats
+from repro.perf.journal import load_journal
+from repro.perf.parallel import CellFailure, run_cells_parallel
 from repro.perf.signature import cone_signature
 from repro.perf.trie import PatternTrie
 
 __all__ = [
+    "CellFailure",
     "MatchStats",
+    "RunStats",
     "cone_signature",
+    "load_journal",
     "PatternTrie",
     "run_cells_parallel",
     "write_bench_json",

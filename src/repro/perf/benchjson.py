@@ -37,9 +37,19 @@ def result_record(
 
 
 def rows_to_records(rows) -> List[Dict[str, object]]:
-    """Flatten :class:`~repro.harness.experiment.ComparisonRow` objects."""
+    """Flatten :class:`~repro.harness.experiment.ComparisonRow` objects.
+
+    :class:`~repro.perf.parallel.CellFailure` rows from the
+    fault-tolerant runner become ``{"failed": true, ...}`` records so a
+    bench report of a degraded run still accounts for every cell.
+    """
     records: List[Dict[str, object]] = []
     for row in rows:
+        if getattr(row, "failed", False):
+            record = dict(row.as_dict())
+            record["failed"] = True
+            records.append(record)
+            continue
         records.append(
             {
                 "circuit": row.circuit,

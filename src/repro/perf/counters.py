@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, fields
 from typing import Dict
 
-__all__ = ["MatchStats", "SimStats"]
+__all__ = ["MatchStats", "SimStats", "RunStats"]
 
 
 @dataclass
@@ -116,4 +116,44 @@ class SimStats:
         out: Dict[str, float] = {f.name: getattr(self, f.name) for f in fields(self)}
         out["seconds"] = round(self.seconds, 6)
         out["sim_vectors_per_sec"] = round(self.vectors_per_sec, 1)
+        return out
+
+
+@dataclass
+class RunStats:
+    """Supervisor counters for one fault-tolerant suite run.
+
+    Filled by :func:`repro.perf.parallel.run_cells_parallel`, exposed as
+    ``repro.perf.parallel.LAST_RUN_STATS``, written into the journal's
+    ``end`` record and into ``BENCH_mapper.json``.
+
+    Attributes:
+        cells_total: cells requested (including resumed ones).
+        cells_ok: cells that returned a real row this run.
+        cells_failed: cells that ended as :class:`CellFailure` rows.
+        cells_resumed: cells replayed from the resume journal.
+        retries: re-dispatches after a failed attempt.
+        timeouts: attempts killed by the per-cell timeout.
+        crashes: attempts lost to a dead worker process.
+        workers_replaced: replacement workers spawned mid-run.
+        interrupted: the run was stopped by ``KeyboardInterrupt``.
+        wall_s: supervisor wall-clock for the whole run.
+    """
+
+    cells_total: int = 0
+    cells_ok: int = 0
+    cells_failed: int = 0
+    cells_resumed: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    crashes: int = 0
+    workers_replaced: int = 0
+    interrupted: bool = False
+    wall_s: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            f.name: getattr(self, f.name) for f in fields(self)
+        }
+        out["wall_s"] = round(self.wall_s, 4)
         return out

@@ -1,0 +1,263 @@
+"""JSONL run journal for the fault-tolerant suite runner.
+
+Every finished cell of a :func:`repro.perf.parallel.run_cells_parallel`
+run is appended as one JSON line the moment it completes, so a crashed,
+interrupted or killed run loses at most the cells that were in flight.
+``--resume <journal>`` replays the journal: cells recorded as ``ok``
+under the *same cell configuration* (library spec, match kind,
+``max_variants``, ``verify``, ``check``) are reconstructed without
+re-running, failed or missing cells run again, and the merged result is
+identical to an uninterrupted run because row payloads round-trip
+through JSON exactly (Python serialises floats via ``repr``, which is
+lossless).
+
+Record shapes (schema ``repro-run-journal/1``)::
+
+    {"schema": ..., "event": "start", "spec": ..., "kind": ...,
+     "names": [...], "jobs": N, "cell_timeout": ..., "retries": ...}
+    {"event": "cell", "status": "ok", "name": ..., "spec": ...,
+     "kind": ..., "max_variants": ..., "verify": ..., "check": ...,
+     "attempts": N, "wall_s": ..., "row": {...ComparisonRow fields...}}
+    {"event": "cell", "status": "failed", ..., "failure": {...}}
+    {"event": "end", "stats": {...RunStats fields...}}
+
+The ``cache`` flag is deliberately *not* part of the cell key: the
+matching caches are enforced byte-identical to the uncached path
+(``tests/test_perf_equivalence.py``), so rows are interchangeable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import JournalError
+
+__all__ = [
+    "JOURNAL_SCHEMA",
+    "CellKey",
+    "JournalState",
+    "JournalWriter",
+    "cell_key",
+    "load_journal",
+    "row_to_payload",
+    "payload_to_row",
+]
+
+JOURNAL_SCHEMA = "repro-run-journal/1"
+
+#: (spec, kind, name, max_variants, verify, check) — everything that can
+#: change a row's payload.  See the module docstring for why ``cache``
+#: is excluded.
+CellKey = Tuple[str, str, str, int, bool, bool]
+
+
+def cell_key(
+    spec: str,
+    kind: str,
+    name: str,
+    max_variants: int,
+    verify: bool,
+    check: bool,
+) -> CellKey:
+    """The identity under which a journalled cell may be reused."""
+    return (spec, kind, name, int(max_variants), bool(verify), bool(check))
+
+
+def row_to_payload(row) -> Dict[str, object]:
+    """Flatten a :class:`~repro.harness.experiment.ComparisonRow` to JSON."""
+    return dataclasses.asdict(row)
+
+
+def payload_to_row(payload: Dict[str, object]):
+    """Rebuild a :class:`~repro.harness.experiment.ComparisonRow`.
+
+    Unknown keys (from a journal written by a newer version) are
+    dropped rather than rejected, so old code can still resume.
+    """
+    from repro.harness.experiment import ComparisonRow
+
+    names = {f.name for f in dataclasses.fields(ComparisonRow)}
+    return ComparisonRow(**{k: v for k, v in payload.items() if k in names})
+
+
+@dataclass
+class JournalState:
+    """Everything :func:`load_journal` recovered from a journal file."""
+
+    path: str
+    #: cell key -> ("ok" row payload, attempts) for the *last* ok record.
+    completed: Dict[CellKey, Tuple[Dict[str, object], int]] = field(
+        default_factory=dict
+    )
+    #: cell key -> failure payload for keys whose last record failed.
+    failures: Dict[CellKey, Dict[str, object]] = field(default_factory=dict)
+    #: every parsed record, in file order (for reporting/tests).
+    records: List[Dict[str, object]] = field(default_factory=list)
+
+    def completed_row(self, key: CellKey):
+        """The reconstructed row for ``key``, or None."""
+        entry = self.completed.get(key)
+        if entry is None:
+            return None
+        return payload_to_row(entry[0])
+
+
+def load_journal(path: str) -> JournalState:
+    """Parse a journal; raises :class:`JournalError` (``R004``) when broken.
+
+    A truncated *final* line (the run died mid-write) is tolerated and
+    ignored; malformed earlier lines or a wrong schema are errors.
+    """
+    if not os.path.exists(path):
+        raise JournalError(f"[R004] run journal {path!r} does not exist")
+    state = JournalState(path=path)
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            if lineno == len(lines):
+                break  # torn tail write from a killed run
+            raise JournalError(
+                f"[R004] run journal {path}:{lineno}: malformed JSON record"
+            )
+        if not isinstance(record, dict):
+            raise JournalError(
+                f"[R004] run journal {path}:{lineno}: record is not an object"
+            )
+        schema = record.get("schema")
+        if schema is not None and schema != JOURNAL_SCHEMA:
+            raise JournalError(
+                f"[R004] run journal {path}:{lineno}: schema {schema!r} "
+                f"is not {JOURNAL_SCHEMA!r}"
+            )
+        state.records.append(record)
+        if record.get("event") != "cell":
+            continue
+        try:
+            key = cell_key(
+                record["spec"],
+                record["kind"],
+                record["name"],
+                record["max_variants"],
+                record["verify"],
+                record["check"],
+            )
+        except KeyError as exc:
+            raise JournalError(
+                f"[R004] run journal {path}:{lineno}: cell record is "
+                f"missing the {exc.args[0]!r} field"
+            )
+        if record.get("status") == "ok":
+            row = record.get("row")
+            if not isinstance(row, dict):
+                raise JournalError(
+                    f"[R004] run journal {path}:{lineno}: ok record "
+                    "carries no row payload"
+                )
+            state.completed[key] = (row, int(record.get("attempts", 1)))
+            state.failures.pop(key, None)
+        else:
+            state.failures[key] = record.get("failure") or {}
+    return state
+
+
+class JournalWriter:
+    """Append-only journal emitter; one ``open``+``fsync`` per record.
+
+    Opening per record (instead of holding the handle) keeps every line
+    durable against the supervisor itself being killed, which is the
+    exact scenario the journal exists for.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+
+    def _append(self, record: Dict[str, object]) -> None:
+        line = json.dumps(record, sort_keys=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def start(
+        self,
+        spec: str,
+        kind: str,
+        names: List[str],
+        jobs: int,
+        cell_timeout: Optional[float],
+        retries: int,
+        resumed_cells: int = 0,
+    ) -> None:
+        self._append(
+            {
+                "schema": JOURNAL_SCHEMA,
+                "event": "start",
+                "spec": spec,
+                "kind": kind,
+                "names": list(names),
+                "jobs": jobs,
+                "cell_timeout": cell_timeout,
+                "retries": retries,
+                "resumed_cells": resumed_cells,
+            }
+        )
+
+    def cell_ok(
+        self,
+        key: CellKey,
+        row,
+        attempts: int,
+        wall_s: float,
+    ) -> None:
+        spec, kind, name, max_variants, verify, check = key
+        self._append(
+            {
+                "event": "cell",
+                "status": "ok",
+                "name": name,
+                "spec": spec,
+                "kind": kind,
+                "max_variants": max_variants,
+                "verify": verify,
+                "check": check,
+                "attempts": attempts,
+                "wall_s": round(wall_s, 6),
+                "row": row_to_payload(row),
+            }
+        )
+
+    def cell_failed(
+        self,
+        key: CellKey,
+        failure: Dict[str, object],
+        attempts: int,
+        wall_s: float,
+    ) -> None:
+        spec, kind, name, max_variants, verify, check = key
+        self._append(
+            {
+                "event": "cell",
+                "status": "failed",
+                "name": name,
+                "spec": spec,
+                "kind": kind,
+                "max_variants": max_variants,
+                "verify": verify,
+                "check": check,
+                "attempts": attempts,
+                "wall_s": round(wall_s, 6),
+                "failure": failure,
+            }
+        )
+
+    def end(self, stats: Dict[str, object]) -> None:
+        self._append({"event": "end", "stats": stats})

@@ -1,4 +1,4 @@
-"""Parallel suite runner: ``multiprocessing`` fan-out over experiment cells.
+"""Fault-tolerant parallel suite runner for the experiment harness.
 
 One *cell* is a (circuit, library, mapper-mode) unit of the paper's
 table experiments — both mappers on one circuit under one library.
@@ -7,25 +7,142 @@ respawnable library *spec*, i.e. a builtin name or a genlib path) so the
 per-cell payload is just the circuit name and the returned row is a
 plain dataclass of floats — cheap to pickle, deterministic to merge.
 
-Rows come back in request order regardless of completion order, so a
-parallel run is guaranteed to produce the same table as the serial run
-(each cell is independently deterministic).
+The seed used a bare ``pool.map``, which has exactly one failure mode:
+total.  A segfaulting worker, a hung cell, a ``MemoryError`` or an
+unpicklable exception aborted the entire suite and discarded every
+already-completed row.  This module replaces it with a supervised
+dispatch:
+
+* task-id-tagged cells go to single-cell worker processes and results
+  are merged back into request order, so scheduling never changes the
+  table;
+* any worker failure — an in-cell exception (stringified in the worker,
+  so unpicklable exceptions cannot poison the result channel), a dead
+  worker process, or a cell that exceeds the per-cell timeout — becomes
+  a structured :class:`CellFailure` row carrying the error text, the
+  attempt count and the wall-clock, while every other cell keeps
+  running;
+* failed attempts are retried with exponential backoff up to
+  ``retries`` times (timeouts are not retried: a hang is assumed
+  deterministic — raise the timeout instead);
+* timed-out and crashed workers are replaced so the pool never shrinks
+  while queued work remains;
+* ``KeyboardInterrupt`` shuts down gracefully and still returns the
+  completed rows (unfinished cells come back as ``interrupted``
+  failures);
+* every finished cell is appended to a JSONL run journal
+  (:mod:`repro.perf.journal`) so ``--resume`` re-runs only what is
+  missing or failed.
+
+Deterministic fault injection for tests and CI::
+
+    REPRO_FAULT_INJECT="crash:C432s,hang:C880s,flaky:C1908s"
+
+``crash`` hard-exits the worker (``os._exit``), ``hang`` sleeps forever
+(pair it with a cell timeout), ``flaky`` raises on the first attempt
+only — exercising crash isolation, timeout replacement and bounded
+retry respectively.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import List, Optional, Sequence
+import queue as queue_mod
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-__all__ = ["resolve_library", "run_cells_parallel", "default_jobs"]
+from repro.errors import (
+    RunnerConfigError,
+    UnknownLibrarySpecError,
+    WorkerInitError,
+)
+from repro.perf.counters import RunStats
+from repro.perf.journal import CellKey, JournalWriter, cell_key, load_journal
 
-#: Per-worker state installed by the pool initializer.
+__all__ = [
+    "BUILTIN_SPECS",
+    "CellFailure",
+    "LAST_RUN_STATS",
+    "default_jobs",
+    "resolve_library",
+    "run_cells_parallel",
+]
+
+#: Builtin library specs accepted by :func:`resolve_library` (anything
+#: else must be a readable genlib file).
+BUILTIN_SPECS: Tuple[str, ...] = ("lib2", "44-1", "44-3", "mini")
+
+#: Default bounded-retry budget for transient (error/crash) failures.
+DEFAULT_RETRIES = 2
+
+#: Default base delay (seconds) of the exponential retry backoff.
+DEFAULT_BACKOFF = 0.05
+
+#: Supervisor poll tick (seconds): the granularity of timeout
+#: enforcement and dead-worker detection.
+_TICK = 0.05
+
+#: :class:`RunStats` of the most recent :func:`run_cells_parallel` call
+#: in this process (the journal's ``end`` record carries the same data).
+LAST_RUN_STATS = RunStats()
+
+#: Per-worker state installed by the worker initializer.
 _STATE: dict = {}
 
 
+@dataclass
+class CellFailure:
+    """A structured failure row standing in for one cell's result.
+
+    Attributes:
+        circuit: the suite circuit name of the failed cell.
+        iscas: the ISCAS tag of the circuit (for table rendering).
+        kind: ``"error"`` (in-cell exception), ``"crash"`` (worker
+            process died), ``"timeout"`` (per-cell timeout exceeded) or
+            ``"interrupted"`` (run stopped by ``KeyboardInterrupt``).
+        error: human-readable failure text (exception text, exit code,
+            or timeout description).
+        error_type: exception class name or a synthetic tag
+            (``WorkerCrash``/``CellTimeout``/``RunInterrupted``).
+        attempts: attempts consumed before giving up.
+        wall_s: wall-clock spent across all attempts of this cell.
+    """
+
+    circuit: str
+    iscas: str
+    kind: str
+    error: str
+    error_type: str
+    attempts: int
+    wall_s: float
+
+    #: Duck-typing marker: ``getattr(row, "failed", False)`` separates
+    #: failure rows from ComparisonRow without importing this module.
+    failed = True
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "circuit": self.circuit,
+            "iscas": self.iscas,
+            "kind": self.kind,
+            "error": self.error,
+            "error_type": self.error_type,
+            "attempts": self.attempts,
+            "wall_s": round(self.wall_s, 6),
+        }
+
+
 def resolve_library(spec: str):
-    """Build a library from a respawnable spec (builtin name or genlib path)."""
+    """Build a library from a respawnable spec (builtin name or genlib path).
+
+    Raises:
+        UnknownLibrarySpecError: (code ``R001``) when ``spec`` is neither
+            a builtin name nor an existing genlib file — naming the spec
+            and listing the valid builtins so CLI users can self-correct.
+    """
     from repro.library.builtin import lib2_like, lib44_1, lib44_3, mini_library
 
     builders = {
@@ -34,16 +151,34 @@ def resolve_library(spec: str):
         "44-3": lib44_3,
         "mini": mini_library,
     }
+    assert tuple(builders) == BUILTIN_SPECS
     if spec in builders:
         return builders[spec]()
+    if not os.path.isfile(spec):
+        raise UnknownLibrarySpecError(spec, BUILTIN_SPECS)
     from repro.library.genlib import read_genlib
 
     return read_genlib(spec)
 
 
 def default_jobs() -> int:
-    """A sensible ``--jobs`` default: the machine's CPU count."""
-    return os.cpu_count() or 1
+    """A sensible ``--jobs`` default: the CPUs *this process may use*.
+
+    ``os.sched_getaffinity`` respects cgroup/container CPU restrictions
+    and ``taskset``; the bare ``os.cpu_count()`` (the seed behaviour)
+    over-subscribes restricted containers.  Falls back to ``cpu_count``
+    where affinity is unsupported (macOS, Windows).
+    """
+    try:
+        affinity = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        affinity = 0
+    return affinity or os.cpu_count() or 1
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
 
 
 def _init_worker(
@@ -79,6 +214,129 @@ def _run_cell(name: str):
     )
 
 
+def _inject_fault(name: str, attempt: int) -> None:
+    """Deterministic test hook: honour ``REPRO_FAULT_INJECT``.
+
+    The variable is a comma-separated list of ``mode:circuit`` items;
+    modes are ``crash`` (hard ``os._exit``, every attempt), ``hang``
+    (sleep forever, every attempt) and ``flaky`` (raise on the first
+    attempt only, succeed on retry).
+    """
+    spec = os.environ.get("REPRO_FAULT_INJECT", "")
+    for item in spec.split(","):
+        mode, sep, target = item.strip().partition(":")
+        if not sep or target != name:
+            continue
+        if mode == "crash":
+            os._exit(13)
+        elif mode == "hang":
+            while True:  # pragma: no cover - killed by the supervisor
+                time.sleep(3600)
+        elif mode == "flaky" and attempt == 0:
+            raise RuntimeError(
+                f"injected flaky failure for {name!r} (attempt {attempt})"
+            )
+
+
+def _worker_main(worker_id: int, inbox, results, initargs: tuple) -> None:
+    """One worker process: init once, then run single-cell tasks."""
+    try:
+        _init_worker(*initargs)
+    except KeyboardInterrupt:  # pragma: no cover - parent shuts us down
+        return
+    except BaseException as exc:
+        try:
+            results.put(("init_failed", worker_id, _describe(exc)))
+        finally:
+            return
+    while True:
+        try:
+            task = inbox.get()
+        except (KeyboardInterrupt, EOFError, OSError):  # pragma: no cover
+            return
+        if task is None:
+            return
+        task_id, name, attempt = task
+        started = time.perf_counter()
+        try:
+            _inject_fault(name, attempt)
+            row = _run_cell(name)
+            wall = time.perf_counter() - started
+            results.put(("done", worker_id, task_id, attempt, row, wall))
+        except KeyboardInterrupt:  # pragma: no cover
+            return
+        except BaseException as exc:
+            wall = time.perf_counter() - started
+            message = ("fail", worker_id, task_id, attempt,
+                       type(exc).__name__, _describe(exc), wall)
+            try:
+                results.put(message)
+            except BaseException:  # pragma: no cover - result channel broken
+                os._exit(17)
+
+
+def _describe(exc: BaseException) -> str:
+    """Stringify an exception so it always crosses the process boundary."""
+    try:
+        text = str(exc)
+    except Exception:  # pragma: no cover - pathological __str__
+        text = "<unprintable exception>"
+    name = type(exc).__name__
+    return f"{name}: {text}" if text else name
+
+
+# ----------------------------------------------------------------------
+# Supervisor side
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _Worker:
+    """Supervisor-side handle: one process, at most one task in flight."""
+
+    proc: multiprocessing.process.BaseProcess
+    inbox: object
+    task: Optional[Tuple[int, str, int]] = None  # (task_id, name, attempt)
+    assigned_at: float = 0.0
+
+
+def _resolve_float(
+    value: Optional[float], env: str, default: Optional[float]
+) -> Optional[float]:
+    if value is None:
+        raw = os.environ.get(env)
+        if raw is None or raw == "":
+            return default
+        try:
+            value = float(raw)
+        except ValueError:
+            raise RunnerConfigError(
+                f"[R002] {env}={raw!r} is not a number"
+            ) from None
+    return float(value)
+
+
+def _resolve_int(value: Optional[int], env: str, default: int) -> int:
+    if value is None:
+        raw = os.environ.get(env)
+        if raw is None or raw == "":
+            return default
+        try:
+            value = int(raw)
+        except ValueError:
+            raise RunnerConfigError(
+                f"[R002] {env}={raw!r} is not an integer"
+            ) from None
+    return int(value)
+
+
+def _iscas(name: str) -> str:
+    from repro.bench.suite import ALL_CIRCUITS
+
+    entry = ALL_CIRCUITS.get(name)
+    return entry.iscas if entry is not None else ""
+
+
 def run_cells_parallel(
     spec: str,
     names: Sequence[str],
@@ -88,6 +346,11 @@ def run_cells_parallel(
     cache: bool = True,
     jobs: Optional[int] = None,
     check: bool = False,
+    cell_timeout: Optional[float] = None,
+    retries: Optional[int] = None,
+    backoff: Optional[float] = None,
+    journal_path: Optional[str] = None,
+    resume_path: Optional[str] = None,
 ) -> List:
     """Map every named circuit with both mappers, fanned out over ``jobs``.
 
@@ -98,21 +361,333 @@ def run_cells_parallel(
         max_variants: pattern variants per gate.
         verify: simulate each mapped netlist against its source.
         cache: enable the matching caches inside each worker.
+        jobs: worker processes (default: the schedulable CPU count,
+            capped at the number of cells actually pending).
         check: certify every mapping result inside each worker.
-        jobs: worker processes (default: CPU count, capped at ``len(names)``).
+        cell_timeout: per-attempt wall-clock budget in seconds; a cell
+            over budget has its worker killed and replaced.  Defaults to
+            ``REPRO_CELL_TIMEOUT`` (unset = no timeout).
+        retries: bounded retry budget for transient failures (in-cell
+            exceptions and worker crashes; timeouts are final).
+            Defaults to ``REPRO_CELL_RETRIES`` or 2.
+        backoff: base delay of the exponential retry backoff
+            (``backoff * 2**attempt`` seconds).  Defaults to
+            ``REPRO_CELL_BACKOFF`` or 0.05.
+        journal_path: append one JSONL record per finished cell there.
+        resume_path: replay a previous journal; cells recorded ``ok``
+            under the same configuration are not re-run.  When no
+            ``journal_path`` is given, new records append to the
+            resumed journal.
 
     Returns:
-        ``List[ComparisonRow]`` in the order of ``names``.
+        One entry per name, in the order of ``names``: a
+        ``ComparisonRow`` for every healthy cell and a
+        :class:`CellFailure` for every cell that could not produce one.
+
+    Raises:
+        UnknownLibrarySpecError: bad ``spec`` (``R001``), before any
+            worker is spawned.
+        RunnerConfigError: bad ``jobs``/timeout/retry values (``R002``).
+        WorkerInitError: a worker's initializer failed (``R003``).
+        JournalError: ``resume_path`` is unreadable (``R004``).
     """
+    global LAST_RUN_STATS
     names = list(names)
-    if jobs is None:
-        jobs = default_jobs()
-    jobs = max(1, min(int(jobs), len(names))) if names else 1
-    # fork (where available) shares the already-imported interpreter; the
-    # initializer still rebuilds the pattern set per worker, which keeps
-    # the behaviour identical under spawn.
+    if jobs is not None and int(jobs) < 1:
+        raise RunnerConfigError(
+            f"[R002] jobs must be >= 1, got {jobs!r}"
+        )
+    if not names:
+        return []
+    cell_timeout = _resolve_float(cell_timeout, "REPRO_CELL_TIMEOUT", None)
+    if cell_timeout is not None and cell_timeout <= 0:
+        raise RunnerConfigError(
+            f"[R002] cell timeout must be positive, got {cell_timeout!r}"
+        )
+    retries = _resolve_int(retries, "REPRO_CELL_RETRIES", DEFAULT_RETRIES)
+    if retries < 0:
+        raise RunnerConfigError(
+            f"[R002] retries must be >= 0, got {retries!r}"
+        )
+    backoff_v = _resolve_float(backoff, "REPRO_CELL_BACKOFF", DEFAULT_BACKOFF)
+    if backoff_v is None or backoff_v < 0:
+        raise RunnerConfigError(
+            f"[R002] backoff must be >= 0, got {backoff_v!r}"
+        )
+    resolve_library(spec)  # fail fast (R001) before any fork
+
+    kind_value = getattr(kind, "value", str(kind))
+    keys: List[CellKey] = [
+        cell_key(spec, kind_value, name, max_variants, verify, check)
+        for name in names
+    ]
+    stats = RunStats(cells_total=len(names))
+    started = time.perf_counter()
+
+    completed: Dict[int, object] = {}
+    if resume_path is not None:
+        state = load_journal(resume_path)
+        for task_id, key in enumerate(keys):
+            if task_id in completed:
+                continue  # duplicate names resolve to the same key
+            row = state.completed_row(key)
+            if row is not None:
+                completed[task_id] = row
+                stats.cells_resumed += 1
+        if journal_path is None:
+            journal_path = resume_path
+    writer = JournalWriter(journal_path) if journal_path else None
+
+    pending = [i for i in range(len(names)) if i not in completed]
+    jobs = default_jobs() if jobs is None else int(jobs)
+    jobs = max(1, min(jobs, len(pending) or 1))
+    if writer is not None:
+        writer.start(
+            spec,
+            kind_value,
+            names,
+            jobs,
+            cell_timeout,
+            retries,
+            resumed_cells=stats.cells_resumed,
+        )
+    if pending:
+        _supervise(
+            names=names,
+            keys=keys,
+            pending=pending,
+            completed=completed,
+            initargs=(spec, max_variants, kind_value, verify, cache, check),
+            jobs=jobs,
+            cell_timeout=cell_timeout,
+            retries=retries,
+            backoff=backoff_v,
+            writer=writer,
+            stats=stats,
+        )
+    ok_rows = sum(
+        1 for row in completed.values() if not getattr(row, "failed", False)
+    )
+    stats.cells_ok = ok_rows - stats.cells_resumed
+    stats.cells_failed = len(completed) - ok_rows
+    stats.wall_s = time.perf_counter() - started
+    if writer is not None:
+        writer.end(stats.as_dict())
+    LAST_RUN_STATS = stats
+    return [completed[task_id] for task_id in range(len(names))]
+
+
+def _supervise(
+    names: List[str],
+    keys: List[CellKey],
+    pending: List[int],
+    completed: Dict[int, object],
+    initargs: tuple,
+    jobs: int,
+    cell_timeout: Optional[float],
+    retries: int,
+    backoff: float,
+    writer: Optional[JournalWriter],
+    stats: RunStats,
+) -> None:
+    """The dispatch loop: assign, collect, retry, replace, journal."""
     methods = multiprocessing.get_all_start_methods()
     ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
-    initargs = (spec, max_variants, kind.value, verify, cache, check)
-    with ctx.Pool(processes=jobs, initializer=_init_worker, initargs=initargs) as pool:
-        return pool.map(_run_cell, names)
+    results: multiprocessing.queues.Queue = ctx.Queue()
+    workers: Dict[int, _Worker] = {}
+    next_wid = 0
+    ready: deque = deque((task_id, 0) for task_id in pending)
+    delayed: List[Tuple[float, int, int]] = []  # (eligible_at, task_id, attempt)
+    cell_wall: Dict[int, float] = {task_id: 0.0 for task_id in pending}
+
+    def spawn() -> None:
+        nonlocal next_wid
+        inbox = ctx.SimpleQueue()
+        proc = ctx.Process(
+            target=_worker_main,
+            args=(next_wid, inbox, results, initargs),
+            daemon=True,
+            name=f"repro-cell-worker-{next_wid}",
+        )
+        proc.start()
+        workers[next_wid] = _Worker(proc=proc, inbox=inbox)
+        next_wid += 1
+
+    def outstanding() -> int:
+        return len(names) - len(completed)
+
+    def finish_ok(task_id: int, row, attempt: int, wall: float) -> None:
+        cell_wall[task_id] += wall
+        completed[task_id] = row
+        if writer is not None:
+            writer.cell_ok(
+                keys[task_id], row, attempt + 1, cell_wall[task_id]
+            )
+
+    def finish_failed(task_id: int, failure: "CellFailure") -> None:
+        completed[task_id] = failure
+        if writer is not None:
+            writer.cell_failed(
+                keys[task_id],
+                failure.as_dict(),
+                failure.attempts,
+                failure.wall_s,
+            )
+
+    def attempt_failed(
+        task_id: int,
+        attempt: int,
+        fail_kind: str,
+        error_type: str,
+        error: str,
+        wall: float,
+        retryable: bool,
+    ) -> None:
+        cell_wall[task_id] += wall
+        if retryable and attempt < retries:
+            stats.retries += 1
+            eligible = time.perf_counter() + backoff * (2 ** attempt)
+            delayed.append((eligible, task_id, attempt + 1))
+            return
+        name = names[task_id]
+        finish_failed(
+            task_id,
+            CellFailure(
+                circuit=name,
+                iscas=_iscas(name),
+                kind=fail_kind,
+                error=error,
+                error_type=error_type,
+                attempts=attempt + 1,
+                wall_s=cell_wall[task_id],
+            ),
+        )
+
+    def reap_worker(worker_id: int, kill: bool) -> None:
+        worker = workers.pop(worker_id)
+        if kill and worker.proc.is_alive():
+            worker.proc.terminate()
+            worker.proc.join(1.0)
+            if worker.proc.is_alive():  # pragma: no cover - stubborn child
+                worker.proc.kill()
+                worker.proc.join(1.0)
+        else:
+            worker.proc.join(0.1)
+        if (ready or delayed) and len(workers) < jobs and outstanding():
+            stats.workers_replaced += 1
+            spawn()
+
+    for _ in range(jobs):
+        spawn()
+    try:
+        while outstanding():
+            now = time.perf_counter()
+            for entry in sorted(delayed):
+                if entry[0] <= now:
+                    delayed.remove(entry)
+                    ready.append((entry[1], entry[2]))
+            for worker in workers.values():
+                if worker.task is None and ready:
+                    task_id, attempt = ready.popleft()
+                    worker.task = (task_id, names[task_id], attempt)
+                    worker.assigned_at = now
+                    worker.inbox.put(worker.task)
+            message = None
+            try:
+                message = results.get(timeout=_TICK)
+            except queue_mod.Empty:
+                pass
+            if message is not None:
+                tag = message[0]
+                if tag == "init_failed":
+                    _, worker_id, text = message
+                    raise WorkerInitError(
+                        f"[R003] suite worker failed to initialise: {text}"
+                    )
+                _, worker_id, task_id, attempt, *rest = message
+                worker = workers.get(worker_id)
+                if (
+                    worker is not None
+                    and worker.task is not None
+                    and worker.task[0] == task_id
+                    and worker.task[2] == attempt
+                    and task_id not in completed
+                ):
+                    worker.task = None
+                    if tag == "done":
+                        row, wall = rest
+                        finish_ok(task_id, row, attempt, wall)
+                    else:  # "fail"
+                        error_type, error, wall = rest
+                        attempt_failed(
+                            task_id, attempt, "error", error_type, error,
+                            wall, retryable=True,
+                        )
+                # else: stale message from a worker we already killed.
+            now = time.perf_counter()
+            for worker_id in list(workers):
+                worker = workers[worker_id]
+                if not worker.proc.is_alive():
+                    task = worker.task
+                    if task is not None:
+                        stats.crashes += 1
+                        task_id, _, attempt = task
+                        attempt_failed(
+                            task_id,
+                            attempt,
+                            "crash",
+                            "WorkerCrash",
+                            "worker process died with exit code "
+                            f"{worker.proc.exitcode}",
+                            now - worker.assigned_at,
+                            retryable=True,
+                        )
+                    reap_worker(worker_id, kill=False)
+                elif (
+                    worker.task is not None
+                    and cell_timeout is not None
+                    and now - worker.assigned_at > cell_timeout
+                ):
+                    stats.timeouts += 1
+                    task_id, _, attempt = worker.task
+                    attempt_failed(
+                        task_id,
+                        attempt,
+                        "timeout",
+                        "CellTimeout",
+                        f"cell exceeded the {cell_timeout:g}s per-cell "
+                        "timeout; worker killed and replaced",
+                        now - worker.assigned_at,
+                        retryable=False,
+                    )
+                    reap_worker(worker_id, kill=True)
+    except KeyboardInterrupt:
+        stats.interrupted = True
+        for task_id in range(len(names)):
+            if task_id not in completed:
+                name = names[task_id]
+                completed[task_id] = CellFailure(
+                    circuit=name,
+                    iscas=_iscas(name),
+                    kind="interrupted",
+                    error="run interrupted before this cell finished",
+                    error_type="RunInterrupted",
+                    attempts=0,
+                    wall_s=cell_wall.get(task_id, 0.0),
+                )
+    finally:
+        for worker in workers.values():
+            if worker.proc.is_alive() and worker.task is None:
+                try:
+                    worker.inbox.put(None)
+                except Exception:  # pragma: no cover
+                    pass
+        deadline = time.perf_counter() + 1.0
+        for worker in workers.values():
+            worker.proc.join(max(0.0, deadline - time.perf_counter()))
+            if worker.proc.is_alive():
+                worker.proc.terminate()
+                worker.proc.join(1.0)
+                if worker.proc.is_alive():  # pragma: no cover
+                    worker.proc.kill()
+        results.close()

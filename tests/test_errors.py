@@ -4,6 +4,7 @@ import pytest
 
 from repro.errors import (
     CertificateError,
+    JournalError,
     LibraryError,
     LibraryIncompleteError,
     MappingError,
@@ -11,8 +12,12 @@ from repro.errors import (
     ParseError,
     ReproError,
     RetimingError,
+    RunnerConfigError,
+    RunnerError,
     SourceLoc,
     TimingError,
+    UnknownLibrarySpecError,
+    WorkerInitError,
 )
 
 
@@ -28,6 +33,11 @@ class TestHierarchy:
             CertificateError,
             TimingError,
             RetimingError,
+            RunnerError,
+            RunnerConfigError,
+            UnknownLibrarySpecError,
+            WorkerInitError,
+            JournalError,
         ],
     )
     def test_all_derive_from_repro_error(self, exc):
@@ -38,6 +48,24 @@ class TestHierarchy:
 
     def test_certificate_is_mapping_error(self):
         assert issubclass(CertificateError, MappingError)
+
+    @pytest.mark.parametrize(
+        "exc", [RunnerConfigError, UnknownLibrarySpecError, WorkerInitError,
+                JournalError]
+    )
+    def test_runner_errors_share_one_base(self, exc):
+        assert issubclass(exc, RunnerError)
+
+    def test_unknown_spec_is_also_a_library_error(self):
+        # catchable both as a runner-setup problem and a library problem.
+        assert issubclass(UnknownLibrarySpecError, LibraryError)
+
+    def test_unknown_spec_message_is_coded_and_self_describing(self):
+        exc = UnknownLibrarySpecError("lib3", ("lib2", "44-1"))
+        assert "[R001]" in str(exc)
+        assert "lib3" in str(exc)
+        assert "lib2" in str(exc) and "44-1" in str(exc)
+        assert exc.spec == "lib3"
 
     def test_catch_base_class(self):
         with pytest.raises(ReproError):

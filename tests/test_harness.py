@@ -58,6 +58,21 @@ class TestComparison:
         )
         assert not rows[0].verified
 
+    def test_failure_rows_render_below_the_table(self, rows):
+        from repro.perf.parallel import CellFailure
+
+        failure = CellFailure(
+            circuit="C9999s", iscas="C9999", kind="crash",
+            error="worker process died with exit code 13",
+            error_type="WorkerCrash", attempts=3, wall_s=1.5,
+        )
+        text = format_comparison_table(list(rows) + [failure], "demo table")
+        assert "FAILED  C9999s: crash after 3 attempt(s)" in text
+        assert "1 of 3 cells failed" in text
+        # aggregates must ignore the failure row entirely.
+        assert summarise_comparison(list(rows) + [failure]) == \
+            summarise_comparison(rows)
+
 
 class TestAblations:
     def test_match_class_ablation(self):
