@@ -16,7 +16,6 @@ retiming experiments.
 
 from __future__ import annotations
 
-import random as _random
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.network.bnet import BooleanNetwork
@@ -772,36 +771,24 @@ def adder_comparator_mix(width: int) -> BooleanNetwork:
 def random_logic(
     n_inputs: int, n_nodes: int, seed: int = 1, n_outputs: Optional[int] = None
 ) -> BooleanNetwork:
-    """Random 2-input gate DAG (fuzz workloads for property tests)."""
-    rng = _random.Random(seed)
-    net = BooleanNetwork(f"rand{n_inputs}_{n_nodes}_{seed}")
-    signals = _bus(net, "i", n_inputs)
-    ops = [
-        "{x}*{y}",
-        "{x}+{y}",
-        "{x}^{y}",
-        "!({x}*{y})",
-        "!({x}+{y})",
-        "{x}*!{y}",
-        "!{x}+{y}",
-    ]
-    for idx in range(n_nodes):
-        if len(signals) >= 2:
-            x, y = rng.sample(signals, 2)
-            expr = rng.choice(ops).format(x=x, y=y)
-        else:
-            expr = f"!{signals[0]}"
-        signals.append(net.add_node(f"w{idx}", expr))
-    n_outputs = n_outputs or max(1, n_nodes // 10)
-    fanout = net.fanout_map()
-    unread = [s for s in signals[n_inputs:] if s not in fanout]
-    chosen = unread[-n_outputs:]
-    if len(chosen) < n_outputs:
-        extra = [s for s in reversed(signals[n_inputs:]) if s not in chosen]
-        chosen += extra[: n_outputs - len(chosen)]
-    for sig in dict.fromkeys(chosen):
-        net.add_po(sig)
-    return net
+    """Random 2-input gate DAG (fuzz workloads for property tests).
+
+    A thin wrapper over :func:`repro.fuzz.generator.random_dag` with the
+    generator's default shape knobs.  Two invariants hold for *every*
+    parameter combination (the old inline construction violated both for
+    small ``n_nodes``): no primary input dangles unread, and no internal
+    node is dead — everything reaches a primary output.  The seed and
+    every knob are recorded in the network name, so a circuit rebuilds
+    bit-identically from its name alone.
+    """
+    from repro.fuzz.generator import FuzzConfig, random_dag
+
+    config = FuzzConfig(
+        n_inputs=n_inputs, n_nodes=n_nodes, n_outputs=n_outputs, seed=seed
+    )
+    return random_dag(
+        config, name=f"rand{n_inputs}_{n_nodes}_{seed}_o{config.outputs}"
+    )
 
 
 # ----------------------------------------------------------------------

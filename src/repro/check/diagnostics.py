@@ -108,6 +108,15 @@ CODES: Dict[str, CodeInfo] = _catalog(
         ("C104", Severity.ERROR, "mapping not one-to-one"),
         ("C105", Severity.ERROR, "out-degree mismatch (exact match)"),
         ("C106", Severity.ERROR, "root binding mismatch"),
+        # ---------------- differential fuzzing oracles (F###) ---------
+        ("F001", Severity.ERROR, "DAG cover slower than tree cover"),
+        ("F002", Severity.ERROR, "mapped netlist not equivalent to source"),
+        ("F003", Severity.ERROR, "packed and scalar engines disagree"),
+        ("F004", Severity.ERROR, "mapping certificate rejected"),
+        ("F005", Severity.ERROR, "a random cover beats the optimal label"),
+        ("F006", Severity.ERROR, "mapper raised an unexpected exception"),
+        ("F007", Severity.ERROR, "generated network fails structural lint"),
+        ("F008", Severity.WARNING, "shrinker could not preserve the failure"),
     ]
 )
 

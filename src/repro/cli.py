@@ -8,6 +8,8 @@ Subcommands::
     bench       list or emit the benchmark suite as BLIF
     libgen      emit a built-in library as genlib text
     experiments run the full experiment battery (tables + ablations)
+    check       lint inputs and certify mapping runs (coded diagnostics)
+    fuzz        differential fuzzing with minimization and a corpus
 """
 
 from __future__ import annotations
@@ -406,6 +408,74 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz import (
+        FuzzConfig,
+        OracleConfig,
+        parse_seed_spec,
+        run_campaign,
+    )
+
+    try:
+        seeds = parse_seed_spec(args.seeds)
+        generator = FuzzConfig(
+            n_inputs=args.inputs,
+            n_nodes=args.nodes,
+            n_outputs=args.outputs,
+            reconvergence=args.reconvergence,
+            fanout_skew=args.fanout_skew,
+            depth_bias=args.depth_bias,
+        )
+        oracle = OracleConfig(
+            library=args.library,
+            kind=args.match,
+            max_variants=args.variants,
+            decompose=args.decompose,
+            inject=args.inject,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"repro-map fuzz: {exc}") from None
+    progress = None if args.quiet else (lambda line: print(f"  {line}"))
+    result = run_campaign(
+        seeds,
+        generator,
+        oracle,
+        minimize=args.minimize,
+        corpus_dir=args.corpus,
+        budget=args.budget,
+        jobs=args.jobs,
+        shrink_evals=args.shrink_evals,
+        task_timeout=args.cell_timeout,
+        progress=progress,
+    )
+    for outcome in result.failures:
+        print(f"FAIL seed {outcome.seed} {outcome.name}: "
+              f"{', '.join(outcome.codes)}")
+        for message in outcome.messages:
+            print(f"  {message}")
+        if outcome.shrink_stats is not None:
+            orig = outcome.shrink_stats["original_size"]
+            final = outcome.shrink_stats["final_size"]
+            print(f"  minimized {orig[0]} -> {final[0]} nodes in "
+                  f"{outcome.shrink_stats['evaluations']} evaluations")
+        if outcome.shrink_error is not None:
+            print(f"  F008 shrinker could not preserve the failure: "
+                  f"{outcome.shrink_error}")
+        if outcome.corpus_stem is not None:
+            print(f"  reproducer: {args.corpus}/{outcome.corpus_stem}"
+                  ".blif (+ .json)")
+    for failure in result.worker_failures:
+        print(f"WORKER {failure.circuit}: {failure.kind} "
+              f"({failure.error_type}) {failure.error}")
+    skipped = f", {len(result.skipped)} skipped (budget)" if result.skipped \
+        else ""
+    print(f"fuzz: {len(result.seeds_run)} seeds, {result.clean} clean, "
+          f"{len(result.failures)} failing, "
+          f"{len(result.worker_failures)} worker failures{skipped} "
+          f"in {result.wall_s:.2f}s")
+    return 0 if result.ok else 1
+
+
 def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
     """Fault-tolerance knobs shared by ``table`` and ``experiments``."""
     parser.add_argument("--cell-timeout", type=float, default=None,
@@ -559,6 +629,63 @@ def build_parser() -> argparse.ArgumentParser:
     p_chk.add_argument("--decompose", choices=("balanced", "linear"),
                        default="balanced")
     p_chk.set_defaults(func=_cmd_check)
+
+    p_fz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: generate, cross-check, minimize",
+        description="Run the differential oracle battery over seeded "
+                    "random networks: DAG-vs-tree delay (F001), mapped "
+                    "equivalence (F002), packed-vs-scalar engines (F003), "
+                    "mapping certificates (F004), optimality probes "
+                    "(F005).  Failures can be delta-debugged to minimal "
+                    "reproducers and persisted into a replayable corpus.",
+    )
+    p_fz.add_argument("--seeds", default="0:50", metavar="SPEC",
+                      help="seed spec: N, A:B (half-open), A:B:STEP, or a "
+                           "comma-separated mix (default 0:50)")
+    p_fz.add_argument("--budget", type=float, default=None, metavar="SECONDS",
+                      help="campaign wall-clock budget; seeds not started "
+                           "in time are reported as skipped")
+    p_fz.add_argument("--minimize", action="store_true",
+                      help="delta-debug each failing network to a minimal "
+                           "reproducer")
+    p_fz.add_argument("--corpus", metavar="DIR",
+                      help="persist every failure (minimized when "
+                           "available) as a replayable corpus entry")
+    p_fz.add_argument("--jobs", "-j", type=int, default=1,
+                      help="fan seeds out over the fault-tolerant worker "
+                           "pool (crashed/hung seeds cost one task)")
+    p_fz.add_argument("--cell-timeout", type=float, default=None,
+                      metavar="SECONDS",
+                      help="per-seed wall-clock limit when --jobs > 1")
+    p_fz.add_argument("--library", "-l", default="mini",
+                      help="builtin name or genlib path (default mini)")
+    p_fz.add_argument("--match", choices=("standard", "exact", "extended"),
+                      default="standard")
+    p_fz.add_argument("--variants", type=int, default=8)
+    p_fz.add_argument("--decompose", choices=("balanced", "linear"),
+                      default="balanced")
+    p_fz.add_argument("--inputs", type=int, default=8,
+                      help="primary inputs per generated network")
+    p_fz.add_argument("--nodes", type=int, default=40,
+                      help="internal nodes per generated network")
+    p_fz.add_argument("--outputs", type=int, default=None,
+                      help="primary outputs (default: nodes // 10)")
+    p_fz.add_argument("--reconvergence", type=float, default=0.3,
+                      help="reconvergent-path density knob in [0, 1]")
+    p_fz.add_argument("--fanout-skew", type=float, default=0.0,
+                      help="rich-get-richer fanout bias in [0, 1)")
+    p_fz.add_argument("--depth-bias", type=float, default=0.5,
+                      help="deep-chain growth bias in [0, 1]")
+    p_fz.add_argument("--shrink-evals", type=int, default=400,
+                      help="oracle evaluations budgeted per minimization")
+    p_fz.add_argument("--inject", choices=("delay", "cover", "corrupt"),
+                      default=None,
+                      help="deterministic fault injection (self-test; "
+                           "REPRO_FUZZ_INJECT is the env equivalent)")
+    p_fz.add_argument("--quiet", "-q", action="store_true",
+                      help="suppress per-seed progress lines")
+    p_fz.set_defaults(func=_cmd_fuzz)
 
     return parser
 

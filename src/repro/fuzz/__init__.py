@@ -1,0 +1,48 @@
+"""Differential fuzzing: generation, oracles, minimization, corpus.
+
+The subsystem closes the loop the unit tests cannot: adversarial random
+structure (:mod:`repro.fuzz.generator`), every independent cross-check
+the repository owns run as one battery with coded ``F###`` findings
+(:mod:`repro.fuzz.oracles`), delta-debugging of failures to minimal
+reproducers (:mod:`repro.fuzz.shrink`), and a committed, replayable
+corpus (:mod:`repro.fuzz.corpus`).  :mod:`repro.fuzz.run` drives
+campaigns — serial or fanned out over the fault-tolerant pool — and
+``repro-map fuzz`` is the CLI face.
+"""
+
+from repro.fuzz.corpus import CorpusEntry, load_corpus, replay, save_entry
+from repro.fuzz.generator import FuzzConfig, config_from_dict, random_dag
+from repro.fuzz.oracles import (
+    FUZZ_INJECT_ENV,
+    INJECT_MODES,
+    OracleConfig,
+    run_battery,
+)
+from repro.fuzz.run import (
+    CampaignResult,
+    SeedOutcome,
+    parse_seed_spec,
+    run_campaign,
+)
+from repro.fuzz.shrink import ShrinkResult, network_size, shrink
+
+__all__ = [
+    "CampaignResult",
+    "CorpusEntry",
+    "FUZZ_INJECT_ENV",
+    "FuzzConfig",
+    "INJECT_MODES",
+    "OracleConfig",
+    "SeedOutcome",
+    "ShrinkResult",
+    "config_from_dict",
+    "load_corpus",
+    "network_size",
+    "parse_seed_spec",
+    "random_dag",
+    "replay",
+    "run_battery",
+    "run_campaign",
+    "save_entry",
+    "shrink",
+]

@@ -1,0 +1,170 @@
+"""Reproducer corpus: persisted minimized netlists with replay metadata.
+
+A corpus directory holds pairs of files per entry::
+
+    tests/corpus/<stem>.blif   the (minimized) network itself
+    tests/corpus/<stem>.json   replay metadata (repro-fuzz-corpus/1)
+
+The JSON record carries everything needed to replay the finding
+deterministically: the oracle configuration (library spec, match class,
+variants, decomposition style), the injected mutation (if any), the
+expected outcome (``"clean"`` or a list of ``F###`` codes), and — when
+the network came from the generator — the full :class:`FuzzConfig`
+including its seed, so the *unminimized* case regenerates bit-identically
+too.  ``tests/test_fuzz_corpus.py`` replays every committed entry on
+each CI run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+from repro.check.diagnostics import CheckReport
+from repro.fuzz.generator import FuzzConfig, config_from_dict, random_dag
+from repro.fuzz.oracles import OracleConfig, run_battery
+from repro.library.patterns import PatternSet
+from repro.network.blif import read_blif, write_blif
+from repro.network.bnet import BooleanNetwork
+
+__all__ = [
+    "CORPUS_SCHEMA",
+    "CorpusEntry",
+    "save_entry",
+    "load_corpus",
+    "replay",
+]
+
+#: Corpus metadata schema tag; bump only with a migration.
+CORPUS_SCHEMA = "repro-fuzz-corpus/1"
+
+
+@dataclass
+class CorpusEntry:
+    """One committed reproducer: a BLIF file plus its replay metadata."""
+
+    stem: str
+    blif_path: str
+    meta_path: str
+    meta: Dict[str, object]
+
+    @property
+    def expect(self) -> Union[str, List[str]]:
+        """``"clean"`` or the list of expected ``F###`` codes."""
+        return self.meta.get("expect", "clean")  # type: ignore[return-value]
+
+    def oracle_config(self) -> OracleConfig:
+        """The oracle configuration this entry was found under."""
+        cfg = self.meta.get("oracle", {})
+        assert isinstance(cfg, dict)
+        return OracleConfig(
+            library=str(cfg.get("library", "mini")),
+            kind=str(cfg.get("kind", "standard")),
+            max_variants=int(cfg.get("max_variants", 8)),
+            decompose=str(cfg.get("decompose", "balanced")),
+            inject=self.meta.get("inject") or None,  # type: ignore[arg-type]
+        )
+
+    def generator_config(self) -> Optional[FuzzConfig]:
+        """The originating generator knobs + seed, when recorded."""
+        data = self.meta.get("generator")
+        if not isinstance(data, dict):
+            return None
+        return config_from_dict(data)
+
+    def load_network(self) -> BooleanNetwork:
+        return read_blif(self.blif_path)
+
+    def regenerate(self) -> Optional[BooleanNetwork]:
+        """Rebuild the unminimized network from its recorded seed."""
+        config = self.generator_config()
+        if config is None:
+            return None
+        return random_dag(config)
+
+
+def save_entry(
+    directory: Union[str, os.PathLike],
+    net: BooleanNetwork,
+    oracle: OracleConfig,
+    expect: Union[str, List[str]],
+    stem: Optional[str] = None,
+    generator: Optional[FuzzConfig] = None,
+    description: str = "",
+    extra: Optional[Dict[str, object]] = None,
+) -> CorpusEntry:
+    """Persist one reproducer (BLIF + JSON) into ``directory``.
+
+    Args:
+        directory: corpus directory; created when missing.
+        net: the (minimized) network to store.
+        oracle: the oracle configuration the finding replays under.
+        expect: ``"clean"`` or the sorted list of expected error codes.
+        stem: file stem; defaults to the network name.
+        generator: the originating :class:`FuzzConfig` (with seed), when
+            the case came from the generator.
+        description: one-line human note rendered in the JSON.
+        extra: extra metadata keys (e.g. shrink statistics).
+    """
+    os.makedirs(directory, exist_ok=True)
+    stem = stem or net.name
+    blif_path = os.path.join(str(directory), f"{stem}.blif")
+    meta_path = os.path.join(str(directory), f"{stem}.json")
+    meta: Dict[str, object] = {
+        "schema": CORPUS_SCHEMA,
+        "name": net.name,
+        "expect": sorted(expect) if not isinstance(expect, str) else expect,
+        "oracle": oracle.as_dict(),
+        "inject": oracle.resolved_inject(),
+        "description": description,
+    }
+    if generator is not None:
+        meta["generator"] = generator.as_dict()
+    if extra:
+        meta.update(extra)
+    write_blif(net, blif_path)
+    with open(meta_path, "w", encoding="utf-8") as handle:
+        json.dump(meta, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return CorpusEntry(stem, blif_path, meta_path, meta)
+
+
+def load_corpus(directory: Union[str, os.PathLike]) -> List[CorpusEntry]:
+    """Load every entry of a corpus directory, sorted by stem.
+
+    Raises:
+        ValueError: a metadata file has the wrong schema tag or its
+            BLIF twin is missing — a corrupted corpus should fail
+            loudly, not silently skip cases.
+    """
+    entries: List[CorpusEntry] = []
+    if not os.path.isdir(directory):
+        return entries
+    for fname in sorted(os.listdir(directory)):
+        if not fname.endswith(".json"):
+            continue
+        stem = fname[: -len(".json")]
+        meta_path = os.path.join(str(directory), fname)
+        blif_path = os.path.join(str(directory), f"{stem}.blif")
+        with open(meta_path, "r", encoding="utf-8") as handle:
+            meta = json.load(handle)
+        schema = meta.get("schema")
+        if schema != CORPUS_SCHEMA:
+            raise ValueError(
+                f"{meta_path}: unsupported corpus schema {schema!r} "
+                f"(expected {CORPUS_SCHEMA})"
+            )
+        if not os.path.isfile(blif_path):
+            raise ValueError(f"{meta_path}: missing BLIF twin {blif_path}")
+        entries.append(CorpusEntry(stem, blif_path, meta_path, meta))
+    return entries
+
+
+def replay(
+    entry: CorpusEntry, patterns: Optional[PatternSet] = None
+) -> CheckReport:
+    """Re-run the oracle battery on a stored entry's network."""
+    net = entry.load_network()
+    return run_battery(net, entry.oracle_config(), patterns=patterns)

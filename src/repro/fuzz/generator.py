@@ -1,0 +1,223 @@
+"""Seeded random subject-DAG generation with tunable shape knobs.
+
+The differential fuzzer (:mod:`repro.fuzz.oracles`) needs adversarial
+structure the curated benches never produce: dense reconvergence, skewed
+fanout distributions, deep narrow cones, primary outputs driven straight
+by primary inputs.  :func:`random_dag` grows a random 2-input gate DAG
+under a :class:`FuzzConfig` and guarantees two structural invariants the
+old ``bench.circuits.random_logic`` could violate for small node counts:
+
+* **no dangling primary inputs** — every PI is read by some node or is
+  itself a primary output;
+* **no dead internal nodes** — every node lies in the transitive fanin
+  of at least one primary output.
+
+Every generated network records its full knob configuration and seed in
+its name (and hence in any BLIF dump), so a failing case regenerates
+bit-identically from the name alone.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.network.bnet import BooleanNetwork
+
+__all__ = ["FuzzConfig", "random_dag", "config_from_dict"]
+
+#: The 2-input gate alphabet; expression templates over signals x, y.
+DEFAULT_OPS: Tuple[str, ...] = (
+    "{x}*{y}",
+    "{x}+{y}",
+    "{x}^{y}",
+    "!({x}*{y})",
+    "!({x}+{y})",
+    "{x}*!{y}",
+    "!{x}+{y}",
+)
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Shape knobs for one generated DAG.
+
+    Attributes:
+        n_inputs: primary input count.
+        n_nodes: internal 2-input node count *floor* (PO funnel nodes may
+            be appended so no logic is left dead).
+        n_outputs: primary output count; ``None`` derives
+            ``max(1, n_nodes // 10)``.
+        seed: PRNG seed; two calls with equal config are identical.
+        reconvergence: probability in [0, 1] that a node draws both
+            fanins from a small recent window, creating reconvergent
+            paths that share ancestors (the structures cut enumeration
+            and DAG covering disagree about most).
+        fanout_skew: in [0, 1); biases fanin choice toward signals that
+            already have readers (rich-get-richer), producing the hub
+            nodes that stress multi-fanout handling.  0 is uniform.
+        depth_bias: probability in [0, 1] that one fanin is the most
+            recently created signal, growing deep chains instead of wide
+            shallow layers.
+    """
+
+    n_inputs: int = 8
+    n_nodes: int = 40
+    n_outputs: Optional[int] = None
+    seed: int = 0
+    reconvergence: float = 0.3
+    fanout_skew: float = 0.0
+    depth_bias: float = 0.5
+    ops: Tuple[str, ...] = field(default=DEFAULT_OPS)
+
+    def __post_init__(self) -> None:
+        if self.n_inputs < 1:
+            raise ValueError("n_inputs must be >= 1")
+        if self.n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        if self.n_outputs is not None and self.n_outputs < 1:
+            raise ValueError("n_outputs must be >= 1 when given")
+        if not 0.0 <= self.reconvergence <= 1.0:
+            raise ValueError("reconvergence must be in [0, 1]")
+        if not 0.0 <= self.fanout_skew < 1.0:
+            raise ValueError("fanout_skew must be in [0, 1)")
+        if not 0.0 <= self.depth_bias <= 1.0:
+            raise ValueError("depth_bias must be in [0, 1]")
+
+    @property
+    def outputs(self) -> int:
+        """The resolved primary-output count."""
+        if self.n_outputs is not None:
+            return self.n_outputs
+        return max(1, self.n_nodes // 10)
+
+    def network_name(self) -> str:
+        """A name encoding every knob, so runs replay from the name."""
+        return (
+            f"fuzz_i{self.n_inputs}_n{self.n_nodes}_o{self.outputs}"
+            f"_r{self.reconvergence:g}_f{self.fanout_skew:g}"
+            f"_d{self.depth_bias:g}_s{self.seed}"
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serialisable knob record (ops omitted when default)."""
+        out: Dict[str, object] = {
+            "n_inputs": self.n_inputs,
+            "n_nodes": self.n_nodes,
+            "n_outputs": self.n_outputs,
+            "seed": self.seed,
+            "reconvergence": self.reconvergence,
+            "fanout_skew": self.fanout_skew,
+            "depth_bias": self.depth_bias,
+        }
+        if self.ops != DEFAULT_OPS:
+            out["ops"] = list(self.ops)
+        return out
+
+    def with_seed(self, seed: int) -> "FuzzConfig":
+        return replace(self, seed=seed)
+
+
+def config_from_dict(data: Dict[str, object]) -> FuzzConfig:
+    """Rebuild a :class:`FuzzConfig` from :meth:`FuzzConfig.as_dict`."""
+    kwargs = dict(data)
+    ops = kwargs.pop("ops", None)
+    if ops is not None:
+        kwargs["ops"] = tuple(str(op) for op in ops)  # type: ignore[union-attr]
+    return FuzzConfig(**kwargs)  # type: ignore[arg-type]
+
+
+def _weighted_pick(
+    rng: random.Random,
+    pool: List[str],
+    readers: Dict[str, int],
+    skew: float,
+) -> str:
+    """Pick one signal; ``skew`` > 0 favours already-read signals."""
+    if skew <= 0.0 or len(pool) == 1:
+        return rng.choice(pool)
+    bias = skew / (1.0 - skew)
+    weights = [1.0 + bias * readers.get(name, 0) for name in pool]
+    return rng.choices(pool, weights=weights, k=1)[0]
+
+
+def random_dag(config: FuzzConfig, name: Optional[str] = None) -> BooleanNetwork:
+    """Generate one random DAG under ``config``; fully deterministic.
+
+    The construction keeps an *unread* worklist: while any primary input
+    is unread, one fanin of each new node is drawn from the unread PIs,
+    so every PI that can be consumed is.  After the node loop, every
+    still-unread signal either becomes a primary output directly or is
+    funnelled into balanced XOR combiner nodes until exactly
+    ``config.outputs`` outputs remain — hence no dangling PIs and no
+    dead nodes, for every knob combination.
+    """
+    rng = random.Random(config.seed)
+    net = BooleanNetwork(name or config.network_name())
+    signals: List[str] = [net.add_pi(f"i{j}") for j in range(config.n_inputs)]
+    readers: Dict[str, int] = {}
+    unread_pis: List[str] = list(signals)
+    window = max(2, config.n_inputs // 2)
+
+    def consume(sig: str) -> None:
+        readers[sig] = readers.get(sig, 0) + 1
+        if sig in unread_pis:
+            unread_pis.remove(sig)
+
+    for idx in range(config.n_nodes):
+        if unread_pis:
+            x = unread_pis[0]
+        elif rng.random() < config.depth_bias:
+            x = signals[-1]
+        else:
+            x = _weighted_pick(rng, signals, readers, config.fanout_skew)
+        if len(signals) >= 2:
+            if rng.random() < config.reconvergence:
+                pool = [s for s in signals[-window:] if s != x]
+                pool = pool or [s for s in signals if s != x]
+            else:
+                pool = [s for s in signals if s != x]
+            y = _weighted_pick(rng, pool, readers, config.fanout_skew)
+            expr = rng.choice(config.ops).format(x=x, y=y)
+            consume(x)
+            consume(y)
+        else:
+            expr = f"!{x}"
+            consume(x)
+        signals.append(net.add_node(f"w{idx}", expr))
+
+    # ------------------------------------------------------------------
+    # Output selection: every unread signal must reach a PO.
+    unread = [s for s in signals if s not in readers and s not in net.pos]
+    n_outputs = config.outputs
+    funnel = 0
+    while len(unread) > n_outputs:
+        # Merge the two oldest unread signals with an XOR combiner; the
+        # combiner is itself unread, so the list shrinks by one per step.
+        a, b = unread[0], unread[1]
+        combined = net.add_node(f"z{funnel}", f"{a}^{b}")
+        funnel += 1
+        readers[a] = readers.get(a, 0) + 1
+        readers[b] = readers.get(b, 0) + 1
+        unread = unread[2:] + [combined]
+        signals.append(combined)
+    chosen = list(unread)
+    if len(chosen) < n_outputs:
+        # Top up from the newest internal nodes (never duplicating).
+        taken = set(chosen)
+        for sig in reversed(signals[config.n_inputs:]):
+            if len(chosen) == n_outputs:
+                break
+            if sig not in taken:
+                chosen.append(sig)
+                taken.add(sig)
+        for sig in reversed(signals[: config.n_inputs]):
+            if len(chosen) == n_outputs:
+                break
+            if sig not in taken:
+                chosen.append(sig)
+                taken.add(sig)
+    for sig in chosen:
+        net.add_po(sig)
+    return net

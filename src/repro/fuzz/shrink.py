@@ -1,0 +1,232 @@
+"""Delta-debugging minimizer for failing fuzz netlists.
+
+Given a network on which some predicate holds (usually "the oracle
+battery reports one of these F-codes"), :func:`shrink` greedily applies
+structure-removing transformations and keeps every candidate on which
+the predicate still holds, until no transformation helps or the
+evaluation budget runs out:
+
+* **drop outputs** — keep a single primary output, or remove one;
+* **promote to PI** — replace an internal node by a fresh primary input
+  of the same name, cutting its entire fanin cone;
+* **bypass** — replace a node by one of its own fanins everywhere it is
+  read (skipped when that would give a reader duplicate fanins);
+* **garbage collection** — after every candidate edit, nodes that no
+  longer reach a primary output and primary inputs that are no longer
+  read are dropped.
+
+All passes are deterministic: candidates are generated in a fixed order,
+so a reproducer minimizes identically on every machine.  The shrinker
+never loses the failure — a candidate is adopted only after the
+predicate re-confirms it — and the result is the fixpoint network plus
+counters for reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.network.bnet import BooleanNetwork
+from repro.network.functions import TruthTable
+
+__all__ = ["ShrinkResult", "shrink", "network_size"]
+
+
+@dataclass
+class _Desc:
+    """A mutable, order-preserving description of a combinational net."""
+
+    name: str
+    pis: List[str]
+    pos: List[str]
+    #: name -> (fanins, truth table); insertion order is topological.
+    nodes: Dict[str, Tuple[Tuple[str, ...], TruthTable]]
+
+    @classmethod
+    def from_network(cls, net: BooleanNetwork) -> "_Desc":
+        nodes: Dict[str, Tuple[Tuple[str, ...], TruthTable]] = {}
+        for node in net.topological_order():
+            nodes[node.name] = (tuple(node.fanins), node.tt)
+        return cls(net.name, list(net.pis), list(net.pos), nodes)
+
+    def copy(self) -> "_Desc":
+        return _Desc(self.name, list(self.pis), list(self.pos),
+                     dict(self.nodes))
+
+    def size(self) -> Tuple[int, int]:
+        """(internal nodes, total signals) — the minimization metric."""
+        return len(self.nodes), len(self.nodes) + len(self.pis) + len(self.pos)
+
+    # ------------------------------------------------------------------
+    def collect_garbage(self) -> None:
+        """Drop nodes that reach no PO and PIs that nothing reads."""
+        keep: set = set()
+        stack = [po for po in self.pos]
+        while stack:
+            sig = stack.pop()
+            if sig in keep or sig not in self.nodes:
+                continue
+            keep.add(sig)
+            stack.extend(self.nodes[sig][0])
+        self.nodes = {
+            name: entry for name, entry in self.nodes.items() if name in keep
+        }
+        read = {f for fanins, _ in self.nodes.values() for f in fanins}
+        self.pis = [
+            pi for pi in self.pis if pi in read or pi in self.pos
+        ]
+
+    def to_network(self) -> BooleanNetwork:
+        net = BooleanNetwork(self.name)
+        for pi in self.pis:
+            net.add_pi(pi)
+        for name, (fanins, tt) in self.nodes.items():
+            net.add_node(name, tt, fanins)
+        for po in self.pos:
+            net.add_po(po)
+        return net
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one minimization run.
+
+    Attributes:
+        network: the minimized network (the original when nothing helped).
+        evaluations: predicate calls spent.
+        rounds: greedy passes over the candidate generators.
+        original_size: (nodes, signals) before minimization.
+        final_size: (nodes, signals) after.
+        exhausted: True when the evaluation budget ran out mid-pass.
+    """
+
+    network: BooleanNetwork
+    evaluations: int
+    rounds: int
+    original_size: Tuple[int, int]
+    final_size: Tuple[int, int]
+    exhausted: bool = False
+
+    @property
+    def n_nodes(self) -> int:
+        return self.final_size[0]
+
+
+def network_size(net: BooleanNetwork) -> Tuple[int, int]:
+    """(internal nodes, total named signals) of a network."""
+    n = net.n_nodes
+    return n, n + len(net.pis) + len(net.pos)
+
+
+def _candidates(desc: _Desc) -> Iterator[_Desc]:
+    """Yield reduced candidates in a fixed, deterministic order."""
+    # 1. Keep a single primary output (most aggressive first).
+    if len(desc.pos) > 1:
+        for po in desc.pos:
+            cand = desc.copy()
+            cand.pos = [po]
+            yield cand
+        for po in desc.pos:
+            cand = desc.copy()
+            cand.pos = [p for p in desc.pos if p != po]
+            yield cand
+    # 2. Promote internal nodes to primary inputs, deepest first: a
+    #    late node's promotion deletes its whole cone at once.
+    for name in reversed(list(desc.nodes)):
+        cand = desc.copy()
+        del cand.nodes[name]
+        cand.pis.append(name)
+        yield cand
+    # 3. Bypass a node with one of its fanins.
+    for name in list(desc.nodes):
+        fanins = desc.nodes[name][0]
+        for sub in dict.fromkeys(fanins):
+            cand = _bypass(desc, name, sub)
+            if cand is not None:
+                yield cand
+
+
+def _bypass(desc: _Desc, name: str, sub: str) -> Optional[_Desc]:
+    """Replace ``name`` by its fanin ``sub`` everywhere; None if illegal."""
+    nodes: Dict[str, Tuple[Tuple[str, ...], TruthTable]] = {}
+    for other, (fanins, tt) in desc.nodes.items():
+        if other == name:
+            continue
+        if name in fanins:
+            new_fanins = tuple(sub if f == name else f for f in fanins)
+            if len(set(new_fanins)) != len(new_fanins):
+                return None  # would duplicate a fanin; not expressible
+            nodes[other] = (new_fanins, tt)
+        else:
+            nodes[other] = (fanins, tt)
+    cand = _Desc(
+        desc.name,
+        list(desc.pis),
+        [sub if po == name else po for po in desc.pos],
+        nodes,
+    )
+    return cand
+
+
+def shrink(
+    net: BooleanNetwork,
+    predicate: Callable[[BooleanNetwork], bool],
+    max_evaluations: int = 400,
+) -> ShrinkResult:
+    """Minimize ``net`` while ``predicate`` keeps holding.
+
+    Args:
+        net: the failing network; ``predicate(net)`` must be True.
+        predicate: re-runs the failure check on a candidate.  It must be
+            deterministic; the shrinker re-confirms every adopted step.
+        max_evaluations: budget of predicate calls.
+
+    Raises:
+        ValueError: the predicate does not hold on ``net`` itself (the
+            caller should report this as the ``F008`` condition instead
+            of trusting a minimizer that never saw the failure).
+    """
+    if not predicate(net):
+        raise ValueError(
+            f"predicate does not hold on the original network {net.name!r}"
+        )
+    best = _Desc.from_network(net)
+    best.collect_garbage()
+    original = network_size(net)
+    evaluations = 1
+    rounds = 0
+    exhausted = False
+    # The GC'd original must still fail; otherwise keep the raw network.
+    gc_net = best.to_network()
+    if network_size(gc_net) < original:
+        evaluations += 1
+        if not predicate(gc_net):
+            best = _Desc.from_network(net)
+
+    improved = True
+    while improved and not exhausted:
+        improved = False
+        rounds += 1
+        for cand in _candidates(best):
+            if evaluations >= max_evaluations:
+                exhausted = True
+                break
+            cand.collect_garbage()
+            if cand.size() >= best.size():
+                continue
+            candidate_net = cand.to_network()
+            evaluations += 1
+            if predicate(candidate_net):
+                best = cand
+                improved = True
+                break  # restart candidate generation from the new best
+    final_net = best.to_network()
+    return ShrinkResult(
+        network=final_net,
+        evaluations=evaluations,
+        rounds=rounds,
+        original_size=original,
+        final_size=network_size(final_net),
+        exhausted=exhausted,
+    )

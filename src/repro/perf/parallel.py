@@ -42,17 +42,23 @@ Deterministic fault injection for tests and CI::
 (pair it with a cell timeout), ``flaky`` raises on the first attempt
 only — exercising crash isolation, timeout replacement and bounded
 retry respectively.
+
+The supervision machinery is not suite-specific: the worker initializer
+and the per-task body dispatch on an ``initargs`` mode tag, and
+:func:`run_tasks_parallel` exposes the same crash-isolated, retrying,
+timeout-enforcing pool for arbitrary picklable payloads (the fuzzing
+campaign of :mod:`repro.fuzz.run` fans out over it with ``--jobs``).
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.connection
 import os
-import queue as queue_mod
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import (
     RunnerConfigError,
@@ -69,6 +75,7 @@ __all__ = [
     "default_jobs",
     "resolve_library",
     "run_cells_parallel",
+    "run_tasks_parallel",
 ]
 
 #: Builtin library specs accepted by :func:`resolve_library` (anything
@@ -181,7 +188,7 @@ def default_jobs() -> int:
 # ----------------------------------------------------------------------
 
 
-def _init_worker(
+def _init_suite_worker(
     spec: str,
     max_variants: int,
     kind_value: str,
@@ -201,11 +208,36 @@ def _init_worker(
     _STATE["check"] = check
 
 
-def _run_cell(name: str):
+def _init_worker(initargs: tuple) -> None:
+    """Mode-dispatching worker initializer.
+
+    ``initargs`` is ``("suite", spec, max_variants, kind_value, verify,
+    cache, check)`` for the table experiments, or ``("task", setup,
+    setup_args)`` for a generic pool: ``setup`` must be a picklable
+    (module-level) callable; it runs once per worker process and returns
+    the per-task runner ``runner(payload) -> result``.  The closure it
+    returns never crosses the process boundary, so it may capture
+    arbitrarily heavy worker-local state (pattern sets, caches, ...).
+    """
+    mode = initargs[0]
+    _STATE.clear()
+    _STATE["mode"] = mode
+    if mode == "suite":
+        _init_suite_worker(*initargs[1:])
+    elif mode == "task":
+        setup, setup_args = initargs[1], initargs[2]
+        _STATE["runner"] = setup(*setup_args)
+    else:  # pragma: no cover - caller bug
+        raise ValueError(f"unknown worker mode {mode!r}")
+
+
+def _run_task(payload):
+    if _STATE.get("mode") == "task":
+        return _STATE["runner"](payload)
     from repro.harness.experiment import tree_vs_dag_cell
 
     return tree_vs_dag_cell(
-        name,
+        payload,
         _STATE["patterns"],
         kind=_STATE["kind"],
         verify=_STATE["verify"],
@@ -239,14 +271,21 @@ def _inject_fault(name: str, attempt: int) -> None:
 
 
 def _worker_main(worker_id: int, inbox, results, initargs: tuple) -> None:
-    """One worker process: init once, then run single-cell tasks."""
+    """One worker process: init once, then run single tasks.
+
+    ``results`` is this worker's private end of a one-way pipe — each
+    worker is the sole producer on its own channel, so a worker that
+    dies mid-send (a real crash, the injected ``os._exit``, a timeout
+    kill) can never leave a lock held that would deadlock its siblings,
+    which a shared ``multiprocessing.Queue`` feeder thread can.
+    """
     try:
-        _init_worker(*initargs)
+        _init_worker(initargs)
     except KeyboardInterrupt:  # pragma: no cover - parent shuts us down
         return
     except BaseException as exc:
         try:
-            results.put(("init_failed", worker_id, _describe(exc)))
+            results.send(("init_failed", worker_id, _describe(exc)))
         finally:
             return
     while True:
@@ -256,13 +295,13 @@ def _worker_main(worker_id: int, inbox, results, initargs: tuple) -> None:
             return
         if task is None:
             return
-        task_id, name, attempt = task
+        task_id, label, payload, attempt = task
         started = time.perf_counter()
         try:
-            _inject_fault(name, attempt)
-            row = _run_cell(name)
+            _inject_fault(label, attempt)
+            row = _run_task(payload)
             wall = time.perf_counter() - started
-            results.put(("done", worker_id, task_id, attempt, row, wall))
+            results.send(("done", worker_id, task_id, attempt, row, wall))
         except KeyboardInterrupt:  # pragma: no cover
             return
         except BaseException as exc:
@@ -270,7 +309,7 @@ def _worker_main(worker_id: int, inbox, results, initargs: tuple) -> None:
             message = ("fail", worker_id, task_id, attempt,
                        type(exc).__name__, _describe(exc), wall)
             try:
-                results.put(message)
+                results.send(message)
             except BaseException:  # pragma: no cover - result channel broken
                 os._exit(17)
 
@@ -296,6 +335,7 @@ class _Worker:
 
     proc: multiprocessing.process.BaseProcess
     inbox: object
+    conn: object = None  # supervisor's read end of the worker's result pipe
     task: Optional[Tuple[int, str, int]] = None  # (task_id, name, attempt)
     assigned_at: float = 0.0
 
@@ -454,10 +494,13 @@ def run_cells_parallel(
     if pending:
         _supervise(
             names=names,
+            payloads=list(names),
             keys=keys,
             pending=pending,
             completed=completed,
-            initargs=(spec, max_variants, kind_value, verify, cache, check),
+            initargs=(
+                "suite", spec, max_variants, kind_value, verify, cache, check,
+            ),
             jobs=jobs,
             cell_timeout=cell_timeout,
             retries=retries,
@@ -477,9 +520,98 @@ def run_cells_parallel(
     return [completed[task_id] for task_id in range(len(names))]
 
 
+def run_tasks_parallel(
+    setup: Callable,
+    setup_args: tuple,
+    payloads: Sequence,
+    labels: Optional[Sequence[str]] = None,
+    jobs: Optional[int] = None,
+    task_timeout: Optional[float] = None,
+    retries: Optional[int] = None,
+    backoff: Optional[float] = None,
+) -> List:
+    """Fan arbitrary picklable payloads over the fault-tolerant pool.
+
+    The same supervised dispatch as :func:`run_cells_parallel` — crash
+    isolation, per-task timeouts with worker replacement, bounded
+    exponential-backoff retries, graceful ``KeyboardInterrupt`` — for
+    any task, without the suite-specific journaling.
+
+    Args:
+        setup: picklable module-level callable; runs once per worker
+            process with ``*setup_args`` and returns the per-task runner
+            ``runner(payload) -> result``.  Heavy shared state (pattern
+            sets, libraries) belongs here so it is built once per worker.
+        setup_args: arguments for ``setup``; must be picklable.
+        payloads: one picklable task payload per task.
+        labels: per-task display names used in failure rows and by the
+            ``REPRO_FAULT_INJECT`` hook; default ``task0, task1, ...``.
+        jobs: worker processes (default: schedulable CPUs, capped at the
+            payload count).
+        task_timeout: per-attempt wall-clock budget in seconds
+            (``REPRO_CELL_TIMEOUT`` fallback; unset = none).
+        retries: bounded retry budget for transient failures
+            (``REPRO_CELL_RETRIES`` fallback, default 2).
+        backoff: retry backoff base in seconds
+            (``REPRO_CELL_BACKOFF`` fallback, default 0.05).
+
+    Returns:
+        One entry per payload, in order: the runner's return value, or a
+        :class:`CellFailure` whose ``circuit`` field carries the label.
+
+    Raises:
+        RunnerConfigError: bad ``jobs``/timeout/retry values (``R002``).
+        WorkerInitError: ``setup`` raised in a worker (``R003``).
+    """
+    payloads = list(payloads)
+    if labels is None:
+        labels = [f"task{i}" for i in range(len(payloads))]
+    labels = [str(label) for label in labels]
+    if len(labels) != len(payloads):
+        raise RunnerConfigError(
+            f"[R002] got {len(labels)} labels for {len(payloads)} payloads"
+        )
+    if jobs is not None and int(jobs) < 1:
+        raise RunnerConfigError(f"[R002] jobs must be >= 1, got {jobs!r}")
+    if not payloads:
+        return []
+    task_timeout = _resolve_float(task_timeout, "REPRO_CELL_TIMEOUT", None)
+    if task_timeout is not None and task_timeout <= 0:
+        raise RunnerConfigError(
+            f"[R002] task timeout must be positive, got {task_timeout!r}"
+        )
+    retries = _resolve_int(retries, "REPRO_CELL_RETRIES", DEFAULT_RETRIES)
+    if retries < 0:
+        raise RunnerConfigError(f"[R002] retries must be >= 0, got {retries!r}")
+    backoff_v = _resolve_float(backoff, "REPRO_CELL_BACKOFF", DEFAULT_BACKOFF)
+    if backoff_v is None or backoff_v < 0:
+        raise RunnerConfigError(
+            f"[R002] backoff must be >= 0, got {backoff_v!r}"
+        )
+    jobs = default_jobs() if jobs is None else int(jobs)
+    jobs = max(1, min(jobs, len(payloads)))
+    completed: Dict[int, object] = {}
+    _supervise(
+        names=labels,
+        payloads=payloads,
+        keys=[None] * len(payloads),
+        pending=list(range(len(payloads))),
+        completed=completed,
+        initargs=("task", setup, setup_args),
+        jobs=jobs,
+        cell_timeout=task_timeout,
+        retries=retries,
+        backoff=backoff_v,
+        writer=None,
+        stats=RunStats(cells_total=len(payloads)),
+    )
+    return [completed[task_id] for task_id in range(len(payloads))]
+
+
 def _supervise(
     names: List[str],
-    keys: List[CellKey],
+    payloads: List,
+    keys: List[Optional[CellKey]],
     pending: List[int],
     completed: Dict[int, object],
     initargs: tuple,
@@ -493,7 +625,6 @@ def _supervise(
     """The dispatch loop: assign, collect, retry, replace, journal."""
     methods = multiprocessing.get_all_start_methods()
     ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
-    results: multiprocessing.queues.Queue = ctx.Queue()
     workers: Dict[int, _Worker] = {}
     next_wid = 0
     ready: deque = deque((task_id, 0) for task_id in pending)
@@ -503,15 +634,27 @@ def _supervise(
     def spawn() -> None:
         nonlocal next_wid
         inbox = ctx.SimpleQueue()
+        recv_conn, send_conn = ctx.Pipe(duplex=False)
         proc = ctx.Process(
             target=_worker_main,
-            args=(next_wid, inbox, results, initargs),
+            args=(next_wid, inbox, send_conn, initargs),
             daemon=True,
             name=f"repro-cell-worker-{next_wid}",
         )
         proc.start()
-        workers[next_wid] = _Worker(proc=proc, inbox=inbox)
+        send_conn.close()  # child keeps its copy; parent only reads
+        workers[next_wid] = _Worker(proc=proc, inbox=inbox, conn=recv_conn)
         next_wid += 1
+
+    def drain(conn) -> List[tuple]:
+        """Read every message already sitting in a worker's pipe."""
+        messages: List[tuple] = []
+        try:
+            while conn.poll():
+                messages.append(conn.recv())
+        except (EOFError, OSError):
+            pass  # sender died; the liveness sweep owns its task
+        return messages
 
     def outstanding() -> int:
         return len(names) - len(completed)
@@ -563,8 +706,40 @@ def _supervise(
             ),
         )
 
+    def handle(message: tuple) -> None:
+        tag = message[0]
+        if tag == "init_failed":
+            _, worker_id, text = message
+            raise WorkerInitError(
+                f"[R003] suite worker failed to initialise: {text}"
+            )
+        _, worker_id, task_id, attempt, *rest = message
+        worker = workers.get(worker_id)
+        if (
+            worker is not None
+            and worker.task is not None
+            and worker.task[0] == task_id
+            and worker.task[2] == attempt
+            and task_id not in completed
+        ):
+            worker.task = None
+            if tag == "done":
+                row, wall = rest
+                finish_ok(task_id, row, attempt, wall)
+            else:  # "fail"
+                error_type, error, wall = rest
+                attempt_failed(
+                    task_id, attempt, "error", error_type, error,
+                    wall, retryable=True,
+                )
+        # else: stale message from a worker we already killed.
+
     def reap_worker(worker_id: int, kill: bool) -> None:
         worker = workers.pop(worker_id)
+        try:
+            worker.conn.close()
+        except OSError:  # pragma: no cover
+            pass
         if kill and worker.proc.is_alive():
             worker.proc.terminate()
             worker.proc.join(1.0)
@@ -591,43 +766,31 @@ def _supervise(
                     task_id, attempt = ready.popleft()
                     worker.task = (task_id, names[task_id], attempt)
                     worker.assigned_at = now
-                    worker.inbox.put(worker.task)
-            message = None
-            try:
-                message = results.get(timeout=_TICK)
-            except queue_mod.Empty:
-                pass
-            if message is not None:
-                tag = message[0]
-                if tag == "init_failed":
-                    _, worker_id, text = message
-                    raise WorkerInitError(
-                        f"[R003] suite worker failed to initialise: {text}"
+                    worker.inbox.put(
+                        (task_id, names[task_id], payloads[task_id], attempt)
                     )
-                _, worker_id, task_id, attempt, *rest = message
-                worker = workers.get(worker_id)
-                if (
-                    worker is not None
-                    and worker.task is not None
-                    and worker.task[0] == task_id
-                    and worker.task[2] == attempt
-                    and task_id not in completed
-                ):
-                    worker.task = None
-                    if tag == "done":
-                        row, wall = rest
-                        finish_ok(task_id, row, attempt, wall)
-                    else:  # "fail"
-                        error_type, error, wall = rest
-                        attempt_failed(
-                            task_id, attempt, "error", error_type, error,
-                            wall, retryable=True,
-                        )
-                # else: stale message from a worker we already killed.
+            conns = [worker.conn for worker in workers.values()]
+            if conns:
+                try:
+                    readable = multiprocessing.connection.wait(
+                        conns, timeout=_TICK
+                    )
+                except OSError:  # pragma: no cover - conn closed under us
+                    readable = []
+            else:  # pragma: no cover - all workers between reap and spawn
+                time.sleep(_TICK)
+                readable = []
+            for conn in readable:
+                for message in drain(conn):
+                    handle(message)
             now = time.perf_counter()
             for worker_id in list(workers):
                 worker = workers[worker_id]
                 if not worker.proc.is_alive():
+                    # A result it managed to send before dying wins over
+                    # the crash verdict: drain the private pipe first.
+                    for message in drain(worker.conn):
+                        handle(message)
                     task = worker.task
                     if task is not None:
                         stats.crashes += 1
@@ -690,4 +853,7 @@ def _supervise(
                 worker.proc.join(1.0)
                 if worker.proc.is_alive():  # pragma: no cover
                     worker.proc.kill()
-        results.close()
+            try:
+                worker.conn.close()
+            except OSError:  # pragma: no cover
+                pass

@@ -1,0 +1,101 @@
+"""Shared fixtures and centrally registered Hypothesis profiles.
+
+Hypothesis settings used to be copy-pasted per file (`_SETTINGS = ...`);
+they are now two named profiles registered here once:
+
+* ``ci`` (default) — few examples, no deadline: fast enough for tier-1.
+* ``dev`` — many examples for thorough local runs:
+  ``HYPOTHESIS_PROFILE=dev python -m pytest tests/``.
+
+Property tests just use bare ``@given``; the loaded profile supplies
+``max_examples``, ``deadline`` and health-check suppression uniformly.
+"""
+
+import os
+
+import pytest
+
+try:
+    from hypothesis import HealthCheck, settings
+except ImportError:  # pragma: no cover - hypothesis is a test dependency
+    pass
+else:
+    _COMMON = dict(
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.register_profile("ci", max_examples=25, **_COMMON)
+    settings.register_profile("dev", max_examples=200, **_COMMON)
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
+
+
+# ----------------------------------------------------------------------
+# Libraries and pattern sets (session-scoped: built once, read-only)
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="session")
+def mini_lib():
+    """The 6-gate mini library (inv/nand/nor/aoi21/xor2)."""
+    from repro.library.builtin import mini_library
+
+    return mini_library()
+
+
+@pytest.fixture(scope="session")
+def lib441():
+    """The paper's 44-1 library (7 gates)."""
+    from repro.library.builtin import lib44_1
+
+    return lib44_1()
+
+
+@pytest.fixture(scope="session")
+def mini_patterns(mini_lib):
+    from repro.library.patterns import PatternSet
+
+    return PatternSet(mini_lib, max_variants=8)
+
+
+@pytest.fixture(scope="session")
+def lib441_patterns(lib441):
+    from repro.library.patterns import PatternSet
+
+    return PatternSet(lib441, max_variants=8)
+
+
+# ----------------------------------------------------------------------
+# Small netlists (function-scoped: tests may mutate them)
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def small_net():
+    """A 4-PI / 2-PO network with reconvergence and an inverter chain."""
+    from repro.network.bnet import BooleanNetwork
+
+    net = BooleanNetwork("small_fixture")
+    for name in ("a", "b", "c", "d"):
+        net.add_pi(name)
+    net.add_node("t0", "a*b")
+    net.add_node("t1", "!(b+c)")
+    net.add_node("t2", "t0^t1")
+    net.add_node("t3", "!(t2*d)")
+    net.add_node("t4", "t2+t3")
+    net.add_po("t3")
+    net.add_po("t4")
+    return net
+
+
+@pytest.fixture
+def adder_net():
+    """A 4-bit ripple-carry adder (the classic tree-mapper stressor)."""
+    from repro.bench import circuits
+
+    return circuits.ripple_adder(4)
+
+
+@pytest.fixture(scope="session")
+def corpus_dir():
+    """The committed fuzz-reproducer corpus directory."""
+    return os.path.join(os.path.dirname(__file__), "corpus")

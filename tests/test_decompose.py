@@ -1,7 +1,7 @@
 """Tests for technology decomposition (repro.network.decompose)."""
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.bench import circuits
@@ -149,7 +149,6 @@ class TestDecompose:
         check_equivalent(net, subject)
 
 
-@settings(deadline=None, max_examples=30)
 @given(st.integers(min_value=0, max_value=255), st.integers(min_value=0, max_value=255))
 def test_random_two_node_networks(bits1, bits2):
     net = BooleanNetwork("rand")
@@ -163,7 +162,6 @@ def test_random_two_node_networks(bits1, bits2):
     check_equivalent(net, subject)
 
 
-@settings(deadline=None, max_examples=15)
 @given(st.integers(min_value=0, max_value=2**16 - 1))
 def test_random_four_input_functions(bits):
     net = BooleanNetwork("rand4")

@@ -1,7 +1,7 @@
 """Unit and property tests for truth tables (repro.network.functions)."""
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.network.functions import (

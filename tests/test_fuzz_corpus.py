@@ -1,0 +1,114 @@
+"""The reproducer corpus (repro.fuzz.corpus) and the committed entries.
+
+Unit half: save/load/replay round-trips, schema and twin-file
+validation.  Acceptance half: every entry committed under
+``tests/corpus/`` must replay with exactly its recorded expectation —
+clean stress cases stay clean, reproducers keep failing with their
+recorded codes — and regenerate bit-identically from the recorded seed.
+"""
+
+import json
+
+import pytest
+
+from repro.fuzz import (
+    FuzzConfig,
+    OracleConfig,
+    load_corpus,
+    random_dag,
+    replay,
+    run_battery,
+    save_entry,
+)
+from repro.fuzz.corpus import CORPUS_SCHEMA
+from repro.network.blif import dumps_blif
+
+
+class TestRoundTrip:
+    def test_save_then_load(self, tmp_path, small_net):
+        oracle = OracleConfig()
+        entry = save_entry(
+            tmp_path, small_net, oracle=oracle, expect="clean",
+            description="fixture net",
+        )
+        (loaded,) = load_corpus(tmp_path)
+        assert loaded.stem == entry.stem == small_net.name
+        assert loaded.expect == "clean"
+        assert loaded.meta["schema"] == CORPUS_SCHEMA
+        assert dumps_blif(loaded.load_network()) == dumps_blif(small_net)
+
+    def test_generator_config_roundtrip(self, tmp_path):
+        config = FuzzConfig(n_nodes=15, seed=6, fanout_skew=0.3)
+        net = random_dag(config)
+        save_entry(tmp_path, net, oracle=OracleConfig(), expect="clean",
+                   generator=config)
+        (entry,) = load_corpus(tmp_path)
+        assert entry.generator_config() == config
+        assert dumps_blif(entry.regenerate()) == dumps_blif(net)
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        assert load_corpus(tmp_path / "nope") == []
+
+    def test_wrong_schema_rejected(self, tmp_path, small_net):
+        entry = save_entry(tmp_path, small_net, oracle=OracleConfig(),
+                           expect="clean")
+        meta = json.loads(open(entry.meta_path).read())
+        meta["schema"] = "something-else/9"
+        with open(entry.meta_path, "w") as handle:
+            json.dump(meta, handle)
+        with pytest.raises(ValueError, match="unsupported corpus schema"):
+            load_corpus(tmp_path)
+
+    def test_missing_blif_twin_rejected(self, tmp_path, small_net):
+        import os
+
+        entry = save_entry(tmp_path, small_net, oracle=OracleConfig(),
+                           expect="clean")
+        os.remove(entry.blif_path)
+        with pytest.raises(ValueError, match="missing BLIF twin"):
+            load_corpus(tmp_path)
+
+    def test_replay_runs_recorded_injection(self, tmp_path):
+        net = random_dag(FuzzConfig(n_nodes=20, seed=8))
+        oracle = OracleConfig(inject="corrupt")
+        codes = sorted(
+            {d.code for d in run_battery(net, oracle).errors()}
+        )
+        save_entry(tmp_path, net, oracle=oracle, expect=codes)
+        (entry,) = load_corpus(tmp_path)
+        report = replay(entry)
+        assert sorted({d.code for d in report.errors()}) == codes
+
+
+class TestCommittedCorpus:
+    """tests/corpus/ must exist, be populated, and replay exactly."""
+
+    def test_corpus_is_seeded(self, corpus_dir):
+        entries = load_corpus(corpus_dir)
+        assert len(entries) >= 10, "tests/corpus/ must hold >= 10 entries"
+
+    def test_every_entry_replays_to_its_expectation(self, corpus_dir):
+        for entry in load_corpus(corpus_dir):
+            report = replay(entry)
+            codes = sorted({d.code for d in report.errors()})
+            if entry.expect == "clean":
+                assert codes == [], (
+                    f"{entry.stem} expected clean, got {codes}:\n"
+                    f"{report.format()}"
+                )
+            else:
+                assert set(codes) & set(entry.expect), (
+                    f"{entry.stem} expected {entry.expect}, got {codes}"
+                )
+
+    def test_generated_entries_regenerate_from_their_seed(self, corpus_dir):
+        checked = 0
+        for entry in load_corpus(corpus_dir):
+            config = entry.generator_config()
+            if config is None:
+                continue
+            regen = entry.regenerate()
+            assert regen.name == config.network_name()
+            assert dumps_blif(regen) == dumps_blif(random_dag(config))
+            checked += 1
+        assert checked >= 5, "most committed entries should carry a seed"

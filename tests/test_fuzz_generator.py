@@ -1,0 +1,147 @@
+"""The fuzz generator's structural invariants (repro.fuzz.generator).
+
+For every knob combination — including the degenerate small-node-count
+cases the old ``random_logic`` mishandled — a generated network must
+have no dangling primary inputs, no dead internal nodes, exactly the
+requested primary-output count, and must regenerate bit-identically
+from its configuration.
+"""
+
+import pytest
+
+from repro.bench.circuits import random_logic
+from repro.check import lint_network
+from repro.fuzz import FuzzConfig, config_from_dict, random_dag
+from repro.network.blif import dumps_blif
+
+
+def _readers(net):
+    read = set()
+    for node in net.topological_order():
+        read.update(node.fanins)
+    return read
+
+
+def _assert_invariants(net, n_outputs):
+    read = _readers(net)
+    for pi in net.pis:
+        assert pi in read or pi in net.pos, f"dangling PI {pi}"
+    # Every internal node must reach a PO: walk fanins from the POs.
+    by_name = {node.name: node for node in net.topological_order()}
+    reach = set()
+    stack = list(net.pos)
+    while stack:
+        sig = stack.pop()
+        if sig in reach:
+            continue
+        reach.add(sig)
+        if sig in by_name:
+            stack.extend(by_name[sig].fanins)
+    dead = [name for name in by_name if name not in reach]
+    assert not dead, f"dead nodes {dead}"
+    assert len(net.pos) == n_outputs
+    assert len(set(net.pos)) == len(net.pos)
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("n_nodes", [1, 2, 3, 5, 9, 40])
+    @pytest.mark.parametrize("n_inputs", [1, 3, 8])
+    def test_no_dangling_pis_or_dead_nodes(self, n_inputs, n_nodes):
+        for seed in range(4):
+            config = FuzzConfig(
+                n_inputs=n_inputs, n_nodes=n_nodes, seed=seed
+            )
+            net = random_dag(config)
+            _assert_invariants(net, config.outputs)
+
+    @pytest.mark.parametrize(
+        "knobs",
+        [
+            dict(reconvergence=0.0),
+            dict(reconvergence=1.0),
+            dict(fanout_skew=0.9),
+            dict(depth_bias=0.0),
+            dict(depth_bias=1.0),
+            dict(reconvergence=1.0, fanout_skew=0.8, depth_bias=1.0),
+        ],
+    )
+    def test_extreme_knobs(self, knobs):
+        config = FuzzConfig(n_inputs=6, n_nodes=25, seed=7, **knobs)
+        net = random_dag(config)
+        _assert_invariants(net, config.outputs)
+
+    def test_explicit_output_count(self):
+        for n_outputs in (1, 2, 7):
+            config = FuzzConfig(
+                n_inputs=4, n_nodes=12, n_outputs=n_outputs, seed=3
+            )
+            net = random_dag(config)
+            _assert_invariants(net, n_outputs)
+
+    def test_generated_networks_lint_clean(self):
+        for seed in range(6):
+            net = random_dag(FuzzConfig(n_nodes=20, seed=seed))
+            report = lint_network(net)
+            assert not report.has_errors, report.format()
+
+
+class TestDeterminism:
+    def test_same_config_same_network(self):
+        config = FuzzConfig(n_nodes=30, seed=11, fanout_skew=0.5)
+        assert dumps_blif(random_dag(config)) == dumps_blif(random_dag(config))
+
+    def test_different_seeds_differ(self):
+        a = dumps_blif(random_dag(FuzzConfig(seed=0)))
+        b = dumps_blif(random_dag(FuzzConfig(seed=1)))
+        assert a != b
+
+    def test_name_encodes_seed_and_knobs(self):
+        config = FuzzConfig(n_inputs=5, n_nodes=17, seed=42,
+                            reconvergence=0.25)
+        net = random_dag(config)
+        assert net.name == config.network_name()
+        assert "_s42" in net.name and "_i5_" in net.name
+
+    def test_config_roundtrips_through_dict(self):
+        config = FuzzConfig(n_inputs=5, n_nodes=17, n_outputs=2, seed=9,
+                            reconvergence=0.7, fanout_skew=0.4,
+                            depth_bias=0.1)
+        again = config_from_dict(config.as_dict())
+        assert again == config
+        assert dumps_blif(random_dag(again)) == dumps_blif(random_dag(config))
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n_inputs=0),
+            dict(n_nodes=0),
+            dict(n_outputs=0),
+            dict(reconvergence=1.5),
+            dict(fanout_skew=1.0),
+            dict(depth_bias=-0.1),
+        ],
+    )
+    def test_bad_knobs_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            FuzzConfig(**kwargs)
+
+
+class TestRandomLogicWrapper:
+    """`bench.circuits.random_logic` now delegates to the generator."""
+
+    @pytest.mark.parametrize("n_nodes", [1, 2, 4, 30])
+    def test_small_node_counts_are_sound(self, n_nodes):
+        net = random_logic(3, n_nodes, seed=2)
+        _assert_invariants(net, max(1, n_nodes // 10))
+
+    def test_n_outputs_honoured(self):
+        net = random_logic(4, 20, seed=1, n_outputs=5)
+        assert len(net.pos) == 5
+
+    def test_deterministic_and_named(self):
+        a = random_logic(4, 16, seed=3)
+        b = random_logic(4, 16, seed=3)
+        assert dumps_blif(a) == dumps_blif(b)
+        assert "16" in a.name and "3" in a.name

@@ -1,0 +1,112 @@
+"""The differential oracle battery (repro.fuzz.oracles).
+
+Clean generated circuits must pass every oracle; each injected mutation
+class must be caught with the documented ``F###`` code; the injection
+hook must honour both the explicit config field and the
+``REPRO_FUZZ_INJECT`` environment variable.
+"""
+
+import pytest
+
+from repro.fuzz import (
+    FUZZ_INJECT_ENV,
+    FuzzConfig,
+    INJECT_MODES,
+    OracleConfig,
+    random_dag,
+    run_battery,
+)
+from repro.network.bnet import BooleanNetwork
+
+
+def _codes(report):
+    return sorted({diag.code for diag in report.errors()})
+
+
+@pytest.fixture(scope="module")
+def patterns():
+    return OracleConfig().build_patterns()
+
+
+class TestCleanCircuits:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_no_findings_on_generated_circuits(self, seed, patterns):
+        net = random_dag(FuzzConfig(n_nodes=25, seed=seed))
+        report = run_battery(net, patterns=patterns)
+        assert _codes(report) == [], report.format()
+        assert report.meta["circuit"] == net.name
+        assert report.meta["dag_delay"] <= report.meta["tree_delay"] + 1e-9
+        assert report.meta["n_gates"] > 0
+
+    def test_clean_on_fixture_net(self, small_net, patterns):
+        report = run_battery(small_net, patterns=patterns)
+        assert _codes(report) == [], report.format()
+
+
+class TestInjectedMutations:
+    """Every mutation class must be caught by at least one oracle."""
+
+    @pytest.mark.parametrize(
+        "mode,expected",
+        [
+            ("delay", "F004"),    # inflated delay breaks the certificate
+            ("cover", "F004"),    # rewired pin breaks cover replay (C002)
+            ("corrupt", "F002"),  # complemented PO breaks equivalence
+        ],
+    )
+    def test_mode_is_caught(self, mode, expected, patterns):
+        net = random_dag(FuzzConfig(n_nodes=25, seed=1))
+        config = OracleConfig(inject=mode)
+        report = run_battery(net, config, patterns=patterns)
+        codes = _codes(report)
+        assert expected in codes, f"{mode}: got {codes}\n{report.format()}"
+        assert report.meta["inject"] == mode
+        assert report.meta["inject_detail"]
+
+    def test_env_var_injection(self, monkeypatch, patterns):
+        monkeypatch.setenv(FUZZ_INJECT_ENV, "corrupt")
+        net = random_dag(FuzzConfig(n_nodes=20, seed=2))
+        report = run_battery(net, patterns=patterns)
+        assert "F002" in _codes(report)
+
+    def test_explicit_inject_overrides_env(self, monkeypatch, patterns):
+        monkeypatch.setenv(FUZZ_INJECT_ENV, "corrupt")
+        net = random_dag(FuzzConfig(n_nodes=20, seed=2))
+        report = run_battery(net, OracleConfig(inject="delay"),
+                             patterns=patterns)
+        assert report.meta["inject"] == "delay"
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown fuzz injection"):
+            OracleConfig(inject="nonsense").resolved_inject()
+        assert set(INJECT_MODES) == {"delay", "cover", "corrupt"}
+
+
+class TestStructuralGate:
+    def test_broken_network_reports_f007_and_stops(self, patterns):
+        net = BooleanNetwork("bad")
+        net.add_pi("a")
+        net.add_node("n", "!a")
+        net.add_po("n")
+        net.pos.append("ghost")  # undefined PO: lint error N003
+        report = run_battery(net, patterns=patterns)
+        assert _codes(report) == ["F007"]
+        assert "N003" in report.errors()[0].message
+
+
+class TestConfigSurface:
+    def test_as_dict_roundtrip_fields(self):
+        config = OracleConfig(library="44-1", kind="extended",
+                              max_variants=4, decompose="linear")
+        data = config.as_dict()
+        assert data == {
+            "library": "44-1", "kind": "extended",
+            "max_variants": 4, "decompose": "linear",
+        }
+
+    def test_battery_runs_under_other_library(self, lib441_patterns):
+        net = random_dag(FuzzConfig(n_nodes=18, seed=4))
+        report = run_battery(
+            net, OracleConfig(library="44-1"), patterns=lib441_patterns
+        )
+        assert _codes(report) == [], report.format()

@@ -3,7 +3,7 @@
 import random
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.network.functions import TruthTable
@@ -70,7 +70,6 @@ class TestClasses:
         assert len(classes) < len(tables)
 
 
-@settings(deadline=None, max_examples=30)
 @given(
     st.integers(min_value=0, max_value=255),
     st.permutations([0, 1, 2]),
@@ -104,7 +103,6 @@ class TestPackedApply:
                             )
 
     @given(st.integers(min_value=0, max_value=(1 << 32) - 1), st.integers(0, 10**6))
-    @settings(max_examples=40, deadline=None)
     def test_random_transforms_n5(self, bits, pick):
         from itertools import permutations
 

@@ -263,3 +263,65 @@ class TestCleanRunEquivalence:
         assert len(rows) == 1 and not getattr(rows[0], "failed", False)
         events = [r.get("event") for r in journal_mod.load_journal(journal).records]
         assert events[0] == "start" and "cell" in events and events[-1] == "end"
+
+
+# ----------------------------------------------------------------------
+# Generic task pool (run_tasks_parallel)
+# ----------------------------------------------------------------------
+
+
+def _square_setup(offset):
+    """Module-level so the initializer is picklable under spawn."""
+
+    def runner(payload):
+        if payload == "boom":
+            raise RuntimeError("injected task error")
+        return offset + payload * payload
+
+    return runner
+
+
+class TestGenericTaskPool:
+    def test_results_in_payload_order(self):
+        from repro.perf.parallel import run_tasks_parallel
+
+        rows = run_tasks_parallel(
+            _square_setup, (10,), payloads=[3, 1, 4, 1, 5], jobs=3
+        )
+        assert rows == [19, 11, 26, 11, 35]
+
+    def test_empty_payloads(self):
+        from repro.perf.parallel import run_tasks_parallel
+
+        assert run_tasks_parallel(_square_setup, (0,), payloads=[]) == []
+
+    def test_task_error_becomes_failure_row(self):
+        from repro.perf.parallel import run_tasks_parallel
+
+        rows = run_tasks_parallel(
+            _square_setup, (0,), payloads=[2, "boom", 3],
+            labels=["a", "b", "c"], jobs=2, retries=1, backoff=0.0,
+        )
+        assert rows[0] == 4 and rows[2] == 9
+        failure = rows[1]
+        assert getattr(failure, "failed", False)
+        assert failure.circuit == "b"
+        assert failure.error_type == "RuntimeError"
+        assert failure.attempts == 2  # initial + one bounded retry
+
+    def test_fault_injection_targets_labels(self, monkeypatch):
+        from repro.perf.parallel import run_tasks_parallel
+
+        monkeypatch.setenv("REPRO_FAULT_INJECT", "flaky:t1")
+        rows = run_tasks_parallel(
+            _square_setup, (0,), payloads=[1, 2], labels=["t0", "t1"],
+            jobs=2, retries=2, backoff=0.0,
+        )
+        assert rows == [1, 4]  # flaky succeeds on retry
+
+    def test_label_count_mismatch_is_coded_error(self):
+        from repro.perf.parallel import run_tasks_parallel
+
+        with pytest.raises(RunnerConfigError, match=r"\[R002\]"):
+            run_tasks_parallel(_square_setup, (0,), payloads=[1],
+                               labels=["a", "b"])

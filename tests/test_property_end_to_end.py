@@ -10,23 +10,18 @@ two libraries; the paper's invariants must hold on every sample:
 """
 
 import pytest
-from hypothesis import HealthCheck, given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.dag_mapper import map_dag
 from repro.core.tree_mapper import map_tree
 from repro.fpga.flowmap import cutmap, flowmap
-from repro.library.builtin import lib44_1, mini_library
-from repro.library.patterns import PatternSet
 from repro.network.bnet import BooleanNetwork
 from repro.network.decompose import decompose_network
 from repro.network.simulate import check_equivalent
 from repro.timing.sta import analyze
 
 _EPS = 1e-9
-
-_MINI = PatternSet(mini_library(), max_variants=8)
-_L441 = PatternSet(lib44_1(), max_variants=8)
 
 _OPS = ["{x}*{y}", "{x}+{y}", "{x}^{y}", "!({x}*{y})", "!({x}+{y})", "!{x}"]
 
@@ -50,18 +45,10 @@ def random_networks(draw):
     return net
 
 
-_SETTINGS = settings(
-    deadline=None,
-    max_examples=25,
-    suppress_health_check=[HealthCheck.too_slow],
-)
-
-
-@_SETTINGS
-@given(random_networks())
-def test_mapping_invariants(net):
+@given(net=random_networks())
+def test_mapping_invariants(mini_patterns, lib441_patterns, net):
     subject = decompose_network(net)
-    for patterns in (_MINI, _L441):
+    for patterns in (mini_patterns, lib441_patterns):
         dag = map_dag(subject, patterns)
         tree = map_tree(subject, patterns)
         check_equivalent(net, dag.netlist)
@@ -71,7 +58,6 @@ def test_mapping_invariants(net):
         assert analyze(tree.netlist).delay == pytest.approx(tree.delay)
 
 
-@_SETTINGS
 @given(random_networks(), st.integers(min_value=3, max_value=5))
 def test_flowmap_invariants(net, k):
     flow = flowmap(net, k=k)
@@ -80,27 +66,26 @@ def test_flowmap_invariants(net, k):
     assert all(len(l.inputs) <= k for l in flow.network.luts)
 
 
-@_SETTINGS
-@given(random_networks())
-def test_mapped_io_roundtrip(net):
+@given(net=random_networks())
+def test_mapped_io_roundtrip(mini_patterns, net):
     """Mapped netlists survive the .gate BLIF round trip on any circuit."""
     from repro.network.mapped_io import dumps_mapped_blif, loads_mapped_blif
 
     subject = decompose_network(net)
-    dag = map_dag(subject, _MINI)
-    again = loads_mapped_blif(dumps_mapped_blif(dag.netlist), _MINI.library)
+    dag = map_dag(subject, mini_patterns)
+    again = loads_mapped_blif(dumps_mapped_blif(dag.netlist),
+                              mini_patterns.library)
     check_equivalent(net, again)
     assert again.area() == pytest.approx(dag.netlist.area())
 
 
-@_SETTINGS
-@given(random_networks())
-def test_area_recovery_invariants(net):
+@given(net=random_networks())
+def test_area_recovery_invariants(mini_patterns, net):
     from repro.core.area_recovery import recover_area
 
     subject = decompose_network(net)
-    dag = map_dag(subject, _MINI)
-    recovered = recover_area(dag.labels, _MINI)
+    dag = map_dag(subject, mini_patterns)
+    recovered = recover_area(dag.labels, mini_patterns)
     check_equivalent(net, recovered)
     assert analyze(recovered).delay <= dag.delay + 1e-6
     assert recovered.area() <= dag.area + 1e-6

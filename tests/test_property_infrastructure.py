@@ -5,7 +5,7 @@ circuit representations, on randomly generated instances.
 """
 
 import pytest
-from hypothesis import HealthCheck, given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.errors import RetimingError
@@ -15,12 +15,6 @@ from repro.network.decompose import decompose_network
 from repro.network.functions import TruthTable
 from repro.network.simulate import check_equivalent, simulate_outputs
 from repro.sequential.retiming import RetimeGraph, min_period
-
-_SETTINGS = settings(
-    deadline=None, max_examples=30,
-    suppress_health_check=[HealthCheck.too_slow],
-)
-
 
 @st.composite
 def random_networks(draw):
@@ -42,14 +36,12 @@ def random_networks(draw):
     return net
 
 
-@_SETTINGS
 @given(random_networks())
 def test_blif_roundtrip_random(net):
     again = loads_blif(dumps_blif(net))
     check_equivalent(net, again)
 
 
-@_SETTINGS
 @given(random_networks())
 def test_decomposition_styles_agree_functionally(net):
     balanced = decompose_network(net, style="balanced")
@@ -77,7 +69,6 @@ def random_retime_graphs(draw):
     return graph
 
 
-@_SETTINGS
 @given(random_retime_graphs())
 def test_min_period_invariants(graph):
     try:
@@ -95,7 +86,6 @@ def test_min_period_invariants(graph):
         assert retimed.weight[edge] >= 0
 
 
-@_SETTINGS
 @given(random_networks(), st.integers(min_value=0, max_value=15))
 def test_simulation_consistent_across_representations(net, assignment):
     subject = decompose_network(net)

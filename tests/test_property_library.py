@@ -6,7 +6,7 @@ the soundness property the whole matcher relies on.
 """
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.library.gate import make_gate
@@ -42,7 +42,6 @@ def _eval_pattern(pattern, assignment):
     return values[pattern.root.uid]
 
 
-@settings(deadline=None, max_examples=60)
 @given(st.integers(min_value=1, max_value=2 ** 16 - 2))
 def test_patterns_compute_random_functions(bits):
     tt = TruthTable(4, bits)
@@ -60,7 +59,6 @@ def test_patterns_compute_random_functions(bits):
             assert _eval_pattern(pattern, assignment) == gate.tt.evaluate(m)
 
 
-@settings(deadline=None, max_examples=40)
 @given(
     st.integers(min_value=1, max_value=254),
     st.floats(min_value=0.1, max_value=9.9),

@@ -13,7 +13,7 @@ networks (the :mod:`tests.test_property_infrastructure` generators):
   matcher alone, i.e. distinct cones never alias into one cache entry.
 """
 
-from hypothesis import HealthCheck, given, settings
+from hypothesis import given
 
 from repro.core.match import Matcher, MatchKind, verify_match
 from repro.library.builtin import lib44_1
@@ -21,11 +21,6 @@ from repro.library.patterns import PatternSet
 from repro.network.decompose import decompose_network
 from repro.perf.signature import cone_signature
 from tests.test_property_infrastructure import random_networks
-
-_SETTINGS = settings(
-    deadline=None, max_examples=25,
-    suppress_health_check=[HealthCheck.too_slow],
-)
 
 _PATTERNS = PatternSet(lib44_1(), max_variants=4)
 _KINDS = (MatchKind.STANDARD, MatchKind.EXACT, MatchKind.EXTENDED)
@@ -43,7 +38,6 @@ def _match_identity(match):
             tuple(sorted((uid, node.uid) for uid, node in match.binding.items())))
 
 
-@_SETTINGS
 @given(random_networks())
 def test_cached_matches_verify_and_equal_seed(net):
     subject = decompose_network(net)
@@ -66,7 +60,6 @@ def test_cached_matches_verify_and_equal_seed(net):
                 assert verify_match(match, subject, kind).ok
 
 
-@_SETTINGS
 @given(random_networks())
 def test_equal_signatures_never_alias(net):
     """Signature equality implies isomorphic seed match sets."""
