@@ -117,6 +117,7 @@ CODES: Dict[str, CodeInfo] = _catalog(
         ("F006", Severity.ERROR, "mapper raised an unexpected exception"),
         ("F007", Severity.ERROR, "generated network fails structural lint"),
         ("F008", Severity.WARNING, "shrinker could not preserve the failure"),
+        ("F009", Severity.ERROR, "structural and cut matching engines disagree"),
     ]
 )
 

@@ -73,14 +73,16 @@ def _cmd_map(args: argparse.Namespace) -> int:
     if args.mode == "dag":
         result = map_dag(subject, library, kind=kind,
                          max_variants=args.variants, arrival_times=arrivals,
-                         cache=cache)
+                         cache=cache, engine=args.engine)
     else:
         result = map_tree(subject, library, max_variants=args.variants,
-                          arrival_times=arrivals, cache=cache)
+                          arrival_times=arrivals, cache=cache,
+                          engine=args.engine)
     if args.verify:
         check_equivalent(net, result.netlist)
     print(f"circuit   : {net.name}")
     print(f"mode      : {result.mode} ({result.match_kind} matches)")
+    print(f"engine    : {result.engine}")
     print(f"library   : {result.library}")
     print(f"subject   : {subject.n_gates} NAND2/INV nodes")
     print(f"delay     : {result.delay:.3f}")
@@ -158,7 +160,7 @@ def _cmd_table(args: argparse.Namespace) -> int:
 
     names = TABLE23_NAMES if args.fast else None
     common = dict(verify=not args.no_verify, jobs=args.jobs,
-                  cache=not args.no_cache,
+                  cache=not args.no_cache, engine=args.engine,
                   cell_timeout=args.cell_timeout, retries=args.retries,
                   journal=args.journal, resume=args.resume)
     started = time.perf_counter()
@@ -181,7 +183,8 @@ def _cmd_table(args: argparse.Namespace) -> int:
         from repro.perf.benchjson import rows_to_records, write_bench_json
         from repro.perf.parallel import LAST_RUN_STATS
 
-        extra = {"table": args.number, "cache": not args.no_cache}
+        extra = {"table": args.number, "cache": not args.no_cache,
+                 "engine": args.engine}
         if failed or args.journal or args.resume or args.cell_timeout:
             extra["run_stats"] = LAST_RUN_STATS.as_dict()
         write_bench_json(
@@ -526,6 +529,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_map.add_argument("--no-cache", action="store_true",
                        help="disable the signature/trie matching caches "
                             "(reference path; identical results)")
+    p_map.add_argument("--engine", choices=("structural", "cuts"),
+                       default="structural",
+                       help="candidate-pattern engine: try every pattern "
+                            "(structural) or pre-filter via k-feasible "
+                            "cuts and the NPN class table (cuts; "
+                            "identical results, standard/exact only)")
     p_map.add_argument("--verify", action="store_true",
                        help="simulate mapped vs source network")
     p_map.add_argument("--path", action="store_true",
@@ -557,6 +566,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_tab.add_argument("--no-cache", action="store_true",
                        help="disable the signature/trie matching caches "
                             "(reference path)")
+    p_tab.add_argument("--engine", choices=("structural", "cuts"),
+                       default="structural",
+                       help="matcher candidate engine (identical rows; "
+                            "'cuts' pre-filters patterns per node via "
+                            "the NPN class table)")
     p_tab.add_argument("--bench-json", metavar="FILE",
                        help="also write wall times and cache counters "
                             "as JSON (BENCH_mapper.json schema)")
@@ -679,7 +693,8 @@ def build_parser() -> argparse.ArgumentParser:
                       help="deep-chain growth bias in [0, 1]")
     p_fz.add_argument("--shrink-evals", type=int, default=400,
                       help="oracle evaluations budgeted per minimization")
-    p_fz.add_argument("--inject", choices=("delay", "cover", "corrupt"),
+    p_fz.add_argument("--inject",
+                      choices=("delay", "cover", "corrupt", "engine"),
                       default=None,
                       help="deterministic fault injection (self-test; "
                            "REPRO_FUZZ_INJECT is the env equivalent)")

@@ -40,6 +40,7 @@ def map_dag(
     cache: bool = True,
     matcher: Optional[Matcher] = None,
     check: bool = False,
+    engine: str = "structural",
 ) -> MappingResult:
     """Map a subject DAG directly, without tree decomposition.
 
@@ -63,6 +64,9 @@ def map_dag(
             returning; the report is attached as ``result.certificate``
             and :class:`~repro.errors.CertificateError` is raised when
             it contains error-severity diagnostics.
+        engine: candidate-pattern engine when ``matcher`` is ``None`` —
+            ``'structural'`` or ``'cuts'`` (NPN-table cut filter, same
+            result, rejects EXTENDED; see :class:`~repro.core.match.Matcher`).
 
     Returns:
         A :class:`MappingResult`; ``result.delay`` equals the labeling's
@@ -78,6 +82,7 @@ def map_dag(
         objective=objective,
         cache=cache,
         matcher=matcher,
+        engine=engine,
     )
     netlist = build_cover(labels, name=f"{subject.name}_dag")
     elapsed = time.perf_counter() - start
@@ -97,6 +102,7 @@ def map_dag(
         library=patterns.library.name,
         n_matches=labels.n_matches,
         counters=labels.match_stats,
+        engine=matcher.engine if matcher is not None else engine,
     )
     if check:
         from repro.check.certificate import attach_certificate

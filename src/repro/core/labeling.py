@@ -92,6 +92,7 @@ def compute_labels(
     boundary_uids: Optional[Set[int]] = None,
     cache: bool = True,
     matcher: Optional[Matcher] = None,
+    engine: str = "structural",
 ) -> Labels:
     """Label every subject node with its optimal cost and best match.
 
@@ -115,6 +116,10 @@ def compute_labels(
             subject-independent, so sharing one across circuits amortises
             both the trie construction and the memoized match sets).
             Must have been constructed with the same patterns and kind.
+        engine: candidate-pattern engine when ``matcher`` is ``None`` —
+            ``'structural'`` (try every pattern) or ``'cuts'`` (the
+            NPN-table cut filter of :class:`~repro.core.match.Matcher`).
+            Both produce identical labels; ``'cuts'`` rejects EXTENDED.
 
     Raises:
         MappingError: if some node has no match (library lacks INV/NAND2).
@@ -137,7 +142,7 @@ def compute_labels(
             )
 
     if matcher is None:
-        matcher = Matcher(patterns, kind, cache=cache)
+        matcher = Matcher(patterns, kind, cache=cache, engine=engine)
     matcher.attach(subject)
     arrival: List[float] = [0.0] * n
     area_flow: List[float] = [0.0] * n

@@ -19,7 +19,11 @@ repository has accumulated, and every disagreement becomes a coded
           optimal arrival — disproving delay optimality;
 ``F006``  a mapper raised instead of producing a result;
 ``F007``  the generated network (or its subject graph) fails the
-          structural linters — a generator defect, not a mapper one.
+          structural linters — a generator defect, not a mapper one;
+``F009``  the cut-enumeration matching engine (``engine="cuts"``)
+          produces a different delay, area or cover than the structural
+          engine on either mapper — the engines are specified to be
+          byte-identical, so any divergence is a filter-soundness bug.
 
 The battery never raises on a failing circuit; it reports.  Deterministic
 fault injection for tests and CI mirrors the suite runner's
@@ -28,6 +32,7 @@ fault injection for tests and CI mirrors the suite runner's
     REPRO_FUZZ_INJECT=delay    # mis-report the DAG delay (F001/F004)
     REPRO_FUZZ_INJECT=cover    # corrupt one selected match (F004, F002)
     REPRO_FUZZ_INJECT=corrupt  # functionally corrupt one output (F002)
+    REPRO_FUZZ_INJECT=engine   # skew the cut-engine re-map (F009)
 
 Each mutation is applied to the mapping result *inside* the battery, so
 a reproducer replayed under the same environment fails identically.
@@ -64,7 +69,7 @@ __all__ = ["OracleConfig", "run_battery", "INJECT_MODES", "FUZZ_INJECT_ENV"]
 FUZZ_INJECT_ENV = "REPRO_FUZZ_INJECT"
 
 #: The supported mutation classes (see the module docstring).
-INJECT_MODES: Tuple[str, ...] = ("delay", "cover", "corrupt")
+INJECT_MODES: Tuple[str, ...] = ("delay", "cover", "corrupt", "engine")
 
 _EPS = 1e-9
 
@@ -83,6 +88,9 @@ class OracleConfig:
             size (random covers get slow and weak on big graphs).
         scalar_max_inputs: skip the scalar/packed differential (F003)
             above this input count (the scalar engine is ~100x slower).
+        cross_engines: run the F009 structural-vs-cuts differential
+            (skipped automatically for the extended match class, which
+            the cut engine refuses by design).
         inject: mutation class, or ``None`` to read ``REPRO_FUZZ_INJECT``.
     """
 
@@ -93,6 +101,7 @@ class OracleConfig:
     optimality_trials: int = 8
     optimality_max_gates: int = 120
     scalar_max_inputs: int = 10
+    cross_engines: bool = True
     inject: Optional[str] = None
 
     def resolved_inject(self) -> Optional[str]:
@@ -181,8 +190,8 @@ def _apply_injection(
     patterns: PatternSet,
     report: CheckReport,
 ) -> None:
-    if mode is None:
-        return
+    if mode is None or mode == "engine":
+        return  # "engine" is applied inside _check_engine_agreement
     if mode == "delay":
         what = _inject_delay(result)
     elif mode == "cover":
@@ -253,6 +262,81 @@ def _check_engines(
                     obj=net.name,
                 )
                 break
+
+
+def _cover_multiset(result: MappingResult) -> List[Tuple[str, Tuple[str, ...]]]:
+    """The cover as a comparable multiset of (cell, input signals)."""
+    return sorted(
+        (gate.gate.name, tuple(gate.inputs)) for gate in result.netlist.gates
+    )
+
+
+def _check_engine_agreement(
+    report: CheckReport,
+    subject,
+    patterns: PatternSet,
+    kind: MatchKind,
+    tree_result: MappingResult,
+    dag_result: MappingResult,
+    inject: Optional[str],
+) -> None:
+    """F009: the cut engine must reproduce the structural engine's result.
+
+    Re-maps the subject with ``engine="cuts"`` (both mappers) and
+    compares delay, area and the selected cover against the structural
+    results.  The engines are specified byte-identical for
+    standard/exact matches, so any divergence is an error; extended
+    matches are skipped (the cut engine refuses them).  Runs *before*
+    any result mutation so the other injection modes cannot trip it.
+    """
+    if kind is MatchKind.EXTENDED:
+        return
+    pairs = (
+        ("tree", tree_result,
+         lambda: map_tree(subject, patterns, engine="cuts")),
+        ("DAG", dag_result,
+         lambda: map_dag(subject, patterns, kind=kind, engine="cuts")),
+    )
+    for tag, structural, remap in pairs:
+        try:
+            cut = remap()
+        except Exception as exc:
+            report.add(
+                "F009",
+                f"{tag} cut-engine mapping raised "
+                f"{type(exc).__name__}: {exc}",
+                obj=subject.name,
+            )
+            continue
+        if inject == "engine":
+            cut.delay += 1.0
+            report.meta["inject"] = "engine"
+            report.meta["inject_detail"] = (
+                "cut-engine reported delay inflated by 1.0"
+            )
+        if abs(cut.delay - structural.delay) > _EPS:
+            report.add(
+                "F009",
+                f"{tag} delay diverges: cuts {cut.delay:.4f} != "
+                f"structural {structural.delay:.4f}",
+                obj=subject.name,
+            )
+            continue
+        if abs(cut.area - structural.area) > _EPS:
+            report.add(
+                "F009",
+                f"{tag} area diverges: cuts {cut.area:.4f} != "
+                f"structural {structural.area:.4f}",
+                obj=subject.name,
+            )
+            continue
+        if _cover_multiset(cut) != _cover_multiset(structural):
+            report.add(
+                "F009",
+                f"{tag} cover diverges between engines "
+                f"(same delay/area, different gate selection)",
+                obj=subject.name,
+            )
 
 
 def _check_certificate(
@@ -389,6 +473,13 @@ def run_battery(
         dag_result = None
     if dag_result is None or tree_result is None:
         return report
+
+    # F009 runs against the *unmutated* structural results, so the
+    # injection modes below cannot trip it (and "engine" only it).
+    if config.cross_engines:
+        _check_engine_agreement(
+            report, subject, patterns, kind, tree_result, dag_result, inject
+        )
 
     _apply_injection(inject, dag_result, patterns, report)
     report.meta["dag_delay"] = dag_result.delay

@@ -96,6 +96,7 @@ def tree_vs_dag_cell(
     verify: bool = True,
     cache: bool = True,
     check: bool = False,
+    engine: str = "structural",
 ) -> ComparisonRow:
     """One (circuit, library) cell of a tree-vs-DAG table: both mappers.
 
@@ -104,12 +105,15 @@ def tree_vs_dag_cell(
     so rows are identical however the cells are scheduled.  ``check=True``
     runs the :mod:`repro.check` certificate on both mapping results
     (raising :class:`~repro.errors.CertificateError` on any error).
+    ``engine`` selects the matcher's candidate engine (``'structural'``
+    or ``'cuts'``); rows are identical either way.
     """
     entry = SUITE[name]
     net = entry.build()
     subject = decompose_network(net)
-    tree = map_tree(subject, patterns, cache=cache, check=check)
-    dag = map_dag(subject, patterns, kind=kind, cache=cache, check=check)
+    tree = map_tree(subject, patterns, cache=cache, check=check, engine=engine)
+    dag = map_dag(subject, patterns, kind=kind, cache=cache, check=check,
+                  engine=engine)
     verified = False
     sim_counters: Optional[Dict[str, float]] = None
     if verify:
@@ -147,6 +151,7 @@ def run_tree_vs_dag(
     jobs: int = 1,
     library_spec: Optional[str] = None,
     check: bool = False,
+    engine: str = "structural",
     cell_timeout: Optional[float] = None,
     retries: Optional[int] = None,
     journal: Optional[str] = None,
@@ -201,6 +206,7 @@ def run_tree_vs_dag(
             cache=cache,
             jobs=jobs,
             check=check,
+            engine=engine,
             cell_timeout=cell_timeout,
             retries=retries,
             journal_path=journal,
@@ -213,7 +219,8 @@ def run_tree_vs_dag(
     )
     return [
         tree_vs_dag_cell(
-            name, patterns, kind=kind, verify=verify, cache=cache, check=check
+            name, patterns, kind=kind, verify=verify, cache=cache,
+            check=check, engine=engine,
         )
         for name in names
     ]

@@ -195,6 +195,7 @@ def _init_suite_worker(
     verify: bool,
     cache: bool,
     check: bool = False,
+    engine: str = "structural",
 ) -> None:
     from repro.core.match import MatchKind
     from repro.library.patterns import PatternSet
@@ -206,14 +207,21 @@ def _init_suite_worker(
     _STATE["verify"] = verify
     _STATE["cache"] = cache
     _STATE["check"] = check
+    _STATE["engine"] = engine
+    if engine == "cuts":
+        # Build (or load from the persistent side-cache) the NPN table
+        # once per worker, so per-cell mapping never pays for it.
+        from repro.library.npn_table import table_for
+
+        table_for(_STATE["patterns"])
 
 
 def _init_worker(initargs: tuple) -> None:
     """Mode-dispatching worker initializer.
 
     ``initargs`` is ``("suite", spec, max_variants, kind_value, verify,
-    cache, check)`` for the table experiments, or ``("task", setup,
-    setup_args)`` for a generic pool: ``setup`` must be a picklable
+    cache, check, engine)`` for the table experiments, or ``("task",
+    setup, setup_args)`` for a generic pool: ``setup`` must be a picklable
     (module-level) callable; it runs once per worker process and returns
     the per-task runner ``runner(payload) -> result``.  The closure it
     returns never crosses the process boundary, so it may capture
@@ -243,6 +251,7 @@ def _run_task(payload):
         verify=_STATE["verify"],
         cache=_STATE["cache"],
         check=_STATE.get("check", False),
+        engine=_STATE.get("engine", "structural"),
     )
 
 
@@ -386,6 +395,7 @@ def run_cells_parallel(
     cache: bool = True,
     jobs: Optional[int] = None,
     check: bool = False,
+    engine: str = "structural",
     cell_timeout: Optional[float] = None,
     retries: Optional[int] = None,
     backoff: Optional[float] = None,
@@ -404,6 +414,9 @@ def run_cells_parallel(
         jobs: worker processes (default: the schedulable CPU count,
             capped at the number of cells actually pending).
         check: certify every mapping result inside each worker.
+        engine: matcher candidate engine (``'structural'``/``'cuts'``);
+            rows are identical either way, so resumed journal rows from
+            the other engine remain valid.
         cell_timeout: per-attempt wall-clock budget in seconds; a cell
             over budget has its worker killed and replaced.  Defaults to
             ``REPRO_CELL_TIMEOUT`` (unset = no timeout).
@@ -500,6 +513,7 @@ def run_cells_parallel(
             completed=completed,
             initargs=(
                 "suite", spec, max_variants, kind_value, verify, cache, check,
+                engine,
             ),
             jobs=jobs,
             cell_timeout=cell_timeout,

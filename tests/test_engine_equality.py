@@ -1,0 +1,101 @@
+"""The ISSUE's engines-agree gate: structural vs cut matching engine.
+
+The cut engine is a pure acceleration — a sound pre-filter in front of
+the same injective matcher — so on every Table-2 (44-1, 8 variants) and
+Table-3 (44-3, 4 variants) suite circuit both engines must produce
+*identical* delay and area, for DAG covering and tree covering alike.
+These tests byte-compare the numbers; any divergence is a bug in the
+filter (see also fuzz oracle F009, which hunts the same property on
+random circuits).
+"""
+
+import pytest
+
+from repro.bench.suite import TABLE23_NAMES, build_subject
+from repro.core.dag_mapper import map_dag
+from repro.core.match import MatchKind, Matcher
+from repro.core.tree_mapper import map_tree
+from repro.errors import MappingError
+from repro.library.builtin import lib44_3
+from repro.library.patterns import PatternSet
+
+
+@pytest.fixture(scope="module")
+def lib443_patterns():
+    return PatternSet(lib44_3(), max_variants=4)
+
+
+@pytest.fixture(scope="module")
+def subjects():
+    return {name: build_subject(name)[1] for name in TABLE23_NAMES}
+
+
+def both_engines(mapper, subject, patterns, **kwargs):
+    structural = mapper(subject, patterns, engine="structural", **kwargs)
+    cuts = mapper(subject, patterns, engine="cuts", **kwargs)
+    assert structural.engine == "structural"
+    assert cuts.engine == "cuts"
+    return structural, cuts
+
+
+class TestTable2:
+    """44-1 library, 8 variants (the paper's Table 2 regime)."""
+
+    @pytest.mark.parametrize("name", TABLE23_NAMES)
+    def test_dag_identical(self, name, subjects, lib441_patterns):
+        s, c = both_engines(map_dag, subjects[name], lib441_patterns)
+        assert (c.delay, c.area) == (s.delay, s.area)
+
+    @pytest.mark.parametrize("name", TABLE23_NAMES)
+    def test_tree_identical(self, name, subjects, lib441_patterns):
+        s, c = both_engines(map_tree, subjects[name], lib441_patterns)
+        assert (c.delay, c.area) == (s.delay, s.area)
+
+
+class TestTable3:
+    """44-3 library (625 gates), 4 variants (the Table 3 regime)."""
+
+    @pytest.mark.parametrize("name", TABLE23_NAMES)
+    def test_dag_identical(self, name, subjects, lib443_patterns):
+        s, c = both_engines(map_dag, subjects[name], lib443_patterns)
+        assert (c.delay, c.area) == (s.delay, s.area)
+
+    @pytest.mark.parametrize("name", TABLE23_NAMES)
+    def test_tree_identical(self, name, subjects, lib443_patterns):
+        s, c = both_engines(map_tree, subjects[name], lib443_patterns)
+        assert (c.delay, c.area) == (s.delay, s.area)
+
+
+class TestReferencePath:
+    """The uncached matcher path must agree too (one circuit is enough —
+    the cached path re-derives from it)."""
+
+    def test_dag_uncached_identical(self, lib441_patterns, subjects):
+        subject = subjects["C2670s"]
+        s, c = both_engines(map_dag, subject, lib441_patterns, cache=False)
+        assert (c.delay, c.area) == (s.delay, s.area)
+
+
+class TestEngineSelection:
+    def test_unknown_engine_rejected(self, lib441_patterns):
+        with pytest.raises(MappingError, match="unknown matching engine"):
+            Matcher(lib441_patterns, engine="quantum")
+
+    def test_extended_kind_rejected_for_cuts(self, lib441_patterns):
+        with pytest.raises(MappingError, match="standard/exact"):
+            Matcher(lib441_patterns, MatchKind.EXTENDED, engine="cuts")
+
+    def test_exact_kind_allowed_for_cuts(self, subjects, lib441_patterns):
+        subject = subjects["C2670s"]
+        s, c = both_engines(
+            map_dag, subject, lib441_patterns, kind=MatchKind.EXACT
+        )
+        assert (c.delay, c.area) == (s.delay, s.area)
+
+    def test_filter_counters_populate(self, subjects, lib441_patterns):
+        subject = subjects["C2670s"]
+        matcher = Matcher(lib441_patterns, engine="cuts")
+        result = map_dag(subject, lib441_patterns, matcher=matcher)
+        assert result.engine == "cuts"
+        assert matcher.stats.cut_filter_nodes > 0
+        assert matcher.stats.cut_patterns_pruned > 0

@@ -1,0 +1,200 @@
+"""The precomputed NPN-class table (repro.library.npn_table).
+
+Covers the library side of the cut matching engine: chain construction
+(serial == parallel), cell-class lookup with transform validity,
+persistent side-cache roundtrip/corruption handling, the per-pattern-set
+memo, and parameter validation.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import LibraryError
+from repro.library.npn_table import (
+    SCHEMA,
+    _cache_path,
+    build_npn_table,
+    pattern_chain,
+    pattern_shape,
+    table_for,
+)
+from repro.network.functions import TruthTable
+from repro.network.npn import apply_transform, npn_canonical
+
+
+def fresh(patterns, **kwargs):
+    """Build without touching any persistent cache."""
+    return build_npn_table(patterns, use_cache=False, **kwargs)
+
+
+class TestChains:
+    def test_one_chain_per_pattern_in_order(self, lib441_patterns):
+        table = fresh(lib441_patterns)
+        assert len(table.chains) == len(lib441_patterns.patterns)
+        for i, pattern in enumerate(lib441_patterns.patterns):
+            assert table.chain_of(i) == pattern_chain(
+                pattern, k=table.k, depth_cap=table.depth_cap
+            )
+
+    def test_chain_entries_well_formed(self, lib441_patterns):
+        table = fresh(lib441_patterns)
+        for chain in table.chains:
+            for t, n, bits in chain:
+                assert 1 <= t <= table.depth_cap
+                assert 1 <= n <= table.k
+                assert 0 <= bits < (1 << (1 << n))
+            # truncation heights strictly increase along a chain
+            heights = [t for t, _, _ in chain]
+            assert heights == sorted(set(heights))
+
+    def test_chain_frontiers_are_canonical(self, lib441_patterns):
+        table = fresh(lib441_patterns)
+        for chain in table.chains:
+            for _t, n, bits in chain:
+                canonical, _ = npn_canonical(TruthTable(n, bits))
+                assert canonical.bits == bits
+
+    def test_parallel_build_matches_serial(self, mini_patterns):
+        serial = fresh(mini_patterns)
+        parallel = fresh(mini_patterns, jobs=2)
+        assert parallel.chains == serial.chains
+        assert parallel.cell_classes == serial.cell_classes
+
+
+class TestCellClasses:
+    def test_every_small_cell_is_findable(self, lib441_patterns):
+        table = fresh(lib441_patterns)
+        library = lib441_patterns.library
+        for gate in library:
+            if not 1 <= gate.n_inputs <= table.cell_limit:
+                continue
+            names = [name for name, _ in table.lookup(gate.tt)]
+            assert gate.name in names
+
+    def test_lookup_transforms_carry_cut_onto_cell(self, lib441_patterns):
+        table = fresh(lib441_patterns)
+        library = lib441_patterns.library
+        checked = 0
+        for gate in library:
+            if not 1 <= gate.n_inputs <= table.cell_limit:
+                continue
+            for name, transform in table.lookup(gate.tt):
+                cell = library.gate(name)
+                assert apply_transform(transform, gate.tt) == cell.tt
+                checked += 1
+        assert checked > 0
+
+    def test_lookup_miss_is_empty(self, mini_patterns):
+        table = fresh(mini_patterns)
+        # 4-input XOR-ish parity is not in the mini NAND/INV/AOI library
+        assert table.lookup(TruthTable(4, 0x6996)) == []
+
+    def test_cell_limit_filters(self, lib441_patterns):
+        table = fresh(lib441_patterns, cell_limit=1)
+        assert all(n == 1 for n, _bits in table.cell_classes)
+
+
+class TestShapes:
+    @staticmethod
+    def _depth(shape):
+        if shape == ("?",):
+            return 0
+        return 1 + max(TestShapes._depth(child) for child in shape[1:])
+
+    def test_one_shape_per_pattern_well_formed(self, lib441_patterns):
+        table = fresh(lib441_patterns)
+        assert len(table.shapes) == len(lib441_patterns.patterns)
+
+        def check(shape):
+            assert shape[0] in ("?", "I", "N")
+            if shape[0] == "?":
+                assert shape == ("?",)
+            elif shape[0] == "I":
+                check(shape[1])
+            else:
+                a, b = shape[1], shape[2]
+                assert a <= b  # NAND children canonically ordered
+                check(a)
+                check(b)
+
+        for i, pattern in enumerate(lib441_patterns.patterns):
+            shape = table.shape_of(i)
+            check(shape)
+            assert self._depth(shape) <= table.depth_cap
+            assert shape == pattern_shape(pattern, table.depth_cap)
+
+    def test_depth_cap_truncates_to_wildcards(self, lib441_patterns):
+        deep = fresh(lib441_patterns)
+        for pattern in lib441_patterns.patterns:
+            shallow = pattern_shape(pattern, depth_cap=1)
+            assert self._depth(shallow) <= 1
+        # some 44-1 pattern is deeper than one level, so capping matters
+        assert any(
+            pattern_shape(p, depth_cap=1) != pattern_shape(p, deep.depth_cap)
+            for p in lib441_patterns.patterns
+        )
+
+
+class TestPersistence:
+    def test_roundtrip_via_cache_dir(self, lib441_patterns, tmp_path):
+        first = build_npn_table(lib441_patterns, cache_dir=tmp_path)
+        assert not first.from_cache
+        second = build_npn_table(lib441_patterns, cache_dir=tmp_path)
+        assert second.from_cache
+        assert second.key == first.key
+        assert second.chains == first.chains
+        assert second.shapes == first.shapes
+        assert second.cell_classes == first.cell_classes
+
+    def test_corrupt_cache_file_rebuilds(self, mini_patterns, tmp_path):
+        first = build_npn_table(mini_patterns, cache_dir=tmp_path)
+        path = _cache_path(tmp_path, first.key)
+        assert path.exists()
+        path.write_text("{ not json")
+        rebuilt = build_npn_table(mini_patterns, cache_dir=tmp_path)
+        assert not rebuilt.from_cache
+        assert rebuilt.chains == first.chains
+
+    def test_stale_schema_rebuilds(self, mini_patterns, tmp_path):
+        first = build_npn_table(mini_patterns, cache_dir=tmp_path)
+        path = _cache_path(tmp_path, first.key)
+        data = json.loads(path.read_text())
+        data["schema"] = SCHEMA + "-stale"
+        path.write_text(json.dumps(data))
+        rebuilt = build_npn_table(mini_patterns, cache_dir=tmp_path)
+        assert not rebuilt.from_cache
+
+    def test_key_depends_on_parameters(self, mini_patterns):
+        k3 = fresh(mini_patterns, k=3)
+        k4 = fresh(mini_patterns, k=4)
+        assert k3.key != k4.key
+
+    def test_env_var_selects_cache_dir(self, mini_patterns, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_NPN_CACHE_DIR", str(tmp_path))
+        table = build_npn_table(mini_patterns)
+        assert _cache_path(tmp_path, table.key).exists()
+
+
+class TestTableFor:
+    def test_memoized_per_pattern_set(self, mini_patterns):
+        a = table_for(mini_patterns, use_cache=False)
+        b = table_for(mini_patterns, use_cache=False)
+        assert a is b
+
+    def test_distinct_parameters_distinct_tables(self, mini_patterns):
+        a = table_for(mini_patterns, use_cache=False)
+        b = table_for(mini_patterns, k=3, use_cache=False)
+        assert a is not b
+        assert b.k == 3
+
+
+class TestValidation:
+    @pytest.mark.parametrize("k", [0, 7])
+    def test_k_out_of_range(self, mini_patterns, k):
+        with pytest.raises(LibraryError, match="k must be in 1..6"):
+            build_npn_table(mini_patterns, k=k)
+
+    def test_depth_cap_positive(self, mini_patterns):
+        with pytest.raises(LibraryError, match="depth_cap"):
+            build_npn_table(mini_patterns, depth_cap=0)
