@@ -107,15 +107,15 @@ def _reduce_tree(
     return level[0]
 
 
-def _xor_tree(net, signals, tag):
+def _xor_tree(net: BooleanNetwork, signals: Sequence[str], tag: str) -> str:
     return _reduce_tree(net, signals, "^", tag)
 
 
-def _and_tree(net, signals, tag):
+def _and_tree(net: BooleanNetwork, signals: Sequence[str], tag: str) -> str:
     return _reduce_tree(net, signals, "*", tag)
 
 
-def _or_tree(net, signals, tag):
+def _or_tree(net: BooleanNetwork, signals: Sequence[str], tag: str) -> str:
     return _reduce_tree(net, signals, "+", tag)
 
 

@@ -10,10 +10,13 @@ knob grows instances toward the originals' node counts.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.bench import circuits, reference
 from repro.network.bnet import BooleanNetwork
+
+if TYPE_CHECKING:
+    from repro.network.subject import SubjectGraph
 
 __all__ = ["BenchCircuit", "SUITE", "EXTRA", "ALL_CIRCUITS", "TABLE1_NAMES",
            "TABLE23_NAMES", "get_circuit", "get_reference", "suite_circuits",
@@ -31,7 +34,13 @@ class BenchCircuit:
     ref: Optional[Callable] = None
 
 
-def _entry(name, iscas, description, build, ref=None):
+def _entry(
+    name: str,
+    iscas: str,
+    description: str,
+    build: Callable[[], BooleanNetwork],
+    ref: Optional[Callable] = None,
+) -> BenchCircuit:
     return BenchCircuit(name, iscas, description, build, ref)
 
 
@@ -152,19 +161,23 @@ def get_circuit(name: str) -> BooleanNetwork:
     return ALL_CIRCUITS[name].build()
 
 
-def get_reference(name: str):
+def get_reference(name: str) -> Optional[Callable]:
     """Reference model of a named circuit (None when not applicable)."""
     return ALL_CIRCUITS[name].ref
 
 
-def suite_circuits(names: Optional[List[str]] = None):
+def suite_circuits(
+    names: Optional[List[str]] = None,
+) -> Iterator[Tuple[BenchCircuit, BooleanNetwork]]:
     """Yield (entry, network) pairs for the requested suite subset."""
     for name in names or TABLE1_NAMES:
         entry = ALL_CIRCUITS[name]
         yield entry, entry.build()
 
 
-def build_subject(name: str, style: str = "balanced"):
+def build_subject(
+    name: str, style: str = "balanced"
+) -> Tuple[BooleanNetwork, "SubjectGraph"]:
     """Build a named circuit and decompose it into a subject graph.
 
     The (circuit, subject) pair is what every mapper benchmark needs;

@@ -118,6 +118,16 @@ CODES: Dict[str, CodeInfo] = _catalog(
         ("F007", Severity.ERROR, "generated network fails structural lint"),
         ("F008", Severity.WARNING, "shrinker could not preserve the failure"),
         ("F009", Severity.ERROR, "structural and cut matching engines disagree"),
+        # ---------------- source static analysis (S###) ----------------
+        ("S000", Severity.ERROR, "source file does not parse"),
+        ("S101", Severity.ERROR, "module-level random API call (unseeded)"),
+        ("S102", Severity.ERROR, "wall-clock time source in library code"),
+        ("S103", Severity.WARNING, "order-sensitive iteration over an unordered set"),
+        ("S104", Severity.ERROR, "direct os.environ access outside repro.env"),
+        ("S201", Severity.ERROR, "unpicklable callable handed to the worker pool"),
+        ("S202", Severity.WARNING, "worker-reachable write to a mutable module global"),
+        ("S301", Severity.WARNING, "broad exception handler swallows silently"),
+        ("S302", Severity.WARNING, "assert used for runtime validation"),
     ]
 )
 

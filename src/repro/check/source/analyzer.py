@@ -1,0 +1,160 @@
+"""Driver for the source linter: walk files, parse, visit, report.
+
+:func:`analyze_paths` runs every check over a list of files or
+directories; :func:`analyze_package` runs them over the installed
+``repro`` package itself (the self-application the CI gate uses).
+Findings come back as one ordered :class:`CheckReport`: sorted by
+(path, line, column, code), with inline ``# repro: allow[...]``
+suppressions already applied and accounted in ``report.meta``.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.check.diagnostics import CheckReport
+from repro.check.source import determinism, exceptions, workers
+from repro.check.source.model import Finding, ModuleInfo, collect_imports
+from repro.check.source.suppress import suppressions_for_source
+from repro.errors import SourceLoc
+
+__all__ = ["ModuleInfo", "analyze_package", "analyze_paths", "parse_module"]
+
+
+def _module_name(rel: str, root_package: Optional[str]) -> str:
+    """Dotted module name for a path relative to the analyzed root."""
+    parts = list(Path(rel).with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    if root_package:
+        parts = [root_package] + parts
+    return ".".join(parts) if parts else (root_package or "")
+
+
+def parse_module(
+    path: str,
+    rel: Optional[str] = None,
+    module: Optional[str] = None,
+    source: Optional[str] = None,
+) -> Tuple[Optional[ModuleInfo], Optional[Finding]]:
+    """Parse one file into a :class:`ModuleInfo`, or an ``S000`` finding."""
+    rel = rel if rel is not None else Path(path).name
+    rel = rel.replace("\\", "/")
+    if source is None:
+        try:
+            source = Path(path).read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            return None, Finding("S000", f"cannot read source: {exc}", 1, 0)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return None, Finding(
+            "S000",
+            f"syntax error: {exc.msg}",
+            exc.lineno or 1,
+            (exc.offset or 1) - 1,
+        )
+    info = ModuleInfo(
+        path=path,
+        rel=rel,
+        module=module if module is not None else _module_name(rel, None),
+        tree=tree,
+        source=source,
+    )
+    collect_imports(info)
+    return info, None
+
+
+def _iter_files(paths: Sequence[str]) -> Iterable[Tuple[str, str]]:
+    """Yield ``(path, rel)`` for every ``.py`` under ``paths``, sorted."""
+    for raw in paths:
+        base = Path(raw)
+        if base.is_dir():
+            for path in sorted(base.rglob("*.py")):
+                yield str(path), path.relative_to(base).as_posix()
+        else:
+            yield str(base), base.name
+
+
+def analyze_paths(
+    paths: Sequence[str],
+    root_package: Optional[str] = None,
+) -> CheckReport:
+    """Run every source check over files/directories in ``paths``.
+
+    Args:
+        paths: files or directory roots; directories are walked for
+            ``*.py`` in sorted order.
+        root_package: dotted prefix for module-name resolution when a
+            directory *is* a package (``"repro"`` for the package
+            root), so the worker call graph can match entry points.
+            Stable diagnostic paths get the same prefix.  When omitted
+            and a single package directory (one holding
+            ``__init__.py``) is given, the prefix is inferred from the
+            directory name, so ``check --source src/repro`` matches the
+            default package analysis.
+    """
+    if root_package is None and len(paths) == 1:
+        base = Path(paths[0])
+        if base.is_dir() and (base / "__init__.py").exists():
+            root_package = base.name
+    report = CheckReport()
+    infos: List[ModuleInfo] = []
+    per_file: Dict[str, List[Finding]] = {}
+    suppressions: Dict[str, Dict[int, Set[str]]] = {}
+    files = 0
+    for path, rel in _iter_files(paths):
+        module = _module_name(rel, root_package)
+        if root_package:
+            rel = f"{root_package}/{rel}"
+        files += 1
+        info, parse_failure = parse_module(path, rel=rel, module=module)
+        if parse_failure is not None:
+            per_file[rel] = [parse_failure]
+            suppressions[rel] = {}
+            continue
+        assert info is not None
+        infos.append(info)
+        per_file[info.rel] = []
+        suppressions[info.rel] = suppressions_for_source(info.source)
+
+    for info in infos:
+        per_file[info.rel].extend(determinism.check(info))
+        per_file[info.rel].extend(exceptions.check(info))
+    for rel, found in workers.check_package(infos).items():
+        per_file[rel].extend(found)
+
+    suppressed = 0
+    for rel in sorted(per_file):
+        allowed = suppressions.get(rel, {})
+        findings = sorted(
+            per_file[rel], key=lambda f: (f.line, f.column, f.code, f.message)
+        )
+        for finding in findings:
+            if finding.code in allowed.get(finding.line, ()):
+                suppressed += 1
+                continue
+            report.add(
+                finding.code,
+                finding.message,
+                loc=SourceLoc(file=rel, line=finding.line,
+                              column=finding.column + 1),
+                obj=finding.obj,
+            )
+    report.meta["files"] = files
+    report.meta["suppressed"] = suppressed
+    return report
+
+
+def analyze_package(package: str = "repro") -> CheckReport:
+    """Self-application: analyze the installed ``package`` tree."""
+    import importlib
+
+    module = importlib.import_module(package)
+    file = getattr(module, "__file__", None)
+    if file is None:
+        raise ValueError(f"package {package!r} has no source directory")
+    root = Path(file).parent
+    return analyze_paths([str(root)], root_package=package)

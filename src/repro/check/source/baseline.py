@@ -1,0 +1,104 @@
+"""Committed baseline of grandfathered source findings.
+
+The CI gate is *no new findings*: the committed
+``analysis-baseline.json`` records a multiset of finding keys, and a
+run fails only when some key occurs more often than the baseline
+allows.  Keys deliberately exclude line numbers — a baseline must
+survive unrelated edits to the same file — and are built from the
+stable parts of a diagnostic: code, file, enclosing symbol and
+message::
+
+    S202|repro/perf/parallel.py|_init_worker|assignment mutates ...
+
+Shrinking the baseline (fixing a grandfathered finding) always passes;
+``save_baseline`` rewrites the file from a fresh report when a
+deliberate grandfathering decision is made (``repro-map check --source
+--update-baseline``).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Dict, List
+
+from repro.check.diagnostics import CheckReport, Diagnostic
+from repro.errors import ReproError
+
+__all__ = [
+    "BASELINE_SCHEMA",
+    "finding_key",
+    "load_baseline",
+    "new_findings",
+    "save_baseline",
+]
+
+BASELINE_SCHEMA = "repro-analysis-baseline/1"
+
+
+def finding_key(diag: Diagnostic) -> str:
+    """The line-number-free identity of one finding."""
+    where = diag.loc.file if diag.loc is not None and diag.loc.file else ""
+    return "|".join((diag.code, where, diag.obj or "", diag.message))
+
+
+def load_baseline(path: str) -> Counter:
+    """Read a baseline file into a key -> allowed-count multiset.
+
+    Raises:
+        ReproError: the file is not a baseline of the expected schema.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(f"cannot read analysis baseline {path}: {exc}") from exc
+    if (
+        not isinstance(payload, dict)
+        or payload.get("schema") != BASELINE_SCHEMA
+        or not isinstance(payload.get("findings"), dict)
+    ):
+        raise ReproError(
+            f"{path} is not a {BASELINE_SCHEMA!r} analysis baseline"
+        )
+    counts: Counter = Counter()
+    for key, count in payload["findings"].items():
+        if not isinstance(key, str) or not isinstance(count, int) or count < 1:
+            raise ReproError(
+                f"{path}: malformed baseline entry {key!r}: {count!r}"
+            )
+        counts[key] = count
+    return counts
+
+
+def save_baseline(path: str, report: CheckReport) -> None:
+    """Write every finding of ``report`` as the new baseline."""
+    counts: Dict[str, int] = {}
+    for diag in report:
+        key = finding_key(diag)
+        counts[key] = counts.get(key, 0) + 1
+    payload = {
+        "schema": BASELINE_SCHEMA,
+        "findings": {key: counts[key] for key in sorted(counts)},
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def new_findings(report: CheckReport, baseline: Counter) -> List[Diagnostic]:
+    """Findings beyond the baseline's allowance, in report order.
+
+    For a key allowed ``n`` times, the first ``n`` occurrences (report
+    order is deterministic: path, then line) are grandfathered and any
+    further occurrence is new.
+    """
+    budget = Counter(baseline)
+    out: List[Diagnostic] = []
+    for diag in report:
+        key = finding_key(diag)
+        if budget[key] > 0:
+            budget[key] -= 1
+        else:
+            out.append(diag)
+    return out

@@ -1,0 +1,331 @@
+"""Determinism lints (``S1##``).
+
+``S101``  a call through the *module-level* :mod:`random` API
+          (``random.random()``, ``random.shuffle`` ...) or a
+          ``from random import <fn>`` of anything but the ``Random``
+          class.  Module-level randomness shares one hidden global
+          generator across the whole process: any consumer reseeding or
+          drawing from it perturbs every other consumer, so mapping and
+          bench paths must thread an explicitly seeded
+          ``random.Random`` instance instead.
+
+``S102``  a wall-clock time source: ``time.time``/``time.time_ns`` or
+          ``datetime.now``/``utcnow``/``today``.  Interval measurement
+          belongs to ``time.perf_counter`` (monotonic; the convention
+          every ``cpu_seconds``/``wall_s`` field in this repository
+          already follows), and absolute timestamps do not belong in
+          byte-compared outputs at all.
+
+``S103``  order-sensitive consumption of an unordered ``set`` /
+          ``frozenset`` value: iterating one in a ``for`` loop, a
+          list/dict comprehension, ``list()``/``tuple()``/
+          ``enumerate()``/``str.join()``/``.extend()`` — without an
+          intervening ``sorted()``.  Set iteration order depends on the
+          process hash state, so any such value that feeds ordered
+          output, hashing or JSON breaks replay byte-comparison.
+          Order-insensitive consumers (``sorted``, ``min``/``max``,
+          ``sum``, ``len``, ``any``/``all``, set algebra, membership
+          tests, set comprehensions) are exempt.
+
+``S104``  direct ``os.environ`` / ``os.getenv`` access anywhere outside
+          :mod:`repro.env` — the typed registry is the single
+          inventory of every knob that can change behaviour.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
+
+from repro.check.source.model import Finding, ModuleInfo
+
+__all__ = ["check"]
+
+#: ``random`` attributes that are fine: explicitly seeded generator
+#: classes (their *construction* is the sanctioned pattern).
+_RANDOM_OK = {"Random", "SystemRandom"}
+
+#: Wall-clock attributes of the ``time`` module (``perf_counter``,
+#: ``monotonic``, ``process_time`` and ``sleep`` stay legal).
+_TIME_WALL = {"time", "time_ns", "ctime", "localtime", "gmtime"}
+
+#: Wall-clock constructors of ``datetime``/``date`` objects.
+_DATETIME_WALL = {"now", "utcnow", "today"}
+
+#: Callables that consume an iterable order-sensitively.
+_ORDERED_CONSUMERS = {"list", "tuple", "enumerate", "iter", "next"}
+
+#: AST nodes that produce a set value, syntactically.
+_SET_NODES = (ast.Set, ast.SetComp)
+
+#: Set-returning methods (applied to an expression already known to be
+#: a set, the result is a set again).
+_SET_METHODS = {
+    "union", "intersection", "difference", "symmetric_difference", "copy",
+}
+
+
+def _alias_targets(info: ModuleInfo, dotted: str) -> Set[str]:
+    """Local names bound to module ``dotted`` (``import x``/``as y``)."""
+    return {
+        local
+        for local, target in info.module_aliases.items()
+        if target == dotted
+    }
+
+
+def check(info: ModuleInfo) -> List[Finding]:
+    findings: List[Finding] = []
+    findings.extend(_check_imports(info))
+    findings.extend(_check_calls(info))
+    if not info.is_env_module:
+        findings.extend(_check_environ(info))
+    findings.extend(_check_set_iteration(info))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# S101 / S102 / S104: import-site lints
+# ----------------------------------------------------------------------
+
+
+def _check_imports(info: ModuleInfo) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(info.tree):
+        if not isinstance(node, ast.ImportFrom) or node.module is None:
+            continue
+        for alias in node.names:
+            if node.module == "random" and alias.name not in _RANDOM_OK:
+                findings.append(Finding(
+                    "S101",
+                    f"'from random import {alias.name}' binds the shared "
+                    "module-level generator; seed a random.Random instance",
+                    node.lineno, node.col_offset, obj=alias.name,
+                ))
+            elif node.module == "time" and alias.name in _TIME_WALL:
+                findings.append(Finding(
+                    "S102",
+                    f"'from time import {alias.name}' imports a wall clock; "
+                    "use time.perf_counter for intervals",
+                    node.lineno, node.col_offset, obj=alias.name,
+                ))
+            elif node.module == "os" and alias.name in ("environ", "getenv"):
+                findings.append(Finding(
+                    "S104",
+                    f"'from os import {alias.name}' bypasses the repro.env "
+                    "registry",
+                    node.lineno, node.col_offset, obj=alias.name,
+                ))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# S101 / S102: call-site lints
+# ----------------------------------------------------------------------
+
+
+def _check_calls(info: ModuleInfo) -> List[Finding]:
+    findings: List[Finding] = []
+    random_aliases = _alias_targets(info, "random")
+    time_aliases = _alias_targets(info, "time")
+    datetime_mod_aliases = _alias_targets(info, "datetime")
+    # Classes bound by `from datetime import datetime, date`.
+    datetime_classes = {
+        local
+        for local, (mod, attr) in info.imported_names.items()
+        if mod == "datetime" and attr in ("datetime", "date")
+    }
+    for node in ast.walk(info.tree):
+        if not isinstance(node, ast.Attribute):
+            continue
+        base = node.value
+        if isinstance(base, ast.Name):
+            if base.id in random_aliases and node.attr not in _RANDOM_OK:
+                findings.append(Finding(
+                    "S101",
+                    f"random.{node.attr} draws from the shared module-level "
+                    "generator; seed a random.Random instance",
+                    node.lineno, node.col_offset, obj=f"random.{node.attr}",
+                ))
+            elif base.id in time_aliases and node.attr in _TIME_WALL:
+                findings.append(Finding(
+                    "S102",
+                    f"time.{node.attr} is a wall clock; use "
+                    "time.perf_counter for interval measurement",
+                    node.lineno, node.col_offset, obj=f"time.{node.attr}",
+                ))
+            elif base.id in datetime_classes and node.attr in _DATETIME_WALL:
+                findings.append(Finding(
+                    "S102",
+                    f"datetime {node.attr}() reads the wall clock; "
+                    "timestamps do not belong in deterministic outputs",
+                    node.lineno, node.col_offset, obj=node.attr,
+                ))
+        elif (
+            isinstance(base, ast.Attribute)
+            and isinstance(base.value, ast.Name)
+            and base.value.id in datetime_mod_aliases
+            and base.attr in ("datetime", "date")
+            and node.attr in _DATETIME_WALL
+        ):
+            findings.append(Finding(
+                "S102",
+                f"datetime.{base.attr}.{node.attr}() reads the wall clock; "
+                "timestamps do not belong in deterministic outputs",
+                node.lineno, node.col_offset,
+                obj=f"datetime.{base.attr}.{node.attr}",
+            ))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# S104: os.environ access
+# ----------------------------------------------------------------------
+
+
+def _check_environ(info: ModuleInfo) -> List[Finding]:
+    findings: List[Finding] = []
+    os_aliases = _alias_targets(info, "os")
+    for node in ast.walk(info.tree):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id in os_aliases
+            and node.attr in ("environ", "getenv", "putenv", "unsetenv")
+        ):
+            findings.append(Finding(
+                "S104",
+                f"direct os.{node.attr} access; read configuration through "
+                "the typed repro.env registry",
+                node.lineno, node.col_offset, obj=f"os.{node.attr}",
+            ))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# S103: order-sensitive set iteration
+# ----------------------------------------------------------------------
+
+_Scope = Union[ast.Module, ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda]
+
+
+def _check_set_iteration(info: ModuleInfo) -> List[Finding]:
+    findings: List[Finding] = []
+    for scope, body in _scopes(info.tree):
+        findings.extend(_scan_scope(scope, body))
+    return findings
+
+
+def _scopes(tree: ast.Module) -> Iterator[Tuple[ast.AST, List[ast.stmt]]]:
+    """Yield ``(scope_node, statements)`` for the module and every
+    function, outermost first."""
+    yield tree, tree.body
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, node.body
+
+
+def _scan_scope(scope: _Scope, body: List[ast.stmt]) -> List[Finding]:
+    """One scope: infer set-typed locals in statement order, then flag
+    order-sensitive consumption of set values."""
+    findings: List[Finding] = []
+    set_vars: Set[str] = set()
+    scope_name = getattr(scope, "name", "<module>")
+
+    def is_set_expr(node: Optional[ast.expr]) -> bool:
+        if node is None:
+            return False
+        if isinstance(node, _SET_NODES):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in set_vars
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+                return True
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _SET_METHODS
+                and is_set_expr(func.value)
+            ):
+                return True
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return is_set_expr(node.left) or is_set_expr(node.right)
+        if isinstance(node, ast.IfExp):
+            return is_set_expr(node.body) and is_set_expr(node.orelse)
+        return False
+
+    def flag(node: ast.expr, how: str) -> None:
+        findings.append(Finding(
+            "S103",
+            f"{how} iterates a set in hash order; wrap it in sorted() "
+            "(or consume it order-insensitively)",
+            node.lineno, node.col_offset, obj=scope_name,
+        ))
+
+    def visit(node: ast.AST) -> None:
+        # Stop at nested function scopes; they are scanned separately
+        # (their closed-over set vars are lost — an accepted gap).
+        if node is not scope and isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            return
+        if isinstance(node, ast.Assign):
+            visit(node.value)
+            produced = is_set_expr(node.value)
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    if produced:
+                        set_vars.add(target.id)
+                    else:
+                        set_vars.discard(target.id)
+                else:
+                    visit(target)
+            return
+        if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            if node.value is not None:
+                visit(node.value)
+            if is_set_expr(node.value):
+                set_vars.add(node.target.id)
+            else:
+                set_vars.discard(node.target.id)
+            return
+        if isinstance(node, ast.For):
+            if is_set_expr(node.iter):
+                flag(node.iter, "for loop")
+            for child in ast.iter_child_nodes(node):
+                visit(child)
+            return
+        if isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+            for gen in node.generators:
+                if is_set_expr(gen.iter):
+                    flag(gen.iter, "comprehension")
+            for child in ast.iter_child_nodes(node):
+                visit(child)
+            return
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Name)
+                and func.id in _ORDERED_CONSUMERS
+                and node.args
+                and is_set_expr(node.args[0])
+            ):
+                flag(node.args[0], f"{func.id}()")
+            elif isinstance(func, ast.Attribute) and node.args:
+                if func.attr == "join" and is_set_expr(node.args[0]):
+                    flag(node.args[0], "str.join()")
+                elif func.attr == "extend" and is_set_expr(node.args[0]):
+                    flag(node.args[0], ".extend()")
+            for child in ast.iter_child_nodes(node):
+                visit(child)
+            return
+        for child in ast.iter_child_nodes(node):
+            visit(child)
+
+    for stmt in body:
+        visit(stmt)
+    return findings

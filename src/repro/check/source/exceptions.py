@@ -1,0 +1,99 @@
+"""Exception-hygiene lints (``S3##``).
+
+``S301``  a handler that can swallow *anything* without handling it:
+          a bare ``except:``, or an ``except Exception/BaseException``
+          whose body is only ``pass``/``...``/``continue``.  Such a
+          handler hides crashes, corrupted state and injected faults
+          alike; either narrow the exception type, re-raise, or convert
+          the failure into a structured record (a ``CellFailure`` row,
+          a coded diagnostic).  Broad handlers that *use* the caught
+          exception are legal — stringifying it across a process
+          boundary or turning it into an ``F006`` finding is exactly
+          the structured conversion this repository wants.
+
+``S302``  an ``assert`` carrying runtime validation in non-test code.
+          ``python -O`` strips asserts, so a validation assert is a
+          check that silently disappears in optimized runs; raise a
+          coded error instead.  *Narrowing* asserts — ``assert x is not
+          None``, ``assert isinstance(x, T)``, and ``and``-conjunctions
+          of those — exist for the type checker, cannot fail when the
+          code is correct, and are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.check.source.model import Finding, ModuleInfo
+
+__all__ = ["check"]
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _is_broad(expr: ast.expr) -> bool:
+    if isinstance(expr, ast.Name):
+        return expr.id in _BROAD
+    if isinstance(expr, ast.Tuple):
+        return any(_is_broad(el) for el in expr.elts)
+    return False
+
+
+def _only_swallows(body: List[ast.stmt]) -> bool:
+    """True when the handler body does nothing with the failure."""
+    for stmt in body:
+        if isinstance(stmt, ast.Pass) or isinstance(stmt, ast.Continue):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # a docstring or bare `...`
+        return False
+    return True
+
+
+def _is_narrowing(test: ast.expr) -> bool:
+    """``assert`` forms that exist for the type checker, not validation."""
+    if isinstance(test, ast.Compare):
+        return all(
+            isinstance(op, (ast.Is, ast.IsNot)) for op in test.ops
+        ) and any(
+            isinstance(cmp, ast.Constant) and cmp.value is None
+            for cmp in test.comparators
+        )
+    if isinstance(test, ast.Call) and isinstance(test.func, ast.Name):
+        return test.func.id in ("isinstance", "callable", "hasattr")
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+        return all(_is_narrowing(value) for value in test.values)
+    return False
+
+
+def check(info: ModuleInfo) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(info.tree):
+        if isinstance(node, ast.ExceptHandler):
+            if node.type is None:
+                findings.append(Finding(
+                    "S301",
+                    "bare 'except:' catches KeyboardInterrupt and "
+                    "SystemExit too; name the exception classes",
+                    node.lineno, node.col_offset,
+                ))
+            elif _is_broad(node.type) and _only_swallows(node.body):
+                caught = ast.unparse(node.type)
+                findings.append(Finding(
+                    "S301",
+                    f"'except {caught}' swallows every failure silently; "
+                    "narrow it, re-raise, or convert to a structured "
+                    "failure record",
+                    node.lineno, node.col_offset,
+                ))
+        elif isinstance(node, ast.Assert):
+            if not _is_narrowing(node.test):
+                findings.append(Finding(
+                    "S302",
+                    "assert is stripped under 'python -O'; raise a coded "
+                    "error for runtime validation (narrowing asserts "
+                    "like 'assert x is not None' are exempt)",
+                    node.lineno, node.col_offset,
+                ))
+    return findings

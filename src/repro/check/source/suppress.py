@@ -1,0 +1,58 @@
+"""Inline suppression comments for the source linter.
+
+A finding is silenced by putting ``# repro: allow[S###]`` on the same
+line as the flagged construct (the line the diagnostic points at — for
+a multi-line statement that is the line the construct *starts* on)::
+
+    _STATE.clear()  # repro: allow[S202] per-process worker state
+
+Several codes may share one comment, comma-separated::
+
+    spec = os.environ.get(...)  # repro: allow[S104,S103]
+
+Suppressions are parsed from the token stream, not the AST, so they
+work on any line that holds a comment — including lines inside
+multi-line calls.  An ``allow`` for a code that never fires on that
+line is simply inert (the self-application test keeps the repository's
+own suppressions honest).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, Set
+
+__all__ = ["SUPPRESS_RE", "suppressions_for_source"]
+
+#: ``# repro: allow[S101]`` / ``# repro: allow[S101, S202]`` — anything
+#: after the closing bracket is free-form justification text.
+SUPPRESS_RE = re.compile(r"#\s*repro:\s*allow\[([A-Z0-9,\s]+)\]")
+
+
+def suppressions_for_source(source: str) -> Dict[int, Set[str]]:
+    """Map 1-based line numbers to the codes allowed on that line.
+
+    Tokenization errors are ignored here: a file that does not tokenize
+    will not parse either, and the analyzer reports that as ``S000``.
+    """
+    allowed: Dict[int, Set[str]] = {}
+    reader = io.StringIO(source).readline
+    try:
+        for token in tokenize.generate_tokens(reader):
+            if token.type != tokenize.COMMENT:
+                continue
+            match = SUPPRESS_RE.search(token.string)
+            if match is None:
+                continue
+            codes = {
+                part.strip()
+                for part in match.group(1).split(",")
+                if part.strip()
+            }
+            if codes:
+                allowed.setdefault(token.start[0], set()).update(codes)
+    except tokenize.TokenError:
+        pass
+    return allowed

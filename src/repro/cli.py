@@ -23,6 +23,7 @@ from repro.core.dag_mapper import map_dag
 from repro.errors import ReproError
 from repro.core.match import MatchKind
 from repro.core.netlist import mapped_to_network
+from repro.library.gate import GateLibrary
 from repro.core.tree_mapper import map_tree
 from repro.fpga.flowmap import flowmap
 from repro.harness import experiment as exp
@@ -41,7 +42,7 @@ _BUILTIN_LIBS = {
 }
 
 
-def _load_library(spec: str):
+def _load_library(spec: str) -> "GateLibrary":
     # One resolver for the whole CLI: a mistyped spec raises the coded
     # [R001] error naming the valid builtins instead of a bare
     # FileNotFoundError from read_genlib.
@@ -366,6 +367,74 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check_source(args: argparse.Namespace) -> int:
+    """``repro-map check --source``: the S### source linter.
+
+    With no positional inputs the installed :mod:`repro` package is
+    analyzed (the self-application CI runs); otherwise the given files
+    and directories are.  ``--baseline`` grandfathers a committed set of
+    findings: everything is still printed, but only *new* occurrences
+    drive the exit code.  ``--update-baseline`` rewrites that file from
+    the current findings instead of gating.
+    """
+    import os as _os
+
+    from repro.check.diagnostics import CheckReport
+    from repro.check.source import (
+        analyze_package,
+        analyze_paths,
+        load_baseline,
+        new_findings,
+        save_baseline,
+    )
+    from repro.errors import ReproError
+
+    if args.inputs:
+        report = analyze_paths(args.inputs)
+        label = ", ".join(args.inputs)
+    else:
+        report = analyze_package()
+        label = "package repro"
+
+    if args.update_baseline:
+        save_baseline(args.baseline, report)
+        print(
+            f"baseline written: {args.baseline} "
+            f"({len(report)} finding(s) from {label})"
+        )
+        return 0
+
+    print(f"== source analysis: {label} ==")
+    text = report.format()
+    if text:
+        print(text)
+
+    gate = report
+    if args.baseline and _os.path.exists(args.baseline):
+        try:
+            baseline = load_baseline(args.baseline)
+        except ReproError as exc:
+            raise SystemExit(f"repro check: {exc}") from None
+        fresh = new_findings(report, baseline)
+        grandfathered = len(report) - len(fresh)
+        if grandfathered:
+            print(
+                f"note: {grandfathered} finding(s) match the committed "
+                f"baseline ({args.baseline}) and do not gate"
+            )
+        gate = CheckReport(diagnostics=list(fresh), meta=dict(report.meta))
+    elif args.baseline:
+        print(f"note: baseline {args.baseline} not found; gating on all findings")
+
+    suppressed = report.meta.get("suppressed", 0)
+    print(
+        f"summary: {report.summary()} over {report.meta.get('files', 0)} "
+        f"file(s), {suppressed} suppressed inline; "
+        f"gating on {len(gate)} finding(s)"
+    )
+    return gate.exit_code(strict=args.strict)
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     from repro.check import CODES, certify_mapping
     from repro.check.library_lint import lint_genlib_file
@@ -377,10 +446,12 @@ def _cmd_check(args: argparse.Namespace) -> int:
             info = CODES[code]
             print(f"{code}  {info.severity.label():7s} {info.title}")
         return 0
+    if args.source:
+        return _cmd_check_source(args)
     if not args.inputs:
         raise SystemExit(
             "repro check: give at least one .blif/.genlib input "
-            "(or --list-codes)"
+            "(or --list-codes / --source)"
         )
 
     exit_code = 0
@@ -634,6 +705,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="map each BLIF input and certify the result")
     p_chk.add_argument("--list-codes", action="store_true",
                        help="print the diagnostic code catalog and exit")
+    p_chk.add_argument("--source", action="store_true",
+                       help="run the S### source linter over the repro "
+                            "package (or the given files/directories)")
+    p_chk.add_argument("--baseline", default="analysis-baseline.json",
+                       help="grandfathered-findings file for --source "
+                            "(gate only on new findings; default "
+                            "%(default)s, skipped when absent)")
+    p_chk.add_argument("--update-baseline", action="store_true",
+                       help="rewrite --baseline from the current --source "
+                            "findings instead of gating")
     p_chk.add_argument("--library", "-l", default="lib2",
                        help="library for --certify (builtin name or genlib)")
     p_chk.add_argument("--mode", choices=("dag", "tree"), default="dag")

@@ -86,6 +86,21 @@ class ParseError(ReproError):
         return SourceLoc(file=self.file, line=self.line)
 
 
+class EnvVarError(ReproError):
+    """A registered ``REPRO_*`` environment variable has a malformed value.
+
+    The message is ``NAME='raw' <problem>`` so call sites can wrap it in
+    their own coded errors (``[R002]`` runner config, network errors)
+    without rewording; ``name`` and ``raw`` ride along as attributes.
+    """
+
+    def __init__(self, name: str, raw: str, problem: str):
+        super().__init__(f"{name}={raw!r} {problem}")
+        self.name = name
+        self.raw = raw
+        self.problem = problem
+
+
 class NetworkError(ReproError):
     """The Boolean network is malformed or an operation on it is invalid."""
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import LibraryError
 from repro.library.gate import GateLibrary
 from repro.library.genlib import parse_genlib
 from repro.library.patterns import PatternGraph, PatternSet, generate_patterns
@@ -75,7 +76,11 @@ def figure1() -> Figure1:
         name="figure1-lib",
     )
     nor_patterns = generate_patterns(library.gate("nor2"))
-    assert len(nor_patterns) == 1
+    if len(nor_patterns) != 1:
+        raise LibraryError(
+            f"figure-1 nor2 gate produced {len(nor_patterns)} patterns, "
+            "expected exactly 1"
+        )
     return Figure1(subject, top, library, nor_patterns[0])
 
 

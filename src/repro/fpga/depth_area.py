@@ -54,7 +54,7 @@ def flowmap_area(
     sources = set(net.combinational_inputs())
     topo = [n.name for n in net.topological_order()]
     all_cuts = enumerate_cuts(
-        list(sources) + topo,
+        sorted(sources) + topo,
         lambda sig: list(net.node(sig).fanins),
         lambda sig: sig in sources,
         k,
@@ -70,8 +70,8 @@ def flowmap_area(
         uses[out] = uses.get(out, 0) + 1
 
     # Bottom-up labels: optimal depth and unconstrained area-flow.
-    depth: Dict[str, int] = {s: 0 for s in sources}
-    area_flow: Dict[str, float] = {s: 0.0 for s in sources}
+    depth: Dict[str, int] = {s: 0 for s in sorted(sources)}
+    area_flow: Dict[str, float] = {s: 0.0 for s in sorted(sources)}
     for sig in topo:
         best_depth: Optional[int] = None
         best_af = math.inf

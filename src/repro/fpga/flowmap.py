@@ -74,7 +74,7 @@ def _cone_of(net: BooleanNetwork, root: str, sources: Set[str]) -> List[str]:
             continue
         for fanin in net.node(sig).fanins:
             stack.append(fanin)
-    return list(seen)
+    return sorted(seen)
 
 
 def _cone_function(
@@ -169,10 +169,10 @@ def _min_height_cut(
     graph.add_node(source)
     graph.add_node(sink)
 
-    def in_node(sig: str):
+    def in_node(sig: str) -> Tuple[str, str]:
         return ("i", sig)
 
-    def out_node(sig: str):
+    def out_node(sig: str) -> Tuple[str, str]:
         return ("o", sig)
 
     inf = 10 ** 9
@@ -219,7 +219,7 @@ def flowmap(
     start = time.perf_counter()
     net = ensure_kbounded(net, k)
     sources = set(net.combinational_inputs())
-    labels: Dict[str, int] = {sig: 0 for sig in sources}
+    labels: Dict[str, int] = {sig: 0 for sig in sorted(sources)}
     cut_of: Dict[str, FrozenSet[str]] = {}
 
     for node in net.topological_order():
@@ -276,13 +276,13 @@ def cutmap(
     sources = set(net.combinational_inputs())
     topo = [n.name for n in net.topological_order()]
     all_cuts = enumerate_cuts(
-        list(sources) + topo,
+        sorted(sources) + topo,
         lambda sig: list(net.node(sig).fanins),
         lambda sig: sig in sources,
         k,
         max_cuts=max_cuts,
     )
-    labels: Dict[str, int] = {sig: 0 for sig in sources}
+    labels: Dict[str, int] = {sig: 0 for sig in sorted(sources)}
     cut_of: Dict[str, FrozenSet[str]] = {}
     for sig in topo:
         best = None

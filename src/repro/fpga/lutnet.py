@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import NetworkError
 from repro.network.functions import TruthTable
+
+if TYPE_CHECKING:
+    from repro.network.bnet import BooleanNetwork
 
 __all__ = ["LUT", "LUTNetwork"]
 
@@ -143,7 +146,7 @@ class LUTNetwork:
         return f"LUTNetwork({self.name!r}, k={self.k}, luts={len(self.luts)}, depth={self.depth()})"
 
 
-def lutnet_to_network(luts: LUTNetwork):
+def lutnet_to_network(luts: LUTNetwork) -> "BooleanNetwork":
     """Convert a LUT network to a :class:`BooleanNetwork`.
 
     Each LUT becomes a logic node carrying its truth table, so the result

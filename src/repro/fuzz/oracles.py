@@ -40,11 +40,11 @@ a reproducer replayed under the same environment fails identically.
 
 from __future__ import annotations
 
-import os
 import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro import env
 from repro.check import certify_mapping, lint_network, lint_subject
 from repro.check.diagnostics import CheckReport
 from repro.core.cover import build_cover
@@ -56,6 +56,7 @@ from repro.library.patterns import PatternSet
 from repro.network import bitsim
 from repro.network.bnet import BooleanNetwork
 from repro.network.decompose import decompose_network
+from repro.network.subject import SubjectGraph
 from repro.network.simulate import (
     exhaustive_equivalence,
     random_equivalence,
@@ -107,7 +108,7 @@ class OracleConfig:
     def resolved_inject(self) -> Optional[str]:
         mode = self.inject
         if mode is None:
-            mode = os.environ.get(FUZZ_INJECT_ENV) or None
+            mode = env.read_str(FUZZ_INJECT_ENV)
         if mode is not None and mode not in INJECT_MODES:
             raise ValueError(
                 f"unknown fuzz injection mode {mode!r}; "
@@ -273,7 +274,7 @@ def _cover_multiset(result: MappingResult) -> List[Tuple[str, Tuple[str, ...]]]:
 
 def _check_engine_agreement(
     report: CheckReport,
-    subject,
+    subject: SubjectGraph,
     patterns: PatternSet,
     kind: MatchKind,
     tree_result: MappingResult,

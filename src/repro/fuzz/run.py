@@ -23,6 +23,8 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.fuzz.corpus import save_entry
 from repro.fuzz.generator import FuzzConfig, config_from_dict, random_dag
 from repro.fuzz.oracles import OracleConfig, run_battery
+from repro.library.patterns import PatternSet
+from repro.network.bnet import BooleanNetwork
 from repro.fuzz.shrink import shrink
 from repro.network.blif import dumps_blif, loads_blif
 from repro.perf.parallel import run_tasks_parallel
@@ -140,7 +142,7 @@ def _run_seed(
     seed: int,
     base: FuzzConfig,
     oracle: OracleConfig,
-    patterns,
+    patterns: Optional[PatternSet],
     minimize: bool,
     shrink_evals: int,
 ) -> Dict[str, object]:
@@ -163,7 +165,7 @@ def _run_seed(
         return out
     target = set(codes)
 
-    def predicate(candidate) -> bool:
+    def predicate(candidate: BooleanNetwork) -> bool:
         rep = run_battery(candidate, oracle, patterns=patterns)
         return bool(target & {diag.code for diag in rep.errors()})
 

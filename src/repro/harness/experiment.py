@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.bench import circuits as bench_circuits
 from repro.bench.suite import SUITE, TABLE1_NAMES, TABLE23_NAMES
@@ -29,6 +29,7 @@ from repro.core.area_recovery import recover_area
 from repro.core.dag_mapper import map_dag
 from repro.core.match import MatchKind
 from repro.core.tree_mapper import map_tree
+from repro.errors import MappingError
 from repro.fpga.flowmap import cutmap, flowmap
 from repro.library.builtin import lib2_like, lib44_1, lib44_3
 from repro.library.gate import GateLibrary
@@ -226,19 +227,19 @@ def run_tree_vs_dag(
     ]
 
 
-def table1(**kwargs) -> List[ComparisonRow]:
+def table1(**kwargs: Any) -> List[ComparisonRow]:
     """E1 / paper Table 1: tree vs DAG under the lib2-like library."""
     kwargs.setdefault("library_spec", "lib2")
     return run_tree_vs_dag(lib2_like(), names=kwargs.pop("names", TABLE1_NAMES), **kwargs)
 
 
-def table2(**kwargs) -> List[ComparisonRow]:
+def table2(**kwargs: Any) -> List[ComparisonRow]:
     """E2 / paper Table 2: tree vs DAG under the 7-gate 44-1 library."""
     kwargs.setdefault("library_spec", "44-1")
     return run_tree_vs_dag(lib44_1(), names=kwargs.pop("names", TABLE23_NAMES), **kwargs)
 
 
-def table3(max_variants: int = 4, **kwargs) -> List[ComparisonRow]:
+def table3(max_variants: int = 4, **kwargs: Any) -> List[ComparisonRow]:
     """E3 / paper Table 3: tree vs DAG under the rich 44-3 library."""
     kwargs.setdefault("library_spec", "44-3")
     return run_tree_vs_dag(
@@ -682,7 +683,11 @@ def area_recovery_experiment(
             )
             check_equivalent(net, recovered)
             report = analyze(recovered)
-            assert report.delay <= target + 1e-6
+            if report.delay > target + 1e-6:
+                raise MappingError(
+                    f"area recovery broke the delay target on {name}: "
+                    f"{report.delay:.6f} > {target:.6f}"
+                )
             key = "opt" if factor == 1.0 else f"x{factor:g}"
             row[f"area_{key}"] = recovered.area()
             row[f"delay_{key}"] = report.delay

@@ -46,6 +46,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import env
 from repro.errors import LibraryError
 from repro.library.patterns import PatternGraph, PatternNode, PatternSet
 from repro.network.functions import TruthTable, variable_bits
@@ -283,9 +284,9 @@ def _cache_key(
 def _cache_dir(cache_dir: Optional[Path]) -> Path:
     if cache_dir is not None:
         return Path(cache_dir)
-    env = os.environ.get(_CACHE_ENV)
-    if env:
-        return Path(env)
+    configured = env.read_str(_CACHE_ENV)
+    if configured:
+        return Path(configured)
     return Path.home() / ".cache" / "repro" / "npn"
 
 
@@ -435,7 +436,10 @@ def _build_chains(
             )
         index, chain = row
         chains[index] = chain
-    assert all(chain is not None for chain in chains)
+    if any(chain is None for chain in chains):
+        raise LibraryError(
+            "parallel NPN-table build returned an incomplete chain set"
+        )
     return tuple(chain for chain in chains if chain is not None)
 
 

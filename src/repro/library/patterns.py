@@ -17,10 +17,10 @@ same balanced decomposition style, the canonical shapes line up.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import LibraryError
-from repro.library.gate import Gate, GateLibrary
+from repro.library.gate import Gate, GateLibrary, Pin
 from repro.network.expr import And, Const, Expr, Not, Or, Var, Xor
 from repro.network.subject import NodeType
 
@@ -127,7 +127,14 @@ def _depth_of(root: PatternNode) -> int:
     return rec(root)
 
 
-def _subtree_scan(node: PatternNode):
+#: A normalised expression / binary pattern tree: nested tuples whose
+#: first element names the node kind ('var'/'not'/'and'/'or'/'and2'/
+#: 'or2').  The shape is recursive, so the alias stays deliberately
+#: loose; _tree_key keys share it.
+_Tree = Tuple[object, ...]
+
+
+def _subtree_scan(node: PatternNode) -> Tuple[Set[int], bool]:
     """(uid set, is_tree) of the sub-DAG rooted at ``node``."""
     seen: set = set()
     is_tree = True
@@ -142,7 +149,9 @@ def _subtree_scan(node: PatternNode):
     return seen, is_tree
 
 
-def _swap_safe_nodes(nodes, node_keys) -> set:
+def _swap_safe_nodes(
+    nodes: Sequence[PatternNode], node_keys: Dict[int, object]
+) -> Set[int]:
     """NAND2 nodes where trying only one fanin order is lossless.
 
     Requirements: the two children have equal canonical keys (so a
@@ -156,7 +165,7 @@ def _swap_safe_nodes(nodes, node_keys) -> set:
     for node in nodes:
         for fanin in node.fanins:
             fanout[fanin.uid] = fanout.get(fanin.uid, 0) + 1
-    safe = set()
+    safe: Set[int] = set()
     for node in nodes:
         if node.kind is not NodeType.NAND2:
             continue
@@ -172,11 +181,13 @@ def _swap_safe_nodes(nodes, node_keys) -> set:
     return safe
 
 
-def _canonical_key(root: PatternNode, pin_classes: Dict[str, int]):
+def _canonical_key(
+    root: PatternNode, pin_classes: Dict[str, int]
+) -> Tuple[object, Dict[int, object]]:
     """(root key, per-node key map) for a pattern DAG."""
     memo: Dict[int, object] = {}
 
-    def rec(node: PatternNode):
+    def rec(node: PatternNode) -> object:
         if node.uid in memo:
             return memo[node.uid]
         if node.is_leaf:
@@ -219,7 +230,7 @@ def _pin_classes(gate: Gate) -> Dict[str, int]:
             x = parent[x]
         return x
 
-    def pin_params(pin) -> Tuple:
+    def pin_params(pin: Pin) -> Tuple:
         return (
             pin.phase, pin.input_load, pin.max_load,
             pin.rise_block, pin.rise_fanout, pin.fall_block, pin.fall_fanout,
@@ -244,7 +255,7 @@ def _pin_classes(gate: Gate) -> Dict[str, int]:
     return {gate.inputs[i]: find(i) for i in range(n)}
 
 
-def _normalize(expr: Expr):
+def _normalize(expr: Expr) -> _Tree:
     """Rewrite an Expr into nested ('var'|'not'|'and'|'or') tuples."""
     if isinstance(expr, Var):
         return ("var", expr.name)
@@ -276,7 +287,7 @@ def _normalize(expr: Expr):
 # ----------------------------------------------------------------------
 
 
-def _tree_key(tree):
+def _tree_key(tree: _Tree) -> _Tree:
     """Canonical key of a binary {var,not,and2,or2} tree (commutative ops)."""
     kind = tree[0]
     if kind == "var":
@@ -326,21 +337,21 @@ def _merge_rec(op: str, items: List, out: List, seen: set, cap: int) -> None:
                 return
 
 
-def _balanced(op: str, items: List):
+def _balanced(op: str, items: List) -> _Tree:
     if len(items) == 1:
         return items[0]
     mid = len(items) // 2
     return (op + "2", _balanced(op, items[:mid]), _balanced(op, items[mid:]))
 
 
-def _linear(op: str, items: List):
+def _linear(op: str, items: List) -> _Tree:
     tree = items[0]
     for item in items[1:]:
         tree = (op + "2", tree, item)
     return tree
 
 
-def _binary_variants(norm, cap: int) -> List:
+def _binary_variants(norm: _Tree, cap: int) -> List:
     """All binary-tree realisations of a normalised expression (capped)."""
     kind = norm[0]
     if kind == "var":
@@ -404,7 +415,7 @@ class _Builder:
             self._strash[key] = node
         return node
 
-    def emit(self, tree, inverted: bool) -> PatternNode:
+    def emit(self, tree: _Tree, inverted: bool) -> PatternNode:
         kind = tree[0]
         if kind == "var":
             node = self.leaf(tree[1])

@@ -28,13 +28,13 @@ snapshots into per-run ``sim_vectors_per_sec`` counters.
 
 from __future__ import annotations
 
-import os
 import random
 import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import NetworkError
+from repro import env
+from repro.errors import EnvVarError, NetworkError
 from repro.network.bnet import BooleanNetwork
 from repro.network.expr import Expr
 from repro.network.functions import TruthTable, variable_bits
@@ -77,12 +77,11 @@ def configured_vectors(override: Optional[int] = None) -> int:
     """Random-batch width: explicit override > ``REPRO_SIM_VECTORS`` > default."""
     if override is not None:
         return override
-    env = os.environ.get("REPRO_SIM_VECTORS")
-    if env is not None:
-        try:
-            value = int(env)
-        except ValueError as exc:
-            raise NetworkError(f"REPRO_SIM_VECTORS={env!r} is not an integer") from exc
+    try:
+        value = env.read_int("REPRO_SIM_VECTORS")
+    except EnvVarError as exc:
+        raise NetworkError(str(exc)) from exc
+    if value is not None:
         if value <= 0:
             raise NetworkError(f"REPRO_SIM_VECTORS must be positive, got {value}")
         return value
@@ -93,13 +92,11 @@ def configured_seed(override: Optional[int] = None) -> int:
     """PRNG seed: explicit override > ``REPRO_SIM_SEED`` > default."""
     if override is not None:
         return override
-    env = os.environ.get("REPRO_SIM_SEED")
-    if env is not None:
-        try:
-            return int(env)
-        except ValueError as exc:
-            raise NetworkError(f"REPRO_SIM_SEED={env!r} is not an integer") from exc
-    return DEFAULT_SEED
+    try:
+        value = env.read_int("REPRO_SIM_SEED")
+    except EnvVarError as exc:
+        raise NetworkError(str(exc)) from exc
+    return DEFAULT_SEED if value is None else value
 
 
 # ----------------------------------------------------------------------

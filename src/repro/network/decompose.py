@@ -19,11 +19,14 @@ the balanced decomposition SIS uses before mapping.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Union
+from typing import TYPE_CHECKING, Dict, List, Sequence, Union
 
 from repro.errors import NetworkError
 from repro.network.bnet import BooleanNetwork
 from repro.network.subject import NodeType, SubjectGraph, SubjectNode
+
+if TYPE_CHECKING:
+    from repro.network.functions import Cube, TruthTable
 
 __all__ = [
     "decompose_network",
@@ -124,7 +127,7 @@ def _make_const(graph: SubjectGraph, value: int) -> SubjectNode:
     return one if value else graph.add_inv(one)
 
 
-def _substitute_var(tt, j: int, i: int, negate: bool):
+def _substitute_var(tt: "TruthTable", j: int, i: int, negate: bool) -> "TruthTable":
     """Replace input ``j`` by input ``i`` (or its complement) in ``tt``.
 
     The result no longer depends on input ``j``.  Used when two fanins
@@ -153,7 +156,10 @@ def _is_complement(a: SubjectNode, b: SubjectNode) -> bool:
 
 
 def _decompose_node_tt(
-    graph: SubjectGraph, tt, fanin_values: List[Value], style: str = "balanced"
+    graph: SubjectGraph,
+    tt: "TruthTable",
+    fanin_values: List[Value],
+    style: str = "balanced",
 ) -> Value:
     """Decompose one node function given subject values for its fanins."""
     # Substitute known constants by cofactoring.
@@ -196,7 +202,7 @@ def _decompose_node_tt(
     cubes_pos = shrunk.isop()
     cubes_neg = (~shrunk).isop()
 
-    def cost(cubes) -> tuple:
+    def cost(cubes: List["Cube"]) -> tuple:
         return (len(cubes), sum(len(c) for c in cubes))
 
     if cost(cubes_neg) < cost(cubes_pos):
@@ -205,7 +211,10 @@ def _decompose_node_tt(
 
 
 def _build_sop(
-    graph: SubjectGraph, cubes, operands: List[SubjectNode], style: str
+    graph: SubjectGraph,
+    cubes: List["Cube"],
+    operands: List[SubjectNode],
+    style: str,
 ) -> SubjectNode:
     """Realise a sum of cubes as a NAND-NAND network over ``operands``."""
     cube_nands: List[SubjectNode] = []

@@ -76,7 +76,7 @@ class Expr:
     def __hash__(self) -> int:
         return hash((type(self).__name__, self._key()))
 
-    def _key(self):
+    def _key(self) -> object:
         raise NotImplementedError
 
     def __repr__(self) -> str:
@@ -98,13 +98,13 @@ class Var(Expr):
     def _collect_support(self, acc: set) -> None:
         acc.add(self.name)
 
-    def _eval_tt(self, env, n):
+    def _eval_tt(self, env: Dict[str, TruthTable], n: int) -> TruthTable:
         return env[self.name]
 
-    def eval_words(self, env, mask):
+    def eval_words(self, env: Dict[str, int], mask: int) -> int:
         return env[self.name] & mask
 
-    def _key(self):
+    def _key(self) -> object:
         return self.name
 
     def to_string(self) -> str:
@@ -124,13 +124,13 @@ class Const(Expr):
     def _collect_support(self, acc: set) -> None:
         pass
 
-    def _eval_tt(self, env, n):
+    def _eval_tt(self, env: Dict[str, TruthTable], n: int) -> TruthTable:
         return TruthTable.const1(n) if self.value else TruthTable.const0(n)
 
-    def eval_words(self, env, mask):
+    def eval_words(self, env: Dict[str, int], mask: int) -> int:
         return mask if self.value else 0
 
-    def _key(self):
+    def _key(self) -> object:
         return self.value
 
     def to_string(self) -> str:
@@ -148,13 +148,13 @@ class Not(Expr):
     def _collect_support(self, acc: set) -> None:
         self.child._collect_support(acc)
 
-    def _eval_tt(self, env, n):
+    def _eval_tt(self, env: Dict[str, TruthTable], n: int) -> TruthTable:
         return ~self.child._eval_tt(env, n)
 
-    def eval_words(self, env, mask):
+    def eval_words(self, env: Dict[str, int], mask: int) -> int:
         return ~self.child.eval_words(env, mask) & mask
 
-    def _key(self):
+    def _key(self) -> object:
         return self.child
 
     def to_string(self) -> str:
@@ -185,7 +185,7 @@ class _Nary(Expr):
         for arg in self.args:
             arg._collect_support(acc)
 
-    def _key(self):
+    def _key(self) -> object:
         return self.args
 
     def to_string(self) -> str:
@@ -203,13 +203,13 @@ class And(_Nary):
 
     _symbol = "*"
 
-    def _eval_tt(self, env, n):
+    def _eval_tt(self, env: Dict[str, TruthTable], n: int) -> TruthTable:
         out = TruthTable.const1(n)
         for arg in self.args:
             out = out & arg._eval_tt(env, n)
         return out
 
-    def eval_words(self, env, mask):
+    def eval_words(self, env: Dict[str, int], mask: int) -> int:
         out = mask
         for arg in self.args:
             out &= arg.eval_words(env, mask)
@@ -223,13 +223,13 @@ class Or(_Nary):
 
     _symbol = "+"
 
-    def _eval_tt(self, env, n):
+    def _eval_tt(self, env: Dict[str, TruthTable], n: int) -> TruthTable:
         out = TruthTable.const0(n)
         for arg in self.args:
             out = out | arg._eval_tt(env, n)
         return out
 
-    def eval_words(self, env, mask):
+    def eval_words(self, env: Dict[str, int], mask: int) -> int:
         out = 0
         for arg in self.args:
             out |= arg.eval_words(env, mask)
@@ -243,13 +243,13 @@ class Xor(_Nary):
 
     _symbol = "^"
 
-    def _eval_tt(self, env, n):
+    def _eval_tt(self, env: Dict[str, TruthTable], n: int) -> TruthTable:
         out = TruthTable.const0(n)
         for arg in self.args:
             out = out ^ arg._eval_tt(env, n)
         return out
 
-    def eval_words(self, env, mask):
+    def eval_words(self, env: Dict[str, int], mask: int) -> int:
         out = 0
         for arg in self.args:
             out ^= arg.eval_words(env, mask)

@@ -95,7 +95,7 @@ def sweep(net: BooleanNetwork) -> SweepReport:
     # Dead-logic removal: keep only cones of protected outputs.
     by_name = {name: (name, tt, fanins) for name, tt, fanins in new_nodes}
     needed: Set[str] = set()
-    stack = [resolve(sig) for sig in protected]
+    stack = [resolve(sig) for sig in sorted(protected)]
     while stack:
         signal = stack.pop()
         if signal in needed or signal not in by_name:

@@ -13,7 +13,12 @@ from __future__ import annotations
 import json
 import platform
 import time
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
+
+if TYPE_CHECKING:
+    from repro.core.result import MappingResult
+    from repro.harness.experiment import ComparisonRow
+    from repro.perf.parallel import CellFailure
 
 __all__ = ["SCHEMA", "result_record", "rows_to_records", "write_bench_json"]
 
@@ -21,7 +26,10 @@ SCHEMA = "repro-bench-mapper/1"
 
 
 def result_record(
-    name: str, subject_gates: int, result, wall_s: Optional[float] = None
+    name: str,
+    subject_gates: int,
+    result: "MappingResult",
+    wall_s: Optional[float] = None,
 ) -> Dict[str, object]:
     """Flatten one :class:`~repro.core.result.MappingResult` per circuit."""
     return {
@@ -36,7 +44,9 @@ def result_record(
     }
 
 
-def rows_to_records(rows) -> List[Dict[str, object]]:
+def rows_to_records(
+    rows: Sequence[Union["CellFailure", "ComparisonRow"]],
+) -> List[Dict[str, object]]:
     """Flatten :class:`~repro.harness.experiment.ComparisonRow` objects.
 
     :class:`~repro.perf.parallel.CellFailure` rows from the
@@ -83,7 +93,8 @@ def write_bench_json(
     """Write the report; returns the payload that was written."""
     payload: Dict[str, object] = {
         "schema": SCHEMA,
-        "generated": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+        # Run metadata, never byte-compared against other runs.
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),  # repro: allow[S102]
         "python": platform.python_version(),
         "machine": platform.machine(),
         "library": library,

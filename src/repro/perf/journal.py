@@ -32,9 +32,12 @@ import dataclasses
 import json
 import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.errors import JournalError
+
+if TYPE_CHECKING:
+    from repro.harness.experiment import ComparisonRow
 
 __all__ = [
     "JOURNAL_SCHEMA",
@@ -67,12 +70,12 @@ def cell_key(
     return (spec, kind, name, int(max_variants), bool(verify), bool(check))
 
 
-def row_to_payload(row) -> Dict[str, object]:
+def row_to_payload(row: "ComparisonRow") -> Dict[str, object]:
     """Flatten a :class:`~repro.harness.experiment.ComparisonRow` to JSON."""
     return dataclasses.asdict(row)
 
 
-def payload_to_row(payload: Dict[str, object]):
+def payload_to_row(payload: Dict[str, object]) -> "ComparisonRow":
     """Rebuild a :class:`~repro.harness.experiment.ComparisonRow`.
 
     Unknown keys (from a journal written by a newer version) are
@@ -98,7 +101,7 @@ class JournalState:
     #: every parsed record, in file order (for reporting/tests).
     records: List[Dict[str, object]] = field(default_factory=list)
 
-    def completed_row(self, key: CellKey):
+    def completed_row(self, key: CellKey) -> Optional["ComparisonRow"]:
         """The reconstructed row for ``key``, or None."""
         entry = self.completed.get(key)
         if entry is None:
@@ -214,7 +217,7 @@ class JournalWriter:
     def cell_ok(
         self,
         key: CellKey,
-        row,
+        row: "ComparisonRow",
         attempts: int,
         wall_s: float,
     ) -> None:

@@ -58,15 +58,22 @@ import os
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro import env
 from repro.errors import (
+    EnvVarError,
     RunnerConfigError,
     UnknownLibrarySpecError,
     WorkerInitError,
 )
 from repro.perf.counters import RunStats
 from repro.perf.journal import CellKey, JournalWriter, cell_key, load_journal
+
+if TYPE_CHECKING:
+    from repro.core.match import MatchKind
+    from repro.harness.experiment import ComparisonRow
+    from repro.library.gate import GateLibrary
 
 __all__ = [
     "BUILTIN_SPECS",
@@ -142,7 +149,7 @@ class CellFailure:
         }
 
 
-def resolve_library(spec: str):
+def resolve_library(spec: str) -> "GateLibrary":
     """Build a library from a respawnable spec (builtin name or genlib path).
 
     Raises:
@@ -158,7 +165,11 @@ def resolve_library(spec: str):
         "44-3": lib44_3,
         "mini": mini_library,
     }
-    assert tuple(builders) == BUILTIN_SPECS
+    if tuple(builders) != BUILTIN_SPECS:
+        raise RunnerConfigError(
+            "builtin library table out of sync with BUILTIN_SPECS: "
+            f"{tuple(builders)} != {BUILTIN_SPECS}"
+        )
     if spec in builders:
         return builders[spec]()
     if not os.path.isfile(spec):
@@ -200,14 +211,14 @@ def _init_suite_worker(
     from repro.core.match import MatchKind
     from repro.library.patterns import PatternSet
 
-    _STATE["patterns"] = PatternSet(
+    _STATE["patterns"] = PatternSet(  # repro: allow[S202] per-worker state
         resolve_library(spec), max_variants=max_variants
     )
-    _STATE["kind"] = MatchKind(kind_value)
-    _STATE["verify"] = verify
-    _STATE["cache"] = cache
-    _STATE["check"] = check
-    _STATE["engine"] = engine
+    _STATE["kind"] = MatchKind(kind_value)  # repro: allow[S202] per-worker state
+    _STATE["verify"] = verify  # repro: allow[S202] per-worker state
+    _STATE["cache"] = cache  # repro: allow[S202] per-worker state
+    _STATE["check"] = check  # repro: allow[S202] per-worker state
+    _STATE["engine"] = engine  # repro: allow[S202] per-worker state
     if engine == "cuts":
         # Build (or load from the persistent side-cache) the NPN table
         # once per worker, so per-cell mapping never pays for it.
@@ -228,18 +239,18 @@ def _init_worker(initargs: tuple) -> None:
     arbitrarily heavy worker-local state (pattern sets, caches, ...).
     """
     mode = initargs[0]
-    _STATE.clear()
-    _STATE["mode"] = mode
+    _STATE.clear()  # repro: allow[S202] per-worker state
+    _STATE["mode"] = mode  # repro: allow[S202] per-worker state
     if mode == "suite":
         _init_suite_worker(*initargs[1:])
     elif mode == "task":
         setup, setup_args = initargs[1], initargs[2]
-        _STATE["runner"] = setup(*setup_args)
+        _STATE["runner"] = setup(*setup_args)  # repro: allow[S202] per-worker state
     else:  # pragma: no cover - caller bug
         raise ValueError(f"unknown worker mode {mode!r}")
 
 
-def _run_task(payload):
+def _run_task(payload: object) -> object:
     if _STATE.get("mode") == "task":
         return _STATE["runner"](payload)
     from repro.harness.experiment import tree_vs_dag_cell
@@ -263,7 +274,7 @@ def _inject_fault(name: str, attempt: int) -> None:
     (sleep forever, every attempt) and ``flaky`` (raise on the first
     attempt only, succeed on retry).
     """
-    spec = os.environ.get("REPRO_FAULT_INJECT", "")
+    spec = env.read_str("REPRO_FAULT_INJECT", "") or ""
     for item in spec.split(","):
         mode, sep, target = item.strip().partition(":")
         if not sep or target != name:
@@ -279,7 +290,12 @@ def _inject_fault(name: str, attempt: int) -> None:
             )
 
 
-def _worker_main(worker_id: int, inbox, results, initargs: tuple) -> None:
+def _worker_main(
+    worker_id: int,
+    inbox: multiprocessing.Queue,
+    results: multiprocessing.connection.Connection,
+    initargs: tuple,
+) -> None:
     """One worker process: init once, then run single tasks.
 
     ``results`` is this worker's private end of a one-way pipe — each
@@ -350,32 +366,25 @@ class _Worker:
 
 
 def _resolve_float(
-    value: Optional[float], env: str, default: Optional[float]
+    value: Optional[float], name: str, default: Optional[float]
 ) -> Optional[float]:
     if value is None:
-        raw = os.environ.get(env)
-        if raw is None or raw == "":
-            return default
         try:
-            value = float(raw)
-        except ValueError:
-            raise RunnerConfigError(
-                f"[R002] {env}={raw!r} is not a number"
-            ) from None
+            value = env.read_float(name, default)
+        except EnvVarError as exc:
+            raise RunnerConfigError(f"[R002] {exc}") from None
+        if value is None:
+            return None
     return float(value)
 
 
-def _resolve_int(value: Optional[int], env: str, default: int) -> int:
+def _resolve_int(value: Optional[int], name: str, default: int) -> int:
     if value is None:
-        raw = os.environ.get(env)
-        if raw is None or raw == "":
-            return default
         try:
-            value = int(raw)
-        except ValueError:
-            raise RunnerConfigError(
-                f"[R002] {env}={raw!r} is not an integer"
-            ) from None
+            resolved = env.read_int(name, default)
+        except EnvVarError as exc:
+            raise RunnerConfigError(f"[R002] {exc}") from None
+        value = default if resolved is None else resolved
     return int(value)
 
 
@@ -389,7 +398,7 @@ def _iscas(name: str) -> str:
 def run_cells_parallel(
     spec: str,
     names: Sequence[str],
-    kind,
+    kind: MatchKind,
     max_variants: int = 8,
     verify: bool = True,
     cache: bool = True,
@@ -660,7 +669,7 @@ def _supervise(
         workers[next_wid] = _Worker(proc=proc, inbox=inbox, conn=recv_conn)
         next_wid += 1
 
-    def drain(conn) -> List[tuple]:
+    def drain(conn: multiprocessing.connection.Connection) -> List[tuple]:
         """Read every message already sitting in a worker's pipe."""
         messages: List[tuple] = []
         try:
@@ -673,7 +682,9 @@ def _supervise(
     def outstanding() -> int:
         return len(names) - len(completed)
 
-    def finish_ok(task_id: int, row, attempt: int, wall: float) -> None:
+    def finish_ok(
+        task_id: int, row: "ComparisonRow", attempt: int, wall: float
+    ) -> None:
         cell_wall[task_id] += wall
         completed[task_id] = row
         if writer is not None:
@@ -857,7 +868,9 @@ def _supervise(
             if worker.proc.is_alive() and worker.task is None:
                 try:
                     worker.inbox.put(None)
-                except Exception:  # pragma: no cover
+                except (OSError, ValueError):  # pragma: no cover
+                    # The queue may already be closed if the worker died;
+                    # the join/terminate ladder below still reaps it.
                     pass
         deadline = time.perf_counter() + 1.0
         for worker in workers.values():

@@ -59,7 +59,9 @@ class PatternGroup:
         }
 
 
-def _ordered_serial(pattern: PatternGraph):
+def _ordered_serial(
+    pattern: PatternGraph,
+) -> Tuple[Tuple[Tuple, ...], List[PatternNode]]:
     """(token tuple, first-visit node order) of a pattern's exact structure.
 
     The serialization is a prefix code (INV: one child, NAND2: two,
@@ -96,7 +98,7 @@ def _ordered_serial(pattern: PatternGraph):
     return tuple(tokens), order
 
 
-def _shape_key(node: PatternNode, memo: Dict[int, object]):
+def _shape_key(node: PatternNode, memo: Dict[int, object]) -> object:
     """Canonical *unordered* shape of a pattern subtree (pins erased).
 
     This is exactly the information structural feasibility depends on:

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Dict, Hashable, List, Optional, Tuple, Union
 
 from repro.core.dag_mapper import map_dag
 from repro.core.match import MatchKind
@@ -156,7 +156,7 @@ def retime_graph_of(
 
 def map_sequential(
     net: BooleanNetwork,
-    library,
+    library: Union[GateLibrary, PatternSet],
     mode: str = "dag",
     kind: MatchKind = MatchKind.STANDARD,
     max_variants: int = 16,

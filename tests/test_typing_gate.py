@@ -1,10 +1,10 @@
-"""The typing gate: mypy --strict over repro.check and repro.core.
+"""The typing gate: mypy --strict over the whole repro package.
 
 CI runs the gate directly (see .github/workflows/ci.yml); this test runs
 the same command when mypy is installed locally and skips otherwise, so
 the container's test run stays self-contained while developers with mypy
 get the gate as part of the suite.  A few cheap structural checks (the
-py.typed marker, complete annotations on the gated modules) always run.
+py.typed marker, complete annotations on every module) always run.
 """
 
 import ast
@@ -15,36 +15,39 @@ import subprocess
 import pytest
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
-GATED = [ROOT / "src" / "repro" / "check", ROOT / "src" / "repro" / "core"]
+PACKAGE = ROOT / "src" / "repro"
 
 
 def test_py_typed_marker_exists():
-    assert (ROOT / "src" / "repro" / "py.typed").exists()
+    assert (PACKAGE / "py.typed").exists()
 
 
-def test_gated_modules_fully_annotated():
-    """Every function in the gated packages annotates all args + return."""
+def test_package_fully_annotated():
+    """Every function in the package annotates all args + return."""
     gaps = []
-    for directory in GATED:
-        for path in sorted(directory.glob("*.py")):
-            tree = ast.parse(path.read_text(encoding="utf-8"))
-            for node in ast.walk(tree):
-                if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                    continue
-                args = node.args
-                every = list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
-                for arg in every:
-                    if arg.annotation is None and arg.arg not in ("self", "cls"):
-                        gaps.append(f"{path.name}:{node.lineno} {node.name}({arg.arg})")
-                if node.returns is None and node.name != "__init__":
-                    gaps.append(f"{path.name}:{node.lineno} {node.name} return")
+    for path in sorted(PACKAGE.rglob("*.py")):
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        rel = path.relative_to(PACKAGE)
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            args = node.args
+            every = list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+            for arg in every:
+                if arg.annotation is None and arg.arg not in ("self", "cls"):
+                    gaps.append(f"{rel}:{node.lineno} {node.name}({arg.arg})")
+            for star in (args.vararg, args.kwarg):
+                if star is not None and star.annotation is None:
+                    gaps.append(f"{rel}:{node.lineno} {node.name}(*{star.arg})")
+            if node.returns is None and node.name != "__init__":
+                gaps.append(f"{rel}:{node.lineno} {node.name} return")
     assert not gaps, "unannotated definitions in the typing-gate scope:\n" + "\n".join(gaps)
 
 
 @pytest.mark.skipif(shutil.which("mypy") is None, reason="mypy not installed")
 def test_mypy_strict_gate():
     proc = subprocess.run(
-        ["mypy", "--strict", "src/repro/check", "src/repro/core"],
+        ["mypy", "--strict", "src/repro"],
         cwd=ROOT,
         capture_output=True,
         text=True,
@@ -55,7 +58,7 @@ def test_mypy_strict_gate():
 @pytest.mark.skipif(shutil.which("ruff") is None, reason="ruff not installed")
 def test_ruff_gate():
     proc = subprocess.run(
-        ["ruff", "check", "src/repro/check", "src/repro/core"],
+        ["ruff", "check", "src/repro"],
         cwd=ROOT,
         capture_output=True,
         text=True,
