@@ -51,8 +51,10 @@ __all__ = ["check_package", "ENTRY_POINTS"]
 ENTRY_POINTS: Tuple[str, ...] = (
     "repro.perf.parallel._worker_main",
     "repro.perf.parallel._init_worker",
-    "repro.perf.parallel._init_suite_worker",
     "repro.perf.parallel._run_task",
+    "repro.perf.parallel._suite_bundle_factory",
+    "repro.perf.parallel._task_bundle_factory",
+    "repro.perf.campaign._mapping_bundle_factory",
 )
 
 #: Methods that mutate their receiver in place.

@@ -10,6 +10,7 @@ Subcommands::
     experiments run the full experiment battery (tables + ablations)
     check       lint inputs and certify mapping runs (coded diagnostics)
     fuzz        differential fuzzing with minimization and a corpus
+    campaign    stream a batch of mapping jobs over warm workers
 """
 
 from __future__ import annotations
@@ -550,6 +551,97 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.fuzz import parse_seed_spec
+    from repro.perf.campaign import (
+        load_manifest,
+        seed_ensemble,
+        stream_campaign,
+    )
+    from repro.perf.counters import RunStats
+
+    if args.manifest is None and args.seeds is None:
+        raise SystemExit(
+            "repro-map campaign: give a JSONL manifest or --seeds"
+        )
+    if args.manifest is not None and args.seeds is not None:
+        raise SystemExit(
+            "repro-map campaign: manifest and --seeds are exclusive"
+        )
+    if args.manifest is not None:
+        jobs = load_manifest(
+            args.manifest,
+            library=args.library,
+            mode=args.mode,
+            kind=args.match,
+            engine=args.engine,
+            max_variants=args.variants,
+            verify=args.verify,
+            check=args.check,
+        )
+    else:
+        try:
+            seeds = parse_seed_spec(args.seeds)
+        except ValueError as exc:
+            raise SystemExit(f"repro-map campaign: {exc}") from None
+        libraries = [s.strip() for s in args.libraries.split(",") if s.strip()]
+        jobs = seed_ensemble(
+            seeds,
+            libraries or [args.library],
+            nodes=args.nodes,
+            inputs=args.inputs,
+            mode=args.mode,
+            kind=args.match,
+            engine=args.engine,
+            max_variants=args.variants,
+            verify=args.verify,
+            check=args.check,
+            large_every=args.large_every,
+        )
+
+    stats = RunStats()
+    failed = 0
+    for result in stream_campaign(
+        jobs,
+        workers=args.jobs,
+        warm=not args.cold,
+        journal_path=args.journal,
+        resume_path=args.resume,
+        cell_timeout=args.cell_timeout,
+        retries=args.retries,
+        large_weight=args.large_weight,
+        stats=stats,
+    ):
+        row = result.row
+        if result.failed:
+            failed += 1
+            if not args.quiet:
+                print(f"FAILED {result.label}: {row.kind} "
+                      f"({row.error_type}) {row.error}")
+            continue
+        if not args.quiet:
+            origin = "resumed" if result.worker_id < 0 else (
+                "warm" if result.warm else "cold"
+            )
+            print(f"{result.label}: delay={row.delay:g} area={row.area:g} "
+                  f"gates={row.gates} cover={row.cover} "
+                  f"[{origin}] {result.wall_s:.3f}s")
+    hit_total = stats.warm_hits + stats.warm_misses
+    hit_rate = stats.warm_hits / hit_total if hit_total else 0.0
+    print(f"campaign: {stats.cells_ok} ok, {stats.cells_failed} failed, "
+          f"{stats.cells_resumed} resumed in {stats.wall_s:.2f}s "
+          f"({stats.jobs_per_s:.1f} jobs/s, p50 {stats.p50_s * 1e3:.1f}ms, "
+          f"p99 {stats.p99_s * 1e3:.1f}ms, "
+          f"warm-cache {hit_rate:.0%} of {hit_total})")
+    if args.stats_json:
+        with open(args.stats_json, "w", encoding="utf-8") as handle:
+            json.dump(stats.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return 1 if failed else 0
+
+
 def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
     """Fault-tolerance knobs shared by ``table`` and ``experiments``."""
     parser.add_argument("--cell-timeout", type=float, default=None,
@@ -782,6 +874,63 @@ def build_parser() -> argparse.ArgumentParser:
     p_fz.add_argument("--quiet", "-q", action="store_true",
                       help="suppress per-seed progress lines")
     p_fz.set_defaults(func=_cmd_fuzz)
+
+    p_cg = sub.add_parser(
+        "campaign",
+        help="stream a batch of mapping jobs over warm workers",
+        description="Run many mapping jobs through the streaming "
+                    "campaign engine: a long-lived worker pool that "
+                    "builds each (library, variants, kind, engine) "
+                    "cache bundle once per worker and reuses it across "
+                    "jobs, with size sharding, backpressure and "
+                    "journal-based resume.  Jobs come from a JSONL "
+                    "manifest (one {\"circuit\"|\"blif\"|\"seed\": ...} "
+                    "object per line) or a --seeds fuzz ensemble.",
+    )
+    p_cg.add_argument("manifest", nargs="?", default=None,
+                      help="JSONL job manifest (omit when using --seeds)")
+    p_cg.add_argument("--seeds", default=None, metavar="SPEC",
+                      help="generate a seeded ensemble instead of reading "
+                           "a manifest: N, A:B (half-open), A:B:STEP, or "
+                           "a comma-separated mix")
+    p_cg.add_argument("--libraries", default="lib2", metavar="SPECS",
+                      help="comma-separated library rotation for --seeds "
+                           "ensembles (default lib2)")
+    p_cg.add_argument("--library", "-l", default="lib2",
+                      help="default library for manifest entries that "
+                           "name none (default lib2)")
+    p_cg.add_argument("--mode", choices=("dag", "tree"), default="dag")
+    p_cg.add_argument("--match", choices=("standard", "exact", "extended"),
+                      default="standard")
+    p_cg.add_argument("--engine", choices=("structural", "cuts"),
+                      default="structural")
+    p_cg.add_argument("--variants", type=int, default=8)
+    p_cg.add_argument("--verify", action="store_true",
+                      help="simulation-check every mapped netlist against "
+                           "its source")
+    p_cg.add_argument("--check", action="store_true",
+                      help="run the mapping certificate in the worker")
+    p_cg.add_argument("--inputs", type=int, default=6,
+                      help="primary inputs per --seeds circuit")
+    p_cg.add_argument("--nodes", type=int, default=16,
+                      help="internal nodes per --seeds circuit")
+    p_cg.add_argument("--large-every", type=int, default=0, metavar="N",
+                      help="make every Nth --seeds circuit 8x larger "
+                           "(exercises size sharding; default off)")
+    p_cg.add_argument("--jobs", "-j", type=int, default=None,
+                      help="worker processes (default: CPU affinity)")
+    p_cg.add_argument("--cold", action="store_true",
+                      help="per-job process dispatch (fresh worker and "
+                           "cache build per job; the A/B baseline)")
+    p_cg.add_argument("--large-weight", type=int, default=None, metavar="W",
+                      help="jobs with weight >= W route to the dedicated "
+                           "large-job shard")
+    p_cg.add_argument("--stats-json", metavar="FILE",
+                      help="write the run's throughput counters as JSON")
+    p_cg.add_argument("--quiet", "-q", action="store_true",
+                      help="suppress per-job result lines")
+    _add_runner_arguments(p_cg)
+    p_cg.set_defaults(func=_cmd_campaign)
 
     return parser
 

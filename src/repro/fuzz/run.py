@@ -5,9 +5,10 @@ a seed range of generated networks (:mod:`repro.fuzz.generator`) under a
 wall-clock budget, optionally delta-debugs every failure down to a
 minimal reproducer (:mod:`repro.fuzz.shrink`) and persists reproducers
 into a replayable corpus (:mod:`repro.fuzz.corpus`).  With ``jobs > 1``
-seeds fan out over the fault-tolerant worker pool
-(:func:`repro.perf.parallel.run_tasks_parallel`), so a mapper crash or a
-hung seed costs one task, not the campaign.
+seeds stream through the fault-tolerant warm worker pool
+(:func:`repro.perf.stream.stream_jobs`) — the oracle's pattern set is
+built once per worker — so a mapper crash or a hung seed costs one
+task, not the campaign.
 
 Everything a worker returns is a plain dict of JSON-able values —
 minimized networks travel as BLIF text — so results cross the process
@@ -18,7 +19,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import asdict, dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
 from repro.fuzz.corpus import save_entry
 from repro.fuzz.generator import FuzzConfig, config_from_dict, random_dag
@@ -27,7 +28,6 @@ from repro.library.patterns import PatternSet
 from repro.network.bnet import BooleanNetwork
 from repro.fuzz.shrink import shrink
 from repro.network.blif import dumps_blif, loads_blif
-from repro.perf.parallel import run_tasks_parallel
 
 __all__ = [
     "SeedOutcome",
@@ -320,30 +320,50 @@ def run_campaign(
             minimize,
             shrink_evals,
         )
-        # Chunked dispatch so a wall-clock budget can stop between
-        # batches without abandoning in-flight work mid-seed.
-        chunk_size = max(jobs * 4, 1)
-        while remaining:
-            if out_of_budget():
-                break
-            chunk = remaining[:chunk_size]
-            remaining = remaining[chunk_size:]
-            rows = run_tasks_parallel(
-                _campaign_setup,
-                setup_args,
-                payloads=chunk,
-                labels=[f"seed{seed}" for seed in chunk],
-                jobs=jobs,
-                task_timeout=task_timeout,
-            )
-            for seed, row in zip(chunk, rows):
-                if getattr(row, "failed", False):
-                    result.worker_failures.append(row)
-                    say(f"seed {seed}: worker {row.kind}: {row.error}")
-                    continue
-                _absorb(row, generator, oracle, corpus_dir, result)
-                if row["codes"]:
-                    say(f"seed {seed}: {','.join(row['codes'])}")
+        # Stream seeds through the warm worker pool: the oracle's
+        # pattern set is built once per worker, and the budget gate
+        # runs per *pulled* seed — when it expires, no new seed is
+        # dispatched while in-flight seeds still finish whole.
+        from repro.perf.parallel import _task_bundle_factory
+        from repro.perf.stream import StreamJob, stream_jobs
+
+        pulled: List[int] = []
+
+        def feed() -> Iterator[StreamJob]:
+            while remaining:
+                if out_of_budget():
+                    return
+                seed = remaining.pop(0)
+                pulled.append(seed)
+                yield StreamJob(label=f"seed{seed}", payload=seed)
+
+        by_index: Dict[int, object] = {}
+        engine = stream_jobs(
+            feed(),
+            _task_bundle_factory,
+            (_campaign_setup, setup_args),
+            workers=max(1, min(jobs, len(remaining))),
+            eager_bundles=(("task",),),
+            cell_timeout=task_timeout,
+        )
+        try:
+            for stream_result in engine:
+                by_index[stream_result.index] = stream_result.row
+        finally:
+            engine.close()
+        # Absorb in seed order so failures and corpus entries are
+        # byte-identical to the serial path.
+        for index, seed in enumerate(pulled):
+            row = by_index.get(index)
+            if row is None:  # pragma: no cover - interrupted stream
+                continue
+            if getattr(row, "failed", False):
+                result.worker_failures.append(row)
+                say(f"seed {seed}: worker {row.kind}: {row.error}")
+                continue
+            _absorb(row, generator, oracle, corpus_dir, result)
+            if row["codes"]:
+                say(f"seed {seed}: {','.join(row['codes'])}")
 
     result.skipped = remaining
     result.wall_s = time.perf_counter() - started

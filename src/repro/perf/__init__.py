@@ -23,6 +23,15 @@ enforced byte-identical to the seed path by the test suite:
   run, and every finished cell is journalled
   (:mod:`repro.perf.journal`) so ``--resume`` re-runs only what is
   missing.
+* :mod:`repro.perf.stream` — the streaming engine under the batch
+  drivers: a long-lived warm worker pool consuming an unbounded job
+  iterator with per-worker cache bundles, size sharding, bounded
+  in-flight backpressure and completion-order result emission.
+* :mod:`repro.perf.campaign` — mapping campaigns over the stream
+  engine: heterogeneous (circuit, library, mode, engine) job batches
+  from a JSONL manifest or a seeded ensemble, exposed as
+  ``repro-map campaign`` and benchmarked by
+  ``benchmarks/bench_throughput.py``.
 
 :mod:`repro.perf.counters` carries the instrumentation counters that
 surface in :class:`repro.core.result.MappingResult` and in
@@ -30,19 +39,39 @@ surface in :class:`repro.core.result.MappingResult` and in
 """
 
 from repro.perf.benchjson import write_bench_json
+from repro.perf.campaign import (
+    CampaignJob,
+    CampaignOutcome,
+    CampaignRow,
+    load_manifest,
+    run_mapping_campaign,
+    seed_ensemble,
+    stream_campaign,
+)
 from repro.perf.counters import MatchStats, RunStats
 from repro.perf.journal import load_journal
 from repro.perf.parallel import CellFailure, run_cells_parallel
 from repro.perf.signature import cone_signature
+from repro.perf.stream import StreamJob, StreamResult, stream_jobs
 from repro.perf.trie import PatternTrie
 
 __all__ = [
+    "CampaignJob",
+    "CampaignOutcome",
+    "CampaignRow",
     "CellFailure",
     "MatchStats",
     "RunStats",
+    "StreamJob",
+    "StreamResult",
     "cone_signature",
     "load_journal",
+    "load_manifest",
     "PatternTrie",
     "run_cells_parallel",
+    "run_mapping_campaign",
+    "seed_ensemble",
+    "stream_campaign",
+    "stream_jobs",
     "write_bench_json",
 ]

@@ -66,6 +66,7 @@ def rows_to_records(
                 "subject_gates": row.subject_gates,
                 "tree_wall_s": round(row.tree_cpu, 4),
                 "dag_wall_s": round(row.dag_cpu, 4),
+                "wall_s": round(row.tree_cpu + row.dag_cpu, 4),
                 "tree_delay": row.tree_delay,
                 "dag_delay": row.dag_delay,
                 "tree_area": row.tree_area,

@@ -1,0 +1,632 @@
+"""Mapping campaigns: heterogeneous job streams over warm workers.
+
+A *campaign job* is one mapping run — a circuit (suite name, BLIF file
+or generated seed), a library spec, a mapper mode and the matcher
+options — and a campaign is an arbitrarily long stream of such jobs
+fanned over the streaming engine of :mod:`repro.perf.stream`.  Jobs
+sharing a cache bundle key (``library``, ``max_variants``, ``kind``,
+``engine``) reuse the worker's pattern trie / NPN-class table / matcher
+memos instead of rebuilding them per process; that amortisation is the
+whole point (``benchmarks/bench_throughput.py`` gates it).
+
+Results are :class:`CampaignRow` dataclasses whose :meth:`~CampaignRow.stable`
+view (everything except the timing field) is **byte-identical** however
+the jobs are scheduled — warm pool, cold per-job processes, replacement
+workers after a crash — which the equivalence tests assert.  The mapped
+netlist itself travels as a short content digest (``cover``), so a row
+stays cheap to pickle while still certifying *which* cover was chosen.
+
+Journal rows use the existing ``repro-run-journal/1`` format with the
+job's library as the cell ``spec`` and the job label as the cell
+``name``, so a partially journalled campaign resumes with the same
+machinery (and the same byte-identity guarantee) as the suite runner.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, fields, replace
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.errors import RunnerConfigError
+from repro.perf.counters import RunStats
+from repro.perf.journal import CellKey, JournalWriter, cell_key, load_journal
+from repro.perf.parallel import (
+    DEFAULT_BACKOFF,
+    DEFAULT_RETRIES,
+    _resolve_float,
+    _resolve_int,
+    default_jobs,
+    resolve_library,
+)
+from repro.perf.stream import StreamJob, StreamResult, stream_jobs
+
+__all__ = [
+    "CampaignJob",
+    "CampaignRow",
+    "CampaignOutcome",
+    "load_manifest",
+    "seed_ensemble",
+    "stream_campaign",
+    "run_mapping_campaign",
+]
+
+#: Mapper modes a job may name.
+MODES = ("dag", "tree")
+
+
+@dataclass(frozen=True)
+class CampaignJob:
+    """One mapping job of a campaign stream (picklable, hashable).
+
+    Attributes:
+        label: unique display/journal name of the job.
+        source: where the circuit comes from — ``("suite", name)``,
+            ``("blif", path)`` or ``("seed", seed, generator_json)``
+            (the generator knobs as canonical JSON, so the job is
+            self-contained and reproducible in any worker).
+        library: respawnable library spec (builtin name or genlib path).
+        mode: ``"dag"`` or ``"tree"``.
+        kind: match kind for the DAG mapper.
+        engine: matcher candidate engine (``structural``/``cuts``).
+        max_variants: pattern variants per gate.
+        verify: simulate the mapped netlist against its source.
+        check: run the mapping certificate inside the worker.
+        decompose: subject decomposition style.
+        weight: size hint for the engine's large/small sharding.
+    """
+
+    label: str
+    source: Tuple[str, ...]
+    library: str = "lib2"
+    mode: str = "dag"
+    kind: str = "standard"
+    engine: str = "structural"
+    max_variants: int = 8
+    verify: bool = False
+    check: bool = False
+    decompose: str = "balanced"
+    weight: int = 0
+
+    def bundle(self) -> Tuple[object, ...]:
+        """The cache-bundle key this job needs in its worker."""
+        return (self.library, int(self.max_variants), self.kind, self.engine)
+
+    def key(self) -> CellKey:
+        """The journal identity (``repro-run-journal/1`` cell key)."""
+        return cell_key(
+            self.library, self.kind, self.label, self.max_variants,
+            self.verify, self.check,
+        )
+
+
+@dataclass
+class CampaignRow:
+    """One finished campaign job (scheduling-independent except cpu_s).
+
+    Attributes:
+        label: the job label.
+        circuit: the source network's name.
+        mode / kind / engine / library: echo of the job options.
+        subject_gates: NAND2/INV nodes of the decomposed subject.
+        delay: mapped delay (load-independent model).
+        area: total cell area.
+        gates: gate count of the mapped netlist.
+        n_matches: matches enumerated during labeling.
+        cover: 16-hex-digit SHA-256 digest of the mapped netlist's BLIF
+            text — a content certificate for the chosen cover.
+        verified: the mapped netlist was simulation-checked against the
+            source network.
+        cpu_s: worker-side wall-clock of the mapping run (the only
+            field excluded from :meth:`stable`).
+    """
+
+    label: str
+    circuit: str
+    mode: str
+    kind: str
+    engine: str
+    library: str
+    subject_gates: int
+    delay: float
+    area: float
+    gates: int
+    n_matches: int
+    cover: str
+    verified: bool
+    cpu_s: float
+
+    #: Duck-typing marker matching ComparisonRow/CellFailure handling.
+    failed = False
+
+    def stable(self) -> Dict[str, object]:
+        """Every scheduling-independent field (drops ``cpu_s``)."""
+        out = {f.name: getattr(self, f.name) for f in fields(self)}
+        del out["cpu_s"]
+        return out
+
+
+def _payload_to_campaign_row(payload: Dict[str, object]) -> CampaignRow:
+    """Rebuild a journalled row; unknown keys are dropped (fwd compat)."""
+    names = {f.name for f in fields(CampaignRow)}
+    return CampaignRow(**{k: v for k, v in payload.items() if k in names})  # type: ignore[arg-type]
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+
+def _build_network(job: CampaignJob) -> object:
+    src = job.source
+    if src[0] == "suite":
+        from repro.bench.suite import SUITE
+
+        return SUITE[src[1]].build()
+    if src[0] == "blif":
+        from repro.network.blif import read_blif
+
+        return read_blif(src[1])
+    if src[0] == "seed":
+        from repro.fuzz.generator import config_from_dict, random_dag
+
+        config = config_from_dict(json.loads(src[2])).with_seed(int(src[1]))
+        return random_dag(config)
+    raise RunnerConfigError(f"[R002] unknown campaign source {src!r}")
+
+
+def _run_campaign_job(job: CampaignJob, patterns: object) -> CampaignRow:
+    from repro.core.dag_mapper import map_dag
+    from repro.core.match import MatchKind
+    from repro.core.tree_mapper import map_tree
+    from repro.network.decompose import decompose_network
+    from repro.network.mapped_io import dumps_mapped_blif
+
+    net = _build_network(job)
+    subject = decompose_network(net, style=job.decompose)
+    if job.mode == "dag":
+        result = map_dag(
+            subject, patterns, kind=MatchKind(job.kind),
+            cache=True, check=job.check, engine=job.engine,
+        )
+    else:
+        result = map_tree(
+            subject, patterns, cache=True, check=job.check,
+            engine=job.engine,
+        )
+    verified = False
+    if job.verify:
+        from repro.network.simulate import check_equivalent
+
+        check_equivalent(net, result.netlist)
+        verified = True
+    cover = hashlib.sha256(
+        dumps_mapped_blif(result.netlist).encode("utf-8")
+    ).hexdigest()[:16]
+    return CampaignRow(
+        label=job.label,
+        circuit=getattr(net, "name", job.label),
+        mode=job.mode,
+        kind=job.kind,
+        engine=job.engine,
+        library=job.library,
+        subject_gates=subject.n_gates,
+        delay=result.delay,
+        area=result.area,
+        gates=result.netlist.gate_count(),
+        n_matches=result.n_matches,
+        cover=cover,
+        verified=verified,
+        cpu_s=result.cpu_seconds,
+    )
+
+
+def _mapping_bundle_factory() -> Callable[[tuple], Callable[[object], object]]:
+    """Per-worker bundle factory for mapping campaigns.
+
+    One bundle per distinct ``(library, max_variants, kind, engine)``:
+    the pattern trie plus — for the cuts engine — the persistent
+    NPN-class table.  Jobs only carry the key; the heavy state never
+    crosses the process boundary.
+    """
+
+    def build(bundle_key: tuple) -> Callable[[object], object]:
+        from repro.library.patterns import PatternSet
+
+        library_spec, max_variants, _kind, engine = bundle_key
+        patterns = PatternSet(
+            resolve_library(library_spec), max_variants=max_variants
+        )
+        if engine == "cuts":
+            from repro.library.npn_table import table_for
+
+            table_for(patterns)
+
+        def runner(job: object) -> object:
+            return _run_campaign_job(job, patterns)  # type: ignore[arg-type]
+
+        return runner
+
+    return build
+
+
+# ----------------------------------------------------------------------
+# Job construction
+# ----------------------------------------------------------------------
+
+#: FuzzConfig knobs a manifest/ensemble entry may set for seed jobs.
+_GENERATOR_KNOBS = (
+    "n_inputs", "n_nodes", "n_outputs", "reconvergence", "fanout_skew",
+    "depth_bias",
+)
+
+
+def _generator_json(**knobs: object) -> str:
+    from repro.fuzz.generator import FuzzConfig
+
+    config = FuzzConfig(**{k: v for k, v in knobs.items() if v is not None})  # type: ignore[arg-type]
+    return json.dumps(config.as_dict(), sort_keys=True)
+
+
+def load_manifest(
+    path: str,
+    library: str = "lib2",
+    mode: str = "dag",
+    kind: str = "standard",
+    engine: str = "structural",
+    max_variants: int = 8,
+    verify: bool = False,
+    check: bool = False,
+) -> List[CampaignJob]:
+    """Parse a JSONL job manifest into :class:`CampaignJob` entries.
+
+    Each line is one JSON object naming exactly one circuit source —
+    ``{"circuit": "C432s"}`` (suite name), ``{"blif": "path"}`` or
+    ``{"seed": 7}`` (optionally with generator knobs ``inputs``/
+    ``nodes``/``outputs``/``reconvergence``/``fanout_skew``/
+    ``depth_bias``) — plus optional per-job overrides (``label``,
+    ``library``, ``mode``, ``kind``, ``engine``, ``max_variants``,
+    ``verify``, ``check``, ``decompose``, ``weight``).  The keyword
+    arguments are the defaults a line inherits.
+
+    Raises:
+        RunnerConfigError: unreadable file or malformed entry (``R002``).
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    except OSError as exc:
+        raise RunnerConfigError(
+            f"[R002] cannot read campaign manifest {path!r}: {exc}"
+        ) from None
+    jobs: List[CampaignJob] = []
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip() or line.lstrip().startswith("#"):
+            continue
+        try:
+            entry = json.loads(line)
+        except ValueError:
+            raise RunnerConfigError(
+                f"[R002] campaign manifest {path}:{lineno}: malformed JSON"
+            ) from None
+        if not isinstance(entry, dict):
+            raise RunnerConfigError(
+                f"[R002] campaign manifest {path}:{lineno}: entry is not "
+                "an object"
+            )
+        sources = [k for k in ("circuit", "blif", "seed") if k in entry]
+        if len(sources) != 1:
+            raise RunnerConfigError(
+                f"[R002] campaign manifest {path}:{lineno}: need exactly "
+                f"one of circuit/blif/seed, got {sources or 'none'}"
+            )
+        weight = int(entry.get("weight", 0))
+        if "circuit" in entry:
+            source: Tuple[str, ...] = ("suite", str(entry["circuit"]))
+            stem = str(entry["circuit"])
+        elif "blif" in entry:
+            source = ("blif", str(entry["blif"]))
+            stem = os.path.splitext(os.path.basename(str(entry["blif"])))[0]
+        else:
+            gen_json = _generator_json(
+                n_inputs=entry.get("inputs"),
+                n_nodes=entry.get("nodes"),
+                n_outputs=entry.get("outputs"),
+                reconvergence=entry.get("reconvergence"),
+                fanout_skew=entry.get("fanout_skew"),
+                depth_bias=entry.get("depth_bias"),
+            )
+            source = ("seed", str(int(entry["seed"])), gen_json)
+            stem = f"s{int(entry['seed'])}"
+            if not weight:
+                weight = int(entry.get("nodes", 0))
+        jobs.append(CampaignJob(
+            label=str(entry.get("label", f"j{lineno}-{stem}")),
+            source=source,
+            library=str(entry.get("library", library)),
+            mode=str(entry.get("mode", mode)),
+            kind=str(entry.get("kind", kind)),
+            engine=str(entry.get("engine", engine)),
+            max_variants=int(entry.get("max_variants", max_variants)),
+            verify=bool(entry.get("verify", verify)),
+            check=bool(entry.get("check", check)),
+            decompose=str(entry.get("decompose", "balanced")),
+            weight=weight,
+        ))
+    if not jobs:
+        raise RunnerConfigError(
+            f"[R002] campaign manifest {path!r} contains no jobs"
+        )
+    return jobs
+
+
+def seed_ensemble(
+    seeds: Sequence[int],
+    libraries: Sequence[str],
+    nodes: int = 16,
+    inputs: int = 6,
+    mode: str = "dag",
+    kind: str = "standard",
+    engine: str = "structural",
+    max_variants: int = 8,
+    verify: bool = False,
+    check: bool = False,
+    large_nodes: Optional[int] = None,
+    large_every: int = 0,
+) -> List[CampaignJob]:
+    """A seeded fuzz-circuit ensemble rotating over ``libraries``.
+
+    Each seed becomes one job labelled ``s<seed>-<library>``; libraries
+    rotate round-robin so consecutive jobs hit *different* cache
+    bundles — the worst case for per-process cache rebuilds and exactly
+    what the warm pool amortises.  With ``large_every > 0``, every
+    ``large_every``-th job generates a ``large_nodes``-node circuit
+    instead (``weight`` = its node count) to exercise the engine's
+    size sharding.
+    """
+    if not seeds or not libraries:
+        raise RunnerConfigError(
+            "[R002] seed ensemble needs at least one seed and one library"
+        )
+    small_json = _generator_json(n_inputs=inputs, n_nodes=nodes)
+    big = large_nodes if large_nodes is not None else nodes * 8
+    large_json = _generator_json(n_inputs=inputs, n_nodes=big)
+    jobs: List[CampaignJob] = []
+    for i, seed in enumerate(seeds):
+        library = libraries[i % len(libraries)]
+        is_large = large_every > 0 and i % large_every == large_every - 1
+        jobs.append(CampaignJob(
+            label=f"s{seed}-{library}",
+            source=(
+                "seed", str(seed), large_json if is_large else small_json
+            ),
+            library=library,
+            mode=mode,
+            kind=kind,
+            engine=engine,
+            max_variants=max_variants,
+            verify=verify,
+            check=check,
+            weight=big if is_large else nodes,
+        ))
+    return jobs
+
+
+# ----------------------------------------------------------------------
+# Drivers
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class CampaignOutcome:
+    """Materialised campaign result: rows in job order, plus counters."""
+
+    rows: List[object]
+    stats: RunStats
+
+    @property
+    def ok(self) -> bool:
+        return not any(getattr(row, "failed", False) for row in self.rows)
+
+
+def stream_campaign(
+    jobs: Sequence[CampaignJob],
+    workers: Optional[int] = None,
+    warm: bool = True,
+    journal_path: Optional[str] = None,
+    resume_path: Optional[str] = None,
+    cell_timeout: Optional[float] = None,
+    retries: Optional[int] = None,
+    backoff: Optional[float] = None,
+    large_weight: Optional[int] = None,
+    max_inflight: Optional[int] = None,
+    stats: Optional[RunStats] = None,
+) -> Iterator[StreamResult]:
+    """Stream ``jobs`` through warm workers, yielding completion order.
+
+    ``warm=False`` is the cold baseline: every job runs in a fresh
+    worker process (``recycle_after=1``) and rebuilds its cache bundle
+    — per-job process dispatch, the thing the warm pool is benchmarked
+    against.  ``resume_path`` replays jobs journalled ``ok`` under the
+    same configuration without re-running them (``resumed`` results
+    carry ``attempts=0``, ``worker_id=-1``).
+
+    Result ``index`` values refer to positions in ``jobs``.  Timeout,
+    retry and backoff fall back to the same ``REPRO_CELL_*`` env knobs
+    as the suite runner.
+
+    Raises:
+        UnknownLibrarySpecError: a job names a bad library (``R001``),
+            before any worker is spawned.
+        RunnerConfigError: bad knob values (``R002``).
+        WorkerInitError: a worker failed to initialise (``R003``).
+        JournalError: unreadable ``resume_path`` (``R004``).
+    """
+    jobs = list(jobs)
+    run_stats = stats if stats is not None else RunStats()
+    if workers is not None and int(workers) < 1:
+        raise RunnerConfigError(
+            f"[R002] workers must be >= 1, got {workers!r}"
+        )
+    cell_timeout = _resolve_float(cell_timeout, "REPRO_CELL_TIMEOUT", None)
+    if cell_timeout is not None and cell_timeout <= 0:
+        raise RunnerConfigError(
+            f"[R002] cell timeout must be positive, got {cell_timeout!r}"
+        )
+    retries_v = _resolve_int(retries, "REPRO_CELL_RETRIES", DEFAULT_RETRIES)
+    if retries_v < 0:
+        raise RunnerConfigError(
+            f"[R002] retries must be >= 0, got {retries_v!r}"
+        )
+    backoff_v = _resolve_float(backoff, "REPRO_CELL_BACKOFF", DEFAULT_BACKOFF)
+    if backoff_v is None or backoff_v < 0:
+        raise RunnerConfigError(
+            f"[R002] backoff must be >= 0, got {backoff_v!r}"
+        )
+    for mode in sorted({job.mode for job in jobs}):
+        if mode not in MODES:
+            raise RunnerConfigError(
+                f"[R002] campaign job mode must be one of {MODES}, "
+                f"got {mode!r}"
+            )
+    for spec in sorted({job.library for job in jobs}):
+        resolve_library(spec)  # fail fast (R001) before any fork
+
+    started = time.perf_counter()
+    run_stats.cells_total += len(jobs)
+    state = load_journal(resume_path) if resume_path is not None else None
+    if resume_path is not None and journal_path is None:
+        journal_path = resume_path
+    writer = JournalWriter(journal_path) if journal_path else None
+
+    workers_n = default_jobs() if workers is None else int(workers)
+    workers_n = max(1, min(workers_n, len(jobs) or 1))
+    if writer is not None:
+        writer.start(
+            "campaign", "stream", [job.label for job in jobs], workers_n,
+            cell_timeout, retries_v,
+            resumed_cells=0,
+        )
+
+    from collections import deque
+
+    resumed: Deque[StreamResult] = deque()
+    index_map: List[int] = []
+
+    def feed() -> Iterator[StreamJob]:
+        for i, job in enumerate(jobs):
+            if state is not None:
+                entry = state.completed.get(job.key())
+                if entry is not None:
+                    run_stats.cells_resumed += 1
+                    resumed.append(StreamResult(
+                        index=i,
+                        label=job.label,
+                        row=_payload_to_campaign_row(entry[0]),
+                        failed=False,
+                        warm=True,
+                        worker_id=-1,
+                        attempts=0,
+                        wall_s=0.0,
+                    ))
+                    continue
+            index_map.append(i)
+            yield StreamJob(
+                label=job.label,
+                payload=job,
+                bundle=job.bundle(),
+                weight=job.weight,
+                key=job.key(),
+            )
+
+    engine = stream_jobs(
+        feed(),
+        _mapping_bundle_factory,
+        (),
+        workers=workers_n,
+        cell_timeout=cell_timeout,
+        retries=retries_v,
+        backoff=backoff_v,
+        max_inflight=max_inflight,
+        large_weight=large_weight,
+        recycle_after=None if warm else 1,
+        writer=writer,
+        stats=run_stats,
+    )
+    try:
+        for result in engine:
+            while resumed:
+                yield resumed.popleft()
+            if result.failed:
+                run_stats.cells_failed += 1
+            else:
+                run_stats.cells_ok += 1
+            yield replace(result, index=index_map[result.index])
+        while resumed:
+            yield resumed.popleft()
+    finally:
+        engine.close()
+        run_stats.wall_s = time.perf_counter() - started
+        if writer is not None:
+            writer.end(run_stats.as_dict())
+
+
+def run_mapping_campaign(
+    jobs: Sequence[CampaignJob],
+    workers: Optional[int] = None,
+    warm: bool = True,
+    journal_path: Optional[str] = None,
+    resume_path: Optional[str] = None,
+    cell_timeout: Optional[float] = None,
+    retries: Optional[int] = None,
+    backoff: Optional[float] = None,
+    large_weight: Optional[int] = None,
+    max_inflight: Optional[int] = None,
+    on_result: Optional[Callable[[StreamResult], None]] = None,
+) -> CampaignOutcome:
+    """Run a campaign to completion; rows come back in job order.
+
+    A convenience wrapper over :func:`stream_campaign` for finite job
+    lists: every job yields exactly one row — a :class:`CampaignRow` or
+    a :class:`~repro.perf.parallel.CellFailure` — at its input position.
+    ``on_result`` observes results in completion order as they land
+    (progress reporting).
+    """
+    jobs = list(jobs)
+    stats = RunStats()
+    by_index: Dict[int, object] = {}
+    for result in stream_campaign(
+        jobs,
+        workers=workers,
+        warm=warm,
+        journal_path=journal_path,
+        resume_path=resume_path,
+        cell_timeout=cell_timeout,
+        retries=retries,
+        backoff=backoff,
+        large_weight=large_weight,
+        max_inflight=max_inflight,
+        stats=stats,
+    ):
+        by_index[result.index] = result.row
+        if on_result is not None:
+            on_result(result)
+    rows = [by_index[i] for i in range(len(jobs)) if i in by_index]
+    if len(rows) != len(jobs):  # pragma: no cover - interrupted stream
+        rows = [
+            by_index.get(i) for i in range(len(jobs))
+        ]
+        rows = [row for row in rows if row is not None]
+    return CampaignOutcome(rows=rows, stats=stats)

@@ -10,9 +10,22 @@ trajectory is tracked across PRs.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
-from typing import Dict
+from typing import Dict, Sequence
 
-__all__ = ["MatchStats", "NPNStats", "SimStats", "RunStats"]
+__all__ = ["MatchStats", "NPNStats", "SimStats", "RunStats", "percentile"]
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ``samples`` (``q`` in [0, 100]).
+
+    Nearest-rank (no interpolation) so a reported p99 is always a
+    latency that actually occurred.  Returns 0.0 for an empty sample.
+    """
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(1, -(-len(ordered) * q // 100))  # ceil without math import
+    return ordered[min(len(ordered), int(rank)) - 1]
 
 
 @dataclass
@@ -200,6 +213,19 @@ class RunStats:
         workers_replaced: replacement workers spawned mid-run.
         interrupted: the run was stopped by ``KeyboardInterrupt``.
         wall_s: supervisor wall-clock for the whole run.
+        jobs_per_s: completed jobs per second of engine wall-clock
+            (resumed cells excluded — they never hit a worker).
+        p50_s / p95_s / p99_s: nearest-rank percentiles of per-job
+            wall-clock (all attempts of a job summed).
+        warm_hits: jobs served by a worker that already held the job's
+            cache bundle (pattern trie / NPN table / memos).
+        warm_misses: jobs that had to build their bundle first.
+        shard_small_jobs / shard_large_jobs: jobs routed to each shard
+            of the size-sharded stream engine.
+        shard_steals: small jobs executed by an idle large-shard worker.
+        workers_spawned: worker processes started over the whole run.
+        workers_recycled: workers retired by the ``recycle_after``
+            policy (the cold-dispatch baseline retires after every job).
     """
 
     cells_total: int = 0
@@ -212,10 +238,30 @@ class RunStats:
     workers_replaced: int = 0
     interrupted: bool = False
     wall_s: float = 0.0
+    jobs_per_s: float = 0.0
+    p50_s: float = 0.0
+    p95_s: float = 0.0
+    p99_s: float = 0.0
+    warm_hits: int = 0
+    warm_misses: int = 0
+    shard_small_jobs: int = 0
+    shard_large_jobs: int = 0
+    shard_steals: int = 0
+    workers_spawned: int = 0
+    workers_recycled: int = 0
+
+    def observe_latencies(self, latencies: Sequence[float]) -> None:
+        """Fill the latency percentiles from per-job wall-clocks."""
+        self.p50_s = percentile(latencies, 50)
+        self.p95_s = percentile(latencies, 95)
+        self.p99_s = percentile(latencies, 99)
 
     def as_dict(self) -> Dict[str, object]:
         out: Dict[str, object] = {
             f.name: getattr(self, f.name) for f in fields(self)
         }
         out["wall_s"] = round(self.wall_s, 4)
+        out["jobs_per_s"] = round(self.jobs_per_s, 3)
+        for name in ("p50_s", "p95_s", "p99_s"):
+            out[name] = round(getattr(self, name), 6)
         return out

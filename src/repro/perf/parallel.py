@@ -43,11 +43,17 @@ Deterministic fault injection for tests and CI::
 only — exercising crash isolation, timeout replacement and bounded
 retry respectively.
 
-The supervision machinery is not suite-specific: the worker initializer
-and the per-task body dispatch on an ``initargs`` mode tag, and
-:func:`run_tasks_parallel` exposes the same crash-isolated, retrying,
-timeout-enforcing pool for arbitrary picklable payloads (the fuzzing
-campaign of :mod:`repro.fuzz.run` fans out over it with ``--jobs``).
+The supervision loop itself lives in :mod:`repro.perf.stream` (the
+streaming warm-worker campaign engine); this module keeps the worker
+protocol (:func:`_worker_main`, fault injection, bundle factories) and
+the two batch drivers.  Workers hold *cache bundles* — one built
+runner per distinct configuration key — so a long-lived worker reuses
+its pattern trie / NPN table / memos across every job that shares the
+key.  :func:`run_tasks_parallel` exposes the same crash-isolated,
+retrying, timeout-enforcing pool for arbitrary picklable payloads (the
+fuzzing campaign of :mod:`repro.fuzz.run` fans out over it with
+``--jobs``), and :mod:`repro.perf.campaign` streams heterogeneous
+mapping jobs over the same workers.
 """
 
 from __future__ import annotations
@@ -56,16 +62,14 @@ import multiprocessing
 import multiprocessing.connection
 import os
 import time
-from collections import deque
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import env
 from repro.errors import (
     EnvVarError,
     RunnerConfigError,
     UnknownLibrarySpecError,
-    WorkerInitError,
 )
 from repro.perf.counters import RunStats
 from repro.perf.journal import CellKey, JournalWriter, cell_key, load_journal
@@ -185,11 +189,15 @@ def default_jobs() -> int:
     ``os.sched_getaffinity`` respects cgroup/container CPU restrictions
     and ``taskset``; the bare ``os.cpu_count()`` (the seed behaviour)
     over-subscribes restricted containers.  Falls back to ``cpu_count``
-    where affinity is unsupported (macOS, Windows).
+    (then 1) where the affinity API does not exist (macOS, Windows) or
+    exists but fails at runtime (some BSDs raise ``OSError``).
     """
+    getter = getattr(os, "sched_getaffinity", None)
+    if getter is None:
+        return os.cpu_count() or 1
     try:
-        affinity = len(os.sched_getaffinity(0))
-    except (AttributeError, OSError):
+        affinity = len(getter(0))
+    except OSError:
         affinity = 0
     return affinity or os.cpu_count() or 1
 
@@ -199,71 +207,109 @@ def default_jobs() -> int:
 # ----------------------------------------------------------------------
 
 
-def _init_suite_worker(
-    spec: str,
-    max_variants: int,
-    kind_value: str,
-    verify: bool,
-    cache: bool,
-    check: bool = False,
-    engine: str = "structural",
-) -> None:
-    from repro.core.match import MatchKind
-    from repro.library.patterns import PatternSet
+def _suite_bundle_factory() -> Callable[[tuple], Callable[[object], object]]:
+    """Bundle factory for suite cells (one bundle per library config).
 
-    _STATE["patterns"] = PatternSet(  # repro: allow[S202] per-worker state
-        resolve_library(spec), max_variants=max_variants
-    )
-    _STATE["kind"] = MatchKind(kind_value)  # repro: allow[S202] per-worker state
-    _STATE["verify"] = verify  # repro: allow[S202] per-worker state
-    _STATE["cache"] = cache  # repro: allow[S202] per-worker state
-    _STATE["check"] = check  # repro: allow[S202] per-worker state
-    _STATE["engine"] = engine  # repro: allow[S202] per-worker state
-    if engine == "cuts":
-        # Build (or load from the persistent side-cache) the NPN table
-        # once per worker, so per-cell mapping never pays for it.
-        from repro.library.npn_table import table_for
+    The returned ``build`` turns one bundle key — ``(spec, max_variants,
+    kind_value, verify, cache, check, engine)`` — into a runner mapping
+    a circuit name to a :class:`~repro.harness.experiment.ComparisonRow`.
+    Building the bundle is the expensive part (pattern trie, and the
+    NPN-class table for the cuts engine); the warm pool pays it once
+    per (worker, bundle) instead of once per process per batch.
+    """
 
-        table_for(_STATE["patterns"])
+    def build(bundle_key: tuple) -> Callable[[object], object]:
+        from repro.core.match import MatchKind
+        from repro.harness.experiment import tree_vs_dag_cell
+        from repro.library.patterns import PatternSet
+
+        spec, max_variants, kind_value, verify, cache, check, engine = (
+            bundle_key
+        )
+        patterns = PatternSet(resolve_library(spec), max_variants=max_variants)
+        if engine == "cuts":
+            # Build (or load from the persistent side-cache) the NPN
+            # table once per bundle, so per-cell mapping never pays it.
+            from repro.library.npn_table import table_for
+
+            table_for(patterns)
+        kind = MatchKind(kind_value)
+
+        def runner(name: object) -> object:
+            return tree_vs_dag_cell(
+                name,
+                patterns,
+                kind=kind,
+                verify=verify,
+                cache=cache,
+                check=check,
+                engine=engine,
+            )
+
+        return runner
+
+    return build
+
+
+def _task_bundle_factory(
+    setup: Callable, setup_args: tuple
+) -> Callable[[tuple], Callable[[object], object]]:
+    """Bundle factory adapter for the generic task pool.
+
+    Every :func:`run_tasks_parallel` job shares the single ``("task",)``
+    bundle, whose runner is whatever ``setup(*setup_args)`` returns —
+    the historical generic-pool contract, unchanged.
+    """
+
+    def build(bundle_key: tuple) -> Callable[[object], object]:
+        runner: Callable[[object], object] = setup(*setup_args)
+        return runner
+
+    return build
 
 
 def _init_worker(initargs: tuple) -> None:
-    """Mode-dispatching worker initializer.
+    """Worker initializer: install the bundle factory and eager bundles.
 
-    ``initargs`` is ``("suite", spec, max_variants, kind_value, verify,
-    cache, check, engine)`` for the table experiments, or ``("task",
-    setup, setup_args)`` for a generic pool: ``setup`` must be a picklable
-    (module-level) callable; it runs once per worker process and returns
-    the per-task runner ``runner(payload) -> result``.  The closure it
-    returns never crosses the process boundary, so it may capture
-    arbitrarily heavy worker-local state (pattern sets, caches, ...).
+    ``initargs`` is ``("campaign", factory, factory_args,
+    eager_bundles)``: ``factory`` must be a picklable (module-level)
+    callable; ``factory(*factory_args)`` runs once per worker process
+    and returns ``build(bundle_key) -> runner``.  Each bundle key in
+    ``eager_bundles`` is built immediately — so a broken configuration
+    fails at init (the coded ``R003`` error) rather than per-job — and
+    any other key a job later names is built lazily on first use and
+    cached for the worker's lifetime.  Built bundles never cross the
+    process boundary, so they may hold arbitrarily heavy state
+    (pattern sets, NPN tables, matcher memos, ...).
     """
     mode = initargs[0]
-    _STATE.clear()  # repro: allow[S202] per-worker state
-    _STATE["mode"] = mode  # repro: allow[S202] per-worker state
-    if mode == "suite":
-        _init_suite_worker(*initargs[1:])
-    elif mode == "task":
-        setup, setup_args = initargs[1], initargs[2]
-        _STATE["runner"] = setup(*setup_args)  # repro: allow[S202] per-worker state
-    else:  # pragma: no cover - caller bug
+    if mode != "campaign":  # pragma: no cover - caller bug
         raise ValueError(f"unknown worker mode {mode!r}")
+    factory, factory_args, eager = initargs[1], initargs[2], initargs[3]
+    build = factory(*factory_args)
+    bundles = {}
+    for bundle_key in eager:
+        bundles[bundle_key] = build(bundle_key)
+    _STATE.clear()  # repro: allow[S202] per-worker state
+    _STATE["build"] = build  # repro: allow[S202] per-worker state
+    _STATE["bundles"] = bundles  # repro: allow[S202] per-worker state
 
 
 def _run_task(payload: object) -> object:
-    if _STATE.get("mode") == "task":
-        return _STATE["runner"](payload)
-    from repro.harness.experiment import tree_vs_dag_cell
+    """Run one job: ``payload`` is ``(bundle_key, inner_payload)``.
 
-    return tree_vs_dag_cell(
-        payload,
-        _STATE["patterns"],
-        kind=_STATE["kind"],
-        verify=_STATE["verify"],
-        cache=_STATE["cache"],
-        check=_STATE.get("check", False),
-        engine=_STATE.get("engine", "structural"),
-    )
+    Returns a ``(warm, row)`` envelope: ``warm`` is True when the
+    worker already held the job's cache bundle (the supervisor turns
+    this into the ``warm_hits``/``warm_misses`` counters).
+    """
+    bundle_key, inner = payload  # type: ignore[misc]
+    bundles = _STATE["bundles"]
+    runner = bundles.get(bundle_key)
+    warm = runner is not None
+    if runner is None:
+        runner = _STATE["build"](bundle_key)
+        bundles[bundle_key] = runner
+    return (warm, runner(inner))
 
 
 def _inject_fault(name: str, attempt: int) -> None:
@@ -352,17 +398,6 @@ def _describe(exc: BaseException) -> str:
 # ----------------------------------------------------------------------
 # Supervisor side
 # ----------------------------------------------------------------------
-
-
-@dataclass
-class _Worker:
-    """Supervisor-side handle: one process, at most one task in flight."""
-
-    proc: multiprocessing.process.BaseProcess
-    inbox: object
-    conn: object = None  # supervisor's read end of the worker's result pipe
-    task: Optional[Tuple[int, str, int]] = None  # (task_id, name, attempt)
-    assigned_at: float = 0.0
 
 
 def _resolve_float(
@@ -514,23 +549,54 @@ def run_cells_parallel(
             resumed_cells=stats.cells_resumed,
         )
     if pending:
-        _supervise(
-            names=names,
-            payloads=list(names),
-            keys=keys,
-            pending=pending,
-            completed=completed,
-            initargs=(
-                "suite", spec, max_variants, kind_value, verify, cache, check,
-                engine,
+        from repro.perf.stream import StreamJob, stream_jobs
+
+        bundle = (
+            spec, int(max_variants), str(kind_value), bool(verify),
+            bool(cache), bool(check), str(engine),
+        )
+        stream = stream_jobs(
+            (
+                StreamJob(
+                    label=names[task_id],
+                    payload=names[task_id],
+                    bundle=bundle,
+                    key=keys[task_id],
+                )
+                for task_id in pending
             ),
-            jobs=jobs,
+            _suite_bundle_factory,
+            (),
+            workers=jobs,
+            eager_bundles=(bundle,),
             cell_timeout=cell_timeout,
             retries=retries,
             backoff=backoff_v,
             writer=writer,
             stats=stats,
+            iscas_of=_iscas,
         )
+        try:
+            for result in stream:
+                completed[pending[result.index]] = result.row
+        except KeyboardInterrupt:
+            stats.interrupted = True
+        finally:
+            stream.close()  # deterministic worker shutdown on any exit
+        # Cells the engine never saw (interrupt before they were pulled)
+        # still owe the caller a structured row.
+        for task_id in pending:
+            if task_id not in completed:
+                name = names[task_id]
+                completed[task_id] = CellFailure(
+                    circuit=name,
+                    iscas=_iscas(name),
+                    kind="interrupted",
+                    error="run interrupted before this cell finished",
+                    error_type="RunInterrupted",
+                    attempts=0,
+                    wall_s=0.0,
+                )
     ok_rows = sum(
         1 for row in completed.values() if not getattr(row, "failed", False)
     )
@@ -613,274 +679,39 @@ def run_tasks_parallel(
         )
     jobs = default_jobs() if jobs is None else int(jobs)
     jobs = max(1, min(jobs, len(payloads)))
+    from repro.perf.stream import StreamJob, stream_jobs
+
     completed: Dict[int, object] = {}
-    _supervise(
-        names=labels,
-        payloads=payloads,
-        keys=[None] * len(payloads),
-        pending=list(range(len(payloads))),
-        completed=completed,
-        initargs=("task", setup, setup_args),
-        jobs=jobs,
+    stream = stream_jobs(
+        (
+            StreamJob(label=labels[i], payload=payloads[i])
+            for i in range(len(payloads))
+        ),
+        _task_bundle_factory,
+        (setup, setup_args),
+        workers=jobs,
+        eager_bundles=(("task",),),
         cell_timeout=task_timeout,
         retries=retries,
         backoff=backoff_v,
-        writer=None,
         stats=RunStats(cells_total=len(payloads)),
     )
-    return [completed[task_id] for task_id in range(len(payloads))]
-
-
-def _supervise(
-    names: List[str],
-    payloads: List,
-    keys: List[Optional[CellKey]],
-    pending: List[int],
-    completed: Dict[int, object],
-    initargs: tuple,
-    jobs: int,
-    cell_timeout: Optional[float],
-    retries: int,
-    backoff: float,
-    writer: Optional[JournalWriter],
-    stats: RunStats,
-) -> None:
-    """The dispatch loop: assign, collect, retry, replace, journal."""
-    methods = multiprocessing.get_all_start_methods()
-    ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
-    workers: Dict[int, _Worker] = {}
-    next_wid = 0
-    ready: deque = deque((task_id, 0) for task_id in pending)
-    delayed: List[Tuple[float, int, int]] = []  # (eligible_at, task_id, attempt)
-    cell_wall: Dict[int, float] = {task_id: 0.0 for task_id in pending}
-
-    def spawn() -> None:
-        nonlocal next_wid
-        inbox = ctx.SimpleQueue()
-        recv_conn, send_conn = ctx.Pipe(duplex=False)
-        proc = ctx.Process(
-            target=_worker_main,
-            args=(next_wid, inbox, send_conn, initargs),
-            daemon=True,
-            name=f"repro-cell-worker-{next_wid}",
-        )
-        proc.start()
-        send_conn.close()  # child keeps its copy; parent only reads
-        workers[next_wid] = _Worker(proc=proc, inbox=inbox, conn=recv_conn)
-        next_wid += 1
-
-    def drain(conn: multiprocessing.connection.Connection) -> List[tuple]:
-        """Read every message already sitting in a worker's pipe."""
-        messages: List[tuple] = []
-        try:
-            while conn.poll():
-                messages.append(conn.recv())
-        except (EOFError, OSError):
-            pass  # sender died; the liveness sweep owns its task
-        return messages
-
-    def outstanding() -> int:
-        return len(names) - len(completed)
-
-    def finish_ok(
-        task_id: int, row: "ComparisonRow", attempt: int, wall: float
-    ) -> None:
-        cell_wall[task_id] += wall
-        completed[task_id] = row
-        if writer is not None:
-            writer.cell_ok(
-                keys[task_id], row, attempt + 1, cell_wall[task_id]
-            )
-
-    def finish_failed(task_id: int, failure: "CellFailure") -> None:
-        completed[task_id] = failure
-        if writer is not None:
-            writer.cell_failed(
-                keys[task_id],
-                failure.as_dict(),
-                failure.attempts,
-                failure.wall_s,
-            )
-
-    def attempt_failed(
-        task_id: int,
-        attempt: int,
-        fail_kind: str,
-        error_type: str,
-        error: str,
-        wall: float,
-        retryable: bool,
-    ) -> None:
-        cell_wall[task_id] += wall
-        if retryable and attempt < retries:
-            stats.retries += 1
-            eligible = time.perf_counter() + backoff * (2 ** attempt)
-            delayed.append((eligible, task_id, attempt + 1))
-            return
-        name = names[task_id]
-        finish_failed(
-            task_id,
-            CellFailure(
-                circuit=name,
-                iscas=_iscas(name),
-                kind=fail_kind,
-                error=error,
-                error_type=error_type,
-                attempts=attempt + 1,
-                wall_s=cell_wall[task_id],
-            ),
-        )
-
-    def handle(message: tuple) -> None:
-        tag = message[0]
-        if tag == "init_failed":
-            _, worker_id, text = message
-            raise WorkerInitError(
-                f"[R003] suite worker failed to initialise: {text}"
-            )
-        _, worker_id, task_id, attempt, *rest = message
-        worker = workers.get(worker_id)
-        if (
-            worker is not None
-            and worker.task is not None
-            and worker.task[0] == task_id
-            and worker.task[2] == attempt
-            and task_id not in completed
-        ):
-            worker.task = None
-            if tag == "done":
-                row, wall = rest
-                finish_ok(task_id, row, attempt, wall)
-            else:  # "fail"
-                error_type, error, wall = rest
-                attempt_failed(
-                    task_id, attempt, "error", error_type, error,
-                    wall, retryable=True,
-                )
-        # else: stale message from a worker we already killed.
-
-    def reap_worker(worker_id: int, kill: bool) -> None:
-        worker = workers.pop(worker_id)
-        try:
-            worker.conn.close()
-        except OSError:  # pragma: no cover
-            pass
-        if kill and worker.proc.is_alive():
-            worker.proc.terminate()
-            worker.proc.join(1.0)
-            if worker.proc.is_alive():  # pragma: no cover - stubborn child
-                worker.proc.kill()
-                worker.proc.join(1.0)
-        else:
-            worker.proc.join(0.1)
-        if (ready or delayed) and len(workers) < jobs and outstanding():
-            stats.workers_replaced += 1
-            spawn()
-
-    for _ in range(jobs):
-        spawn()
     try:
-        while outstanding():
-            now = time.perf_counter()
-            for entry in sorted(delayed):
-                if entry[0] <= now:
-                    delayed.remove(entry)
-                    ready.append((entry[1], entry[2]))
-            for worker in workers.values():
-                if worker.task is None and ready:
-                    task_id, attempt = ready.popleft()
-                    worker.task = (task_id, names[task_id], attempt)
-                    worker.assigned_at = now
-                    worker.inbox.put(
-                        (task_id, names[task_id], payloads[task_id], attempt)
-                    )
-            conns = [worker.conn for worker in workers.values()]
-            if conns:
-                try:
-                    readable = multiprocessing.connection.wait(
-                        conns, timeout=_TICK
-                    )
-                except OSError:  # pragma: no cover - conn closed under us
-                    readable = []
-            else:  # pragma: no cover - all workers between reap and spawn
-                time.sleep(_TICK)
-                readable = []
-            for conn in readable:
-                for message in drain(conn):
-                    handle(message)
-            now = time.perf_counter()
-            for worker_id in list(workers):
-                worker = workers[worker_id]
-                if not worker.proc.is_alive():
-                    # A result it managed to send before dying wins over
-                    # the crash verdict: drain the private pipe first.
-                    for message in drain(worker.conn):
-                        handle(message)
-                    task = worker.task
-                    if task is not None:
-                        stats.crashes += 1
-                        task_id, _, attempt = task
-                        attempt_failed(
-                            task_id,
-                            attempt,
-                            "crash",
-                            "WorkerCrash",
-                            "worker process died with exit code "
-                            f"{worker.proc.exitcode}",
-                            now - worker.assigned_at,
-                            retryable=True,
-                        )
-                    reap_worker(worker_id, kill=False)
-                elif (
-                    worker.task is not None
-                    and cell_timeout is not None
-                    and now - worker.assigned_at > cell_timeout
-                ):
-                    stats.timeouts += 1
-                    task_id, _, attempt = worker.task
-                    attempt_failed(
-                        task_id,
-                        attempt,
-                        "timeout",
-                        "CellTimeout",
-                        f"cell exceeded the {cell_timeout:g}s per-cell "
-                        "timeout; worker killed and replaced",
-                        now - worker.assigned_at,
-                        retryable=False,
-                    )
-                    reap_worker(worker_id, kill=True)
+        for result in stream:
+            completed[result.index] = result.row
     except KeyboardInterrupt:
-        stats.interrupted = True
-        for task_id in range(len(names)):
-            if task_id not in completed:
-                name = names[task_id]
-                completed[task_id] = CellFailure(
-                    circuit=name,
-                    iscas=_iscas(name),
-                    kind="interrupted",
-                    error="run interrupted before this cell finished",
-                    error_type="RunInterrupted",
-                    attempts=0,
-                    wall_s=cell_wall.get(task_id, 0.0),
-                )
+        pass
     finally:
-        for worker in workers.values():
-            if worker.proc.is_alive() and worker.task is None:
-                try:
-                    worker.inbox.put(None)
-                except (OSError, ValueError):  # pragma: no cover
-                    # The queue may already be closed if the worker died;
-                    # the join/terminate ladder below still reaps it.
-                    pass
-        deadline = time.perf_counter() + 1.0
-        for worker in workers.values():
-            worker.proc.join(max(0.0, deadline - time.perf_counter()))
-            if worker.proc.is_alive():
-                worker.proc.terminate()
-                worker.proc.join(1.0)
-                if worker.proc.is_alive():  # pragma: no cover
-                    worker.proc.kill()
-            try:
-                worker.conn.close()
-            except OSError:  # pragma: no cover
-                pass
+        stream.close()
+    for task_id in range(len(payloads)):
+        if task_id not in completed:
+            completed[task_id] = CellFailure(
+                circuit=labels[task_id],
+                iscas="",
+                kind="interrupted",
+                error="run interrupted before this task finished",
+                error_type="RunInterrupted",
+                attempts=0,
+                wall_s=0.0,
+            )
+    return [completed[task_id] for task_id in range(len(payloads))]

@@ -1,0 +1,273 @@
+"""Mapping campaigns over the streaming engine (repro.perf.campaign).
+
+The load-bearing guarantee: a campaign's stable rows (everything but
+worker-side timing) are byte-identical however the jobs are scheduled —
+warm pool, cold per-job dispatch, replacement workers after an injected
+crash, or journal resume — and the JSONL manifest / seed-ensemble /
+CLI front ends all agree on what a job means.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import RunnerConfigError, UnknownLibrarySpecError
+from repro.perf.campaign import (
+    CampaignJob,
+    CampaignRow,
+    load_manifest,
+    run_mapping_campaign,
+    seed_ensemble,
+)
+
+#: A small mixed ensemble: two libraries, both mapper modes, both
+#: matcher engines — every distinct cache bundle the pool must juggle.
+def _mixed_jobs():
+    jobs = seed_ensemble(range(4), ["mini", "lib2"], nodes=10, inputs=4,
+                         verify=True)
+    jobs.append(CampaignJob(
+        label="cuts-job", source=jobs[0].source, library="mini",
+        engine="cuts", verify=True,
+    ))
+    jobs.append(CampaignJob(
+        label="tree-job", source=jobs[1].source, library="mini",
+        mode="tree", verify=True,
+    ))
+    return jobs
+
+
+class TestJobConstruction:
+    def test_seed_ensemble_rotates_libraries(self):
+        jobs = seed_ensemble(range(4), ["mini", "lib2"], nodes=8, inputs=4)
+        assert [j.library for j in jobs] == ["mini", "lib2", "mini", "lib2"]
+        assert [j.label for j in jobs] == [
+            "s0-mini", "s1-lib2", "s2-mini", "s3-lib2",
+        ]
+        assert all(j.weight == 8 for j in jobs)
+
+    def test_seed_ensemble_large_every(self):
+        jobs = seed_ensemble(range(6), ["mini"], nodes=8, inputs=4,
+                             large_every=3, large_nodes=40)
+        assert [j.weight for j in jobs] == [8, 8, 40, 8, 8, 40]
+
+    def test_seed_ensemble_empty_rejected(self):
+        with pytest.raises(RunnerConfigError, match=r"\[R002\]"):
+            seed_ensemble([], ["mini"])
+
+    def test_row_stable_view_drops_timing(self):
+        names = {f for f in CampaignRow.__dataclass_fields__}
+        row = CampaignRow(**{
+            name: 0 for name in names
+        })
+        stable = row.stable()
+        assert "cpu_s" not in stable
+        assert set(stable) == names - {"cpu_s"}
+
+    def test_manifest_roundtrip(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        path.write_text(
+            '{"circuit": "C432s", "library": "mini", "weight": 200}\n'
+            "# a comment line\n"
+            "\n"
+            '{"seed": 7, "nodes": 9, "inputs": 4, "label": "tiny",'
+            ' "engine": "cuts"}\n'
+        )
+        jobs = load_manifest(str(path), library="lib2")
+        assert len(jobs) == 2
+        assert jobs[0].source == ("suite", "C432s")
+        assert jobs[0].library == "mini"
+        assert jobs[0].weight == 200
+        assert jobs[1].label == "tiny"
+        assert jobs[1].engine == "cuts"
+        assert jobs[1].library == "lib2"
+        assert jobs[1].source[0] == "seed"
+        assert jobs[1].weight == 9
+
+    def test_manifest_malformed_json_is_coded(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"circuit": "C432s"\n')
+        with pytest.raises(RunnerConfigError, match=r"\[R002\].*:1"):
+            load_manifest(str(path))
+
+    def test_manifest_needs_exactly_one_source(self, tmp_path):
+        path = tmp_path / "two.jsonl"
+        path.write_text('{"circuit": "C432s", "seed": 3}\n')
+        with pytest.raises(RunnerConfigError, match=r"\[R002\]"):
+            load_manifest(str(path))
+
+    def test_manifest_missing_file_is_coded(self, tmp_path):
+        with pytest.raises(RunnerConfigError, match=r"\[R002\]"):
+            load_manifest(str(tmp_path / "absent.jsonl"))
+
+    def test_manifest_empty_is_coded(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("# only comments\n")
+        with pytest.raises(RunnerConfigError, match=r"\[R002\]"):
+            load_manifest(str(path))
+
+
+class TestValidation:
+    def test_bad_library_fails_before_spawning(self):
+        jobs = [CampaignJob(label="x", source=("suite", "C432s"),
+                            library="no-such-lib")]
+        with pytest.raises(UnknownLibrarySpecError, match=r"\[R001\]"):
+            run_mapping_campaign(jobs, workers=1)
+
+    def test_bad_mode_is_coded(self):
+        jobs = [CampaignJob(label="x", source=("suite", "C432s"),
+                            library="mini", mode="sideways")]
+        with pytest.raises(RunnerConfigError, match=r"\[R002\]"):
+            run_mapping_campaign(jobs, workers=1)
+
+
+class TestEquivalence:
+    def test_warm_and_cold_rows_byte_identical(self):
+        jobs = _mixed_jobs()
+        warm = run_mapping_campaign(jobs, workers=2, warm=True)
+        cold = run_mapping_campaign(jobs, workers=2, warm=False)
+        assert warm.ok and cold.ok
+        assert warm.stats.warm_hits > 0
+        assert cold.stats.warm_hits == 0
+        assert cold.stats.workers_recycled == len(jobs)
+        for a, b in zip(warm.rows, cold.rows):
+            assert a.stable() == b.stable()
+        assert all(r.verified for r in warm.rows)
+
+    def test_crash_mid_stream_isolated_and_survivors_identical(
+        self, monkeypatch
+    ):
+        jobs = _mixed_jobs()
+        clean = run_mapping_campaign(jobs, workers=2)
+        monkeypatch.setenv("REPRO_FAULT_INJECT", "crash:s2-mini")
+        hurt = run_mapping_campaign(jobs, workers=2, retries=1, backoff=0.0)
+        assert len(hurt.rows) == len(jobs)
+        failed = [r for r in hurt.rows if getattr(r, "failed", False)]
+        assert [f.circuit for f in failed] == ["s2-mini"]
+        assert failed[0].kind == "crash"
+        assert hurt.stats.crashes >= 1
+        assert hurt.stats.workers_replaced >= 1
+        for a, b in zip(clean.rows, hurt.rows):
+            if getattr(b, "failed", False):
+                continue
+            assert a.stable() == b.stable()
+
+    def test_flaky_job_recovers_with_identical_row(self, monkeypatch):
+        jobs = _mixed_jobs()
+        clean = run_mapping_campaign(jobs, workers=2)
+        monkeypatch.setenv("REPRO_FAULT_INJECT", "flaky:s1-lib2")
+        retried = run_mapping_campaign(jobs, workers=2, retries=2,
+                                       backoff=0.0)
+        assert retried.ok
+        assert retried.stats.retries >= 1
+        for a, b in zip(clean.rows, retried.rows):
+            assert a.stable() == b.stable()
+
+
+class TestJournalResume:
+    def test_partial_journal_replays_byte_identical(self, tmp_path):
+        jobs = _mixed_jobs()
+        journal = tmp_path / "campaign.jsonl"
+        first = run_mapping_campaign(jobs[:3], workers=2,
+                                     journal_path=str(journal))
+        assert first.ok
+        # Drop the end record: the run died mid-campaign.
+        lines = journal.read_text().splitlines()
+        journal.write_text("\n".join(lines[:-1]) + "\n")
+        resumed = run_mapping_campaign(jobs, workers=2,
+                                       resume_path=str(journal))
+        assert resumed.ok
+        assert resumed.stats.cells_resumed == 3
+        fresh = run_mapping_campaign(jobs, workers=2)
+        for a, b in zip(resumed.rows, fresh.rows):
+            assert a.stable() == b.stable()
+
+    def test_journal_records_failures_and_completes(
+        self, tmp_path, monkeypatch
+    ):
+        jobs = _mixed_jobs()
+        journal = tmp_path / "crash.jsonl"
+        monkeypatch.setenv("REPRO_FAULT_INJECT", "crash:s0-mini")
+        out = run_mapping_campaign(jobs, workers=2, retries=1, backoff=0.0,
+                                   journal_path=str(journal))
+        assert not out.ok
+        records = [json.loads(line)
+                   for line in journal.read_text().splitlines()]
+        assert records[0]["event"] == "start"
+        assert records[-1]["event"] == "end"
+        cells = [r for r in records if r["event"] == "cell"]
+        assert len(cells) == len(jobs)
+        by_name = {r["name"]: r["status"] for r in cells}
+        assert by_name.pop("s0-mini") == "failed"
+        assert set(by_name.values()) == {"ok"}
+
+    def test_resume_reruns_journalled_failures(self, tmp_path, monkeypatch):
+        jobs = _mixed_jobs()
+        journal = tmp_path / "retry.jsonl"
+        monkeypatch.setenv("REPRO_FAULT_INJECT", "crash:s0-mini")
+        run_mapping_campaign(jobs, workers=2, retries=0, backoff=0.0,
+                             journal_path=str(journal))
+        monkeypatch.delenv("REPRO_FAULT_INJECT")
+        resumed = run_mapping_campaign(jobs, workers=2,
+                                       resume_path=str(journal))
+        assert resumed.ok
+        assert resumed.stats.cells_resumed == len(jobs) - 1
+        fresh = run_mapping_campaign(jobs, workers=2)
+        for a, b in zip(resumed.rows, fresh.rows):
+            assert a.stable() == b.stable()
+
+
+class TestCli:
+    def test_seeds_mode_streams_and_summarises(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "campaign", "--seeds", "0:4", "--libraries", "mini",
+            "--nodes", "8", "--inputs", "4", "-j", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "s0-mini: delay=" in out
+        assert "campaign: 4 ok, 0 failed" in out
+
+    def test_manifest_mode_with_stats_json(self, tmp_path, capsys):
+        from repro.cli import main
+
+        manifest = tmp_path / "jobs.jsonl"
+        manifest.write_text(
+            '{"seed": 1, "nodes": 8, "inputs": 4, "library": "mini"}\n'
+        )
+        stats_path = tmp_path / "stats.json"
+        code = main([
+            "campaign", str(manifest), "-j", "1",
+            "--stats-json", str(stats_path),
+        ])
+        assert code == 0
+        stats = json.loads(stats_path.read_text())
+        assert stats["cells_ok"] == 1
+        assert "jobs_per_s" in stats and "p99_s" in stats
+
+    def test_failures_exit_nonzero(self, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_FAULT_INJECT", "crash:s0-mini")
+        code = main([
+            "campaign", "--seeds", "0:2", "--libraries", "mini",
+            "--nodes", "8", "--inputs", "4", "-j", "1",
+            "--retries", "0",
+        ])
+        assert code == 1
+        assert "FAILED s0-mini" in capsys.readouterr().out
+
+    def test_seeds_and_manifest_are_exclusive(self, tmp_path):
+        from repro.cli import main
+
+        manifest = tmp_path / "jobs.jsonl"
+        manifest.write_text('{"seed": 1}\n')
+        with pytest.raises(SystemExit):
+            main(["campaign", str(manifest), "--seeds", "0:2"])
+
+    def test_neither_source_is_an_error(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["campaign"])

@@ -112,6 +112,14 @@ class TestDefaultJobs:
         monkeypatch.setattr("os.cpu_count", lambda: None)
         assert default_jobs() == 1
 
+    def test_affinity_oserror_falls_back_to_cpu_count(self, monkeypatch):
+        def boom(pid):
+            raise OSError("no affinity for this process")
+
+        monkeypatch.setattr("os.sched_getaffinity", boom, raising=False)
+        monkeypatch.setattr("os.cpu_count", lambda: 3)
+        assert default_jobs() == 3
+
 
 class TestFaultInjection:
     def test_crash_is_isolated_and_bounded(self, monkeypatch):
