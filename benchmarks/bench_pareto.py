@@ -1,0 +1,176 @@
+"""Bench smoke for library-tuning Pareto campaigns (repro.tune).
+
+Two entry points:
+
+* ``python benchmarks/bench_pareto.py`` — the CI smoke.  Expands a
+  seeded circuit ensemble into a (variant, circuit, target) recovery
+  lattice, runs it twice — serial (``--jobs 1``) and over the warm
+  worker pool — plus once more with a refinement budget, and asserts
+  every emission is byte-identical across scheduling: the front is a
+  pure function of the row values, whatever order the engine landed
+  them in.  Front sizes, job counts and per-circuit area savings go to
+  ``BENCH_pareto.json``.
+* ``pytest benchmarks/bench_pareto.py`` — a quick lattice as a
+  pytest-benchmark entry.
+
+Every lattice point runs in ``recover`` mode with the target-aware
+certificate enabled, so each front point is certificate-backed by
+construction (a certificate failure fails its job, and failed jobs
+contribute no point).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, Optional, Sequence
+
+from repro.perf.benchjson import write_bench_json
+from repro.perf.parallel import default_jobs
+from repro.tune import (
+    LatticeConfig,
+    front_csv,
+    front_json,
+    run_pareto,
+    seed_sources,
+)
+
+#: Ensemble seeds in the committed run / the CI ``--fast`` smoke.
+_FULL_SEEDS = 6
+_FAST_SEEDS = 3
+
+_CONFIG = LatticeConfig(
+    variants=3,
+    drop=0.2,
+    delay_jitter=0.05,
+    area_jitter=0.05,
+    targets=(1.0, 1.15),
+    max_variants=(6,),
+    seed=7,
+)
+
+
+def run_smoke(
+    n_seeds: int = _FULL_SEEDS,
+    out: Optional[str] = "BENCH_pareto.json",
+    refine: int = 6,
+    fast: bool = False,
+    verbose: bool = True,
+) -> Dict[str, object]:
+    """Pareto lattice determinism smoke; returns the summary payload."""
+    if fast:
+        n_seeds = min(n_seeds, _FAST_SEEDS)
+    workers = max(1, min(4, default_jobs()))
+    sources = seed_sources(range(n_seeds), nodes=14, inputs=5)
+    if verbose:
+        lattice = n_seeds * _CONFIG.variants * len(_CONFIG.targets)
+        print(
+            f"{lattice}-job lattice over {n_seeds} circuits x "
+            f"{_CONFIG.variants} variants x {len(_CONFIG.targets)} targets"
+        )
+
+    serial = run_pareto(sources, "lib2", _CONFIG, workers=1)
+    pooled = run_pareto(sources, "lib2", _CONFIG, workers=workers)
+    for label, outcome in (("serial", serial), ("pooled", pooled)):
+        if not outcome.ok:
+            raise AssertionError(
+                f"{label} run had failures: {outcome.failures[:3]}"
+            )
+    if front_csv(serial.fronts) != front_csv(pooled.fronts):
+        raise AssertionError("fronts diverge between -j1 and the pool")
+    if front_json(serial.fronts) != front_json(pooled.fronts):
+        raise AssertionError("JSON emission diverges across scheduling")
+
+    refined = run_pareto(
+        sources, "lib2", _CONFIG, workers=workers, refine_budget=refine
+    )
+    refined_again = run_pareto(
+        sources, "lib2", _CONFIG, workers=1, refine_budget=refine
+    )
+    if front_csv(refined.fronts) != front_csv(refined_again.fronts):
+        raise AssertionError("refined fronts diverge across scheduling")
+
+    points = sum(len(f) for f in refined.fronts.values())
+    savings = []
+    for circuit, front in refined.fronts.items():
+        if len(front) >= 2:
+            worst = max(p.area for p in front)
+            best = min(p.area for p in front)
+            savings.append((circuit, round(1.0 - best / worst, 4)))
+    summary: Dict[str, object] = {
+        "circuits": len(refined.fronts),
+        "front_points": points,
+        "lattice_jobs": serial.jobs_run,
+        "refine_jobs": refined.refine_jobs,
+        "rows_identical": True,
+        "area_saving_frac": dict(savings),
+    }
+    if verbose:
+        for circuit in sorted(refined.fronts):
+            front = refined.fronts[circuit]
+            span = (
+                f"delay {front[0].delay:.3f}..{front[-1].delay:.3f}  "
+                f"area {front[0].area:.1f}..{front[-1].area:.1f}"
+            )
+            print(f"{circuit:6s} {len(front)} point(s)  {span}")
+        print(
+            f"{points} front point(s) from {refined.jobs_run} job(s) "
+            f"({refined.refine_jobs} refinement)"
+        )
+    if out:
+        write_bench_json(
+            out,
+            library="lib2",
+            circuits=[],
+            jobs=workers,
+            max_variants=_CONFIG.max_variants[0],
+            extra=summary,
+        )
+        if verbose:
+            print(f"written {out}")
+    return summary
+
+
+# ---------------------------------------------------------------- pytest
+
+
+def test_pareto_lattice_smoke(benchmark):
+    sources = seed_sources(range(2), nodes=12, inputs=5)
+    config = LatticeConfig(variants=2, drop=0.2, targets=(1.0, 1.2),
+                           max_variants=(6,), seed=3)
+    outcome = benchmark.pedantic(
+        lambda: run_pareto(sources, "lib2", config, workers=2),
+        rounds=1,
+        iterations=1,
+    )
+    assert outcome.ok
+    assert outcome.fronts
+    benchmark.extra_info.update(
+        {
+            "jobs": outcome.jobs_run,
+            "front_points": sum(len(f) for f in outcome.fronts.values()),
+        }
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_pareto.json",
+                        help="report path ('' to skip writing)")
+    parser.add_argument("--seeds", type=int, default=_FULL_SEEDS,
+                        help=f"ensemble size (default {_FULL_SEEDS})")
+    parser.add_argument("--refine", type=int, default=6,
+                        help="refinement job budget (default 6)")
+    parser.add_argument("--fast", action="store_true",
+                        help=f"cap the ensemble at {_FAST_SEEDS} circuits")
+    args = parser.parse_args(argv)
+    run_smoke(
+        n_seeds=args.seeds,
+        out=args.out or None,
+        refine=args.refine,
+        fast=args.fast,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -101,6 +101,7 @@ CODES: Dict[str, CodeInfo] = _catalog(
         ("C008", Severity.ERROR, "no match selected at covered node"),
         ("C009", Severity.WARNING, "reported area differs from netlist area"),
         ("C010", Severity.WARNING, "netlist gate outside the certified cover"),
+        ("C011", Severity.ERROR, "recovered cover misses its delay target"),
         # ---------------- match-verification primitives (C1##) --------
         ("C101", Severity.ERROR, "pattern node unbound"),
         ("C102", Severity.ERROR, "pattern edge not preserved"),
@@ -118,6 +119,7 @@ CODES: Dict[str, CodeInfo] = _catalog(
         ("F007", Severity.ERROR, "generated network fails structural lint"),
         ("F008", Severity.WARNING, "shrinker could not preserve the failure"),
         ("F009", Severity.ERROR, "structural and cut matching engines disagree"),
+        ("F010", Severity.ERROR, "area recovery or multimap violates its contract"),
         # ---------------- source static analysis (S###) ----------------
         ("S000", Severity.ERROR, "source file does not parse"),
         ("S101", Severity.ERROR, "module-level random API call (unseeded)"),

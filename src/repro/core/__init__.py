@@ -18,7 +18,7 @@ from repro.core.labeling import Labels, compute_labels
 from repro.core.cover import build_cover
 from repro.core.dag_mapper import map_dag
 from repro.core.tree_mapper import map_tree
-from repro.core.area_recovery import recover_area
+from repro.core.area_recovery import RecoveryResult, recover_area, recover_area_result
 from repro.core.multimap import MultiMapResult, map_multi_decomposition
 from repro.core.result import MappingResult
 
@@ -34,7 +34,9 @@ __all__ = [
     "build_cover",
     "map_dag",
     "map_tree",
+    "RecoveryResult",
     "recover_area",
+    "recover_area_result",
     "MappingResult",
     "MultiMapResult",
     "map_multi_decomposition",

@@ -12,12 +12,20 @@ required time, the one with the smallest estimated area (gate area plus
 the area-flow of leaves not otherwise needed).  Because every node's
 optimal label is a lower bound on its required time, a feasible match
 always exists and the delay target is met by construction.
+
+:func:`recover_area_result` is the richer entry point used by the
+campaign engine, the Pareto tuner and the ``F010`` fuzz oracle: it keeps
+the per-node match *selection* alongside the netlist, so the recovered
+cover can be replayed and certified by
+:func:`repro.check.certify_mapping` (``selection=`` + ``target=``).
 """
 
 from __future__ import annotations
 
 import heapq
 import math
+import time
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.cover import build_cover
@@ -27,31 +35,60 @@ from repro.core.netlist import MappedNetlist
 from repro.errors import MappingError
 from repro.library.patterns import PatternSet
 
-__all__ = ["recover_area"]
+__all__ = ["RecoveryResult", "recover_area", "recover_area_result"]
 
 _EPS = 1e-9
 
 
-def recover_area(
+@dataclass
+class RecoveryResult:
+    """One area-recovery run, replayable and certifiable.
+
+    Attributes:
+        netlist: the recovered cover (or the plain delay-optimal cover
+            when the heuristic lost the "never worse" comparison).
+        labels: the delay-objective labeling the recovery ran over.
+        selection: the per-node match override that built ``netlist``;
+            ``None`` when the plain cover won (replay from
+            ``labels.best`` reproduces it).
+        target: the delay budget the cover is guaranteed to meet.
+        delay: STA delay of ``netlist`` (<= ``target``).
+        area: cell area of ``netlist``.
+        plain_area: cell area of the plain delay-optimal cover — the
+            baseline of the "never worse" guarantee.
+        cpu_seconds: wall-clock of the recovery pass.
+    """
+
+    netlist: MappedNetlist
+    labels: Labels
+    selection: Optional[Dict[int, Match]]
+    target: float
+    delay: float
+    area: float
+    plain_area: float
+    cpu_seconds: float
+
+    @property
+    def saving(self) -> float:
+        """Fractional area saved vs the plain delay-optimal cover."""
+        if self.plain_area <= 0:
+            return 0.0
+        return (self.plain_area - self.area) / self.plain_area
+
+
+def recover_area_result(
     labels: Labels,
     patterns: PatternSet,
     kind: MatchKind = MatchKind.STANDARD,
     target: Optional[float] = None,
     name: Optional[str] = None,
-) -> MappedNetlist:
-    """Build a cover that meets ``target`` delay with reduced area.
+) -> RecoveryResult:
+    """Area recovery keeping the selection for replay/certification.
 
-    Args:
-        labels: a *delay-objective* labeling of the subject graph.
-        patterns: the pattern set used for labeling.
-        kind: match class (must not be stricter than the labeling's).
-        target: delay budget; defaults to the optimal delay
-            (``labels.max_arrival``), i.e. recover area at zero delay cost.
-        name: netlist name.
-
-    Returns:
-        A mapped netlist whose STA delay is <= ``target`` and whose area
-        is typically below the plain delay-optimal cover's.
+    Same contract as :func:`recover_area`, but the returned
+    :class:`RecoveryResult` records the per-node selection, the plain
+    cover's area and the STA delay, so callers (campaign workers, the
+    fuzz battery) can certify the cover independently.
     """
     subject = labels.subject
     if labels.objective != "delay":
@@ -64,6 +101,7 @@ def recover_area(
             f"target {target:g} is below the optimal delay {optimal:g}"
         )
 
+    started = time.perf_counter()
     matcher = Matcher(patterns, kind)
     matcher.attach(subject)
     arrival = labels.arrival
@@ -74,9 +112,16 @@ def recover_area(
         required[driver.uid] = min(required.get(driver.uid, math.inf), target)
 
     selection: Dict[int, Match] = {}
-    # Process needed nodes top-down (max-heap on uid works because uids are
-    # topological: all of a node's consumers have larger uids, so by the
-    # time we pop a node every consumer has tightened its required time).
+    # Process needed nodes top-down (max-heap on uid works because uids
+    # are topological: all of a node's consumers have larger uids, so by
+    # the time we pop a node every consumer has tightened its required
+    # time).  The pop order is fully deterministic — uids are unique
+    # ints, every pushed leaf's uid is smaller than the node that pushed
+    # it, and ``in_heap`` blocks duplicates — so the heap yields nodes
+    # in strictly decreasing uid order.  The heuristic ``estimate``
+    # below depends on which nodes are already in ``selection`` and is
+    # therefore deterministic too: it sees exactly the nodes with a
+    # larger uid that the cover walk needed.
     heap: List[int] = [-uid for uid in required]
     heapq.heapify(heap)
     in_heap = set(required)
@@ -105,14 +150,23 @@ def recover_area(
                     estimate += area_flow[leaf.uid]
             if not feasible:
                 continue
+            # Ties on (estimate, worst) keep the first match in the
+            # matcher's enumeration order, which is deterministic.
             cost = (estimate, worst)
             if cost < best_cost:
                 best_cost = cost
                 best_match = match
         if best_match is None:
-            # Fall back to the delay-optimal match (always feasible).
+            # Fall back to the delay-optimal match (always feasible:
+            # every node's label is a lower bound on its required time).
             best_match = labels.best[uid]
-            assert best_match is not None
+            if best_match is None:
+                raise MappingError(
+                    f"[M004] area recovery has no match at subject node "
+                    f"{uid} ({node!r}): the labeling recorded no best "
+                    f"match and no feasible alternative exists under the "
+                    f"required time {budget:g}"
+                )
         selection[uid] = best_match
         gate = best_match.gate
         for pin, leaf in best_match.leaves():
@@ -132,6 +186,54 @@ def recover_area(
     # rare structures it can lose to the plain delay-optimal cover (which
     # shares larger matches).  Guarantee "never worse": keep the smaller.
     plain = build_cover(labels, name=recovered.name)
-    if plain.area() < recovered.area():
-        return plain
-    return recovered
+    plain_area = plain.area()
+
+    from repro.timing.sta import analyze  # local import to avoid a cycle
+
+    if plain_area < recovered.area():
+        return RecoveryResult(
+            netlist=plain,
+            labels=labels,
+            selection=None,
+            target=target,
+            delay=analyze(plain).delay,
+            area=plain_area,
+            plain_area=plain_area,
+            cpu_seconds=time.perf_counter() - started,
+        )
+    return RecoveryResult(
+        netlist=recovered,
+        labels=labels,
+        selection=selection,
+        target=target,
+        delay=analyze(recovered).delay,
+        area=recovered.area(),
+        plain_area=plain_area,
+        cpu_seconds=time.perf_counter() - started,
+    )
+
+
+def recover_area(
+    labels: Labels,
+    patterns: PatternSet,
+    kind: MatchKind = MatchKind.STANDARD,
+    target: Optional[float] = None,
+    name: Optional[str] = None,
+) -> MappedNetlist:
+    """Build a cover that meets ``target`` delay with reduced area.
+
+    Args:
+        labels: a *delay-objective* labeling of the subject graph.
+        patterns: the pattern set used for labeling.
+        kind: match class (must not be stricter than the labeling's).
+        target: delay budget; defaults to the optimal delay
+            (``labels.max_arrival``), i.e. recover area at zero delay cost.
+        name: netlist name.
+
+    Returns:
+        A mapped netlist whose STA delay is <= ``target`` and whose area
+        is never above the plain delay-optimal cover's.
+    """
+    return recover_area_result(
+        labels, patterns, kind=kind, target=target, name=name
+    ).netlist

@@ -16,6 +16,7 @@ could be asked to beat.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Set, Union
@@ -67,6 +68,7 @@ def map_multi_decomposition(
     styles: Sequence[str] = STYLES,
     kind: MatchKind = MatchKind.STANDARD,
     max_variants: int = 8,
+    engine: str = "structural",
 ) -> MultiMapResult:
     """Map under every decomposition style; stitch the best cover per PO.
 
@@ -86,14 +88,24 @@ def map_multi_decomposition(
     po_arrivals: Dict[str, Dict[str, float]] = {}
     for style in styles:
         subject = decompose_network(net, style=style)
-        result = map_dag(subject, patterns, kind=kind)
+        result = map_dag(subject, patterns, kind=kind, engine=engine)
         per_style[style] = result
         po_arrivals[style] = dict(result.labels.po_arrival)
 
     po_names = net.combinational_outputs()
     po_style: Dict[str, str] = {}
     for po in po_names:
-        po_style[po] = min(styles, key=lambda s: po_arrivals[s].get(po, 0.0))
+        # A style that never produced this output must not win the
+        # per-PO selection: a missing arrival is +inf, not 0.0 (the
+        # old default silently elected non-covering decompositions).
+        po_style[po] = min(
+            styles, key=lambda s: po_arrivals[s].get(po, math.inf)
+        )
+        if po not in po_arrivals[po_style[po]]:
+            raise MappingError(
+                f"[M003] no decomposition style drives primary output "
+                f"{po!r} (styles tried: {', '.join(styles)})"
+            )
 
     composite = MappedNetlist(f"{net.name}_multimap")
     for pi in net.combinational_inputs():
@@ -137,8 +149,11 @@ def map_multi_decomposition(
             composite.add_po(po, qualified(style, po_signal[po]))
     composite.check()
 
+    # Every chosen style is guaranteed to carry its PO's arrival by the
+    # selection loop above, so index directly: a regression here should
+    # raise, never silently report a 0.0 arrival.
     delay = max(
-        (po_arrivals[po_style[po]].get(po, 0.0) for po in po_names),
+        (po_arrivals[po_style[po]][po] for po in po_names),
         default=0.0,
     )
     return MultiMapResult(

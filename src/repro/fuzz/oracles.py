@@ -23,7 +23,12 @@ repository has accumulated, and every disagreement becomes a coded
 ``F009``  the cut-enumeration matching engine (``engine="cuts"``)
           produces a different delay, area or cover than the structural
           engine on either mapper — the engines are specified to be
-          byte-identical, so any divergence is a filter-soundness bug.
+          byte-identical, so any divergence is a filter-soundness bug;
+``F010``  area recovery or multimap violates its contract: a recovered
+          cover fails the target-aware mapping certificate, misses its
+          delay budget or is larger than the plain cover, or the
+          multi-decomposition composite is not simulation-equivalent to
+          the source network (or slower than its best single style).
 
 The battery never raises on a failing circuit; it reports.  Deterministic
 fault injection for tests and CI mirrors the suite runner's
@@ -92,6 +97,9 @@ class OracleConfig:
         cross_engines: run the F009 structural-vs-cuts differential
             (skipped automatically for the extended match class, which
             the cut engine refuses by design).
+        contract_max_gates: skip the F010 recovery/multimap contract
+            probe above this subject size (multimap maps the circuit
+            once per decomposition style).
         inject: mutation class, or ``None`` to read ``REPRO_FUZZ_INJECT``.
     """
 
@@ -103,6 +111,7 @@ class OracleConfig:
     optimality_max_gates: int = 120
     scalar_max_inputs: int = 10
     cross_engines: bool = True
+    contract_max_gates: int = 200
     inject: Optional[str] = None
 
     def resolved_inject(self) -> Optional[str]:
@@ -360,6 +369,128 @@ def _check_certificate(
         )
 
 
+def _check_recovery_contract(
+    report: CheckReport,
+    net: BooleanNetwork,
+    result: MappingResult,
+    patterns: PatternSet,
+    kind: MatchKind,
+) -> None:
+    """F010 (recovery half): recover_area output honours its contract.
+
+    The recovered cover must pass the target-aware mapping certificate,
+    meet its delay budget, and never exceed the plain delay-optimal
+    cover's area (the "never worse" guarantee).  Runs over the
+    *labels*, so the result mutations of the injection modes cannot
+    trip it.
+    """
+    from dataclasses import replace
+
+    from repro.core.area_recovery import recover_area_result
+
+    target = result.labels.max_arrival * 1.15
+    try:
+        recovery = recover_area_result(
+            result.labels, patterns, kind=kind, target=target
+        )
+    except Exception as exc:
+        report.add(
+            "F010",
+            f"area recovery raised {type(exc).__name__}: {exc}",
+            obj=net.name,
+        )
+        return
+    if recovery.delay > target + _EPS:
+        report.add(
+            "F010",
+            f"recovered delay {recovery.delay:.4f} exceeds the target "
+            f"{target:.4f}",
+            obj=net.name,
+        )
+    if recovery.area > recovery.plain_area + _EPS:
+        report.add(
+            "F010",
+            f"recovered area {recovery.area:.4f} exceeds the plain "
+            f"cover's {recovery.plain_area:.4f} (never-worse violated)",
+            obj=net.name,
+        )
+    recovered_result = replace(
+        result,
+        netlist=recovery.netlist,
+        delay=recovery.delay,
+        area=recovery.area,
+        certificate=None,
+    )
+    try:
+        cert = certify_mapping(
+            recovered_result,
+            selection=recovery.selection,
+            target=recovery.target,
+        )
+    except Exception as exc:
+        report.add(
+            "F010", f"recovered-cover certificate crashed: {exc}",
+            obj=net.name,
+        )
+        return
+    errors = cert.errors()
+    if errors:
+        codes = sorted({d.code for d in errors})
+        report.add(
+            "F010",
+            f"recovered-cover certificate rejected ({', '.join(codes)}): "
+            f"{errors[0].code} {errors[0].message}",
+            obj=net.name,
+        )
+
+
+def _check_multimap_contract(
+    report: CheckReport,
+    net: BooleanNetwork,
+    patterns: PatternSet,
+    kind: MatchKind,
+) -> None:
+    """F010 (multimap half): the stitched composite is sound and no
+    slower than its best single decomposition style."""
+    from repro.core.multimap import map_multi_decomposition
+
+    try:
+        multi = map_multi_decomposition(net, patterns, kind=kind)
+    except Exception as exc:
+        report.add(
+            "F010", f"multimap raised {type(exc).__name__}: {exc}",
+            obj=net.name,
+        )
+        return
+    best_single = min(r.delay for r in multi.per_style.values())
+    if multi.delay > best_single + _EPS:
+        report.add(
+            "F010",
+            f"multimap composite delay {multi.delay:.4f} exceeds its "
+            f"best single style's {best_single:.4f}",
+            obj=net.name,
+        )
+    try:
+        n_inputs = len(net.combinational_inputs())
+        if n_inputs <= bitsim.EXHAUSTIVE_LIMIT:
+            cex = exhaustive_equivalence(net, multi.netlist)
+        else:
+            cex = random_equivalence(net, multi.netlist)
+    except Exception as exc:
+        report.add(
+            "F010",
+            f"multimap equivalence check failed to run: {exc}",
+            obj=net.name,
+        )
+        return
+    if cex is not None:
+        report.add(
+            "F010",
+            f"multimap composite differs from the source network: {cex}",
+            obj=net.name,
+        )
+
+
 def _check_optimality(
     report: CheckReport,
     result: MappingResult,
@@ -500,6 +631,10 @@ def run_battery(
     _check_engines(report, net, dag_result, config.scalar_max_inputs)
     _check_certificate(report, dag_result, "DAG")
     _check_certificate(report, tree_result, "tree")
+
+    if subject.n_gates <= config.contract_max_gates:
+        _check_recovery_contract(report, net, dag_result, patterns, kind)
+        _check_multimap_contract(report, net, patterns, kind)
 
     if subject.n_gates <= config.optimality_max_gates:
         matcher = Matcher(patterns, kind)

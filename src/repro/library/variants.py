@@ -1,0 +1,230 @@
+"""Deterministic library-variant generation for tuning campaigns.
+
+A *variant spec* is a respawnable string — ``base@drop=0.2+delay=0.1+
+area=0.05+seed=3`` — that any worker can expand into the same perturbed
+:class:`~repro.library.gate.GateLibrary` with no shared state:
+``base`` is itself a library spec (builtin name or genlib path) and the
+suffix names the perturbation:
+
+``drop``
+    probability of removing each cell (the cheapest inverter and NAND2
+    always survive, so the variant stays complete);
+``delay``
+    relative jitter applied to every pin's rise/fall block delay, each
+    scaled by an independent factor in ``[1 - delay, 1 + delay]``;
+``area``
+    relative jitter applied to every cell area, same convention;
+``seed``
+    PRNG seed of the perturbation draw (``random.Random(seed)`` — the
+    spec string *is* the full recipe, so identical specs build
+    byte-identical libraries in any process).
+
+:func:`repro.perf.parallel.resolve_library` recognises the ``@`` form,
+which makes variant specs valid ``CampaignJob.library`` values: the
+streaming engine's per-worker cache bundles key on the spec string, so
+jobs sharing a variant share its pattern trie.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import List
+
+from repro.errors import LibraryError
+from repro.library.gate import Gate, GateLibrary
+
+__all__ = [
+    "VariantSpec",
+    "parse_variant_spec",
+    "apply_variant",
+    "generate_variants",
+    "neighbor_specs",
+]
+
+#: Suffix fields in canonical encoding order.
+_FIELDS = ("drop", "delay", "area", "seed")
+
+
+@dataclass(frozen=True)
+class VariantSpec:
+    """One parsed library-variant recipe (picklable, hashable).
+
+    Attributes:
+        base: the underlying library spec (builtin name or genlib path).
+        drop: per-cell removal probability in ``[0, 1)``.
+        delay: relative pin block-delay jitter amplitude in ``[0, 1)``.
+        area: relative cell-area jitter amplitude in ``[0, 1)``.
+        seed: PRNG seed of the perturbation draw.
+    """
+
+    base: str
+    drop: float = 0.0
+    delay: float = 0.0
+    area: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "delay", "area"):
+            value = float(getattr(self, name))
+            if not 0.0 <= value < 1.0:
+                raise LibraryError(
+                    f"variant spec {name}={value:g} must be in [0, 1)"
+                )
+
+    @property
+    def is_identity(self) -> bool:
+        """True when the spec perturbs nothing (drop/delay/area all 0)."""
+        return self.drop == 0.0 and self.delay == 0.0 and self.area == 0.0
+
+    def encode(self) -> str:
+        """Canonical spec string (identity specs encode as the base)."""
+        if self.is_identity:
+            return self.base
+        parts = [
+            f"{name}={format(getattr(self, name), 'g')}"
+            for name in ("drop", "delay", "area")
+            if getattr(self, name) != 0.0
+        ]
+        parts.append(f"seed={int(self.seed)}")
+        return f"{self.base}@{'+'.join(parts)}"
+
+
+def parse_variant_spec(spec: str) -> VariantSpec:
+    """Parse a ``base@key=value+...`` string into a :class:`VariantSpec`.
+
+    Raises:
+        LibraryError: malformed suffix (unknown key, bad number,
+            out-of-range amplitude, duplicate key).
+    """
+    base, _, suffix = spec.rpartition("@")
+    if not base:
+        return VariantSpec(base=spec)
+    values = {"drop": 0.0, "delay": 0.0, "area": 0.0, "seed": 0.0}
+    seen = set()
+    for part in suffix.split("+"):
+        key, eq, raw = part.partition("=")
+        if not eq or key not in _FIELDS:
+            raise LibraryError(
+                f"variant spec {spec!r}: bad component {part!r} "
+                f"(expected key=value with key in {_FIELDS})"
+            )
+        if key in seen:
+            raise LibraryError(
+                f"variant spec {spec!r}: duplicate component {key!r}"
+            )
+        seen.add(key)
+        try:
+            values[key] = float(raw)
+        except ValueError:
+            raise LibraryError(
+                f"variant spec {spec!r}: {key}={raw!r} is not a number"
+            ) from None
+    return VariantSpec(
+        base=base,
+        drop=values["drop"],
+        delay=values["delay"],
+        area=values["area"],
+        seed=int(values["seed"]),
+    )
+
+
+def apply_variant(library: GateLibrary, spec: VariantSpec) -> GateLibrary:
+    """Build the perturbed library a spec names, deterministically.
+
+    The PRNG consumes draws in library order — one drop decision, then
+    one factor per pin, then one area factor per *kept* gate — so the
+    same ``(library, spec)`` pair always yields the same variant.  The
+    cheapest inverter and NAND2 are exempt from dropping, keeping the
+    variant complete for any subject graph.
+    """
+    if spec.is_identity:
+        return library
+    rng = random.Random(spec.seed)
+    protected = {library.inverter().name, library.nand2().name}
+    gates: List[Gate] = []
+    for gate in library.gates:
+        dropped = (
+            spec.drop > 0.0
+            and gate.name not in protected
+            and rng.random() < spec.drop
+        )
+        if dropped:
+            continue
+        pins = tuple(
+            replace(
+                pin,
+                rise_block=pin.rise_block
+                * (1.0 + rng.uniform(-spec.delay, spec.delay)),
+                fall_block=pin.fall_block
+                * (1.0 + rng.uniform(-spec.delay, spec.delay)),
+            )
+            if spec.delay > 0.0
+            else pin
+            for pin in gate.pins
+        )
+        area = gate.area
+        if spec.area > 0.0:
+            area = max(
+                1e-6, area * (1.0 + rng.uniform(-spec.area, spec.area))
+            )
+        gates.append(Gate(gate.name, area, gate.output, gate.expr, pins))
+    out = GateLibrary(gates, name=spec.encode())
+    out.check_complete()
+    return out
+
+
+def generate_variants(
+    base: str,
+    count: int,
+    drop: float = 0.0,
+    delay: float = 0.0,
+    area: float = 0.0,
+    seed: int = 0,
+) -> List[str]:
+    """``count`` variant spec strings exploring seeds ``seed..seed+n``.
+
+    The first entry is always the unperturbed ``base`` (the campaign's
+    reference point); the remaining ``count - 1`` specs share the given
+    jitter amplitudes and differ only in their perturbation seed.
+    """
+    if count < 1:
+        raise LibraryError(f"variant count must be >= 1, got {count}")
+    specs = [base]
+    for i in range(count - 1):
+        specs.append(
+            VariantSpec(
+                base=base, drop=drop, delay=delay, area=area, seed=seed + i
+            ).encode()
+        )
+    return specs
+
+
+def neighbor_specs(spec: str, steps: int = 2) -> List[str]:
+    """Hill-climbing proposals around an encoded variant spec.
+
+    Neighbours re-roll the perturbation seed (``steps`` fresh draws at
+    the same amplitudes) and scale each non-zero amplitude up and down
+    by 25%, clamped to ``[0, 0.95]``.  The identity spec has no
+    amplitude to re-roll, so its only neighbours introduce a small drop.
+    """
+    parsed = parse_variant_spec(spec)
+    out: List[VariantSpec] = []
+    if parsed.is_identity:
+        for i in range(max(1, steps)):
+            out.append(replace(parsed, drop=0.2, seed=parsed.seed + i + 1))
+    else:
+        for i in range(max(1, steps)):
+            out.append(replace(parsed, seed=parsed.seed + i + 1))
+        for name in ("drop", "delay", "area"):
+            value = float(getattr(parsed, name))
+            if value == 0.0:
+                continue
+            out.append(replace(parsed, **{name: min(0.95, value * 1.25)}))
+            out.append(replace(parsed, **{name: value * 0.75}))
+    encoded: List[str] = []
+    for candidate in out:
+        text = candidate.encode()
+        if text != spec and text not in encoded:
+            encoded.append(text)
+    return encoded

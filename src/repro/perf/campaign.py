@@ -64,7 +64,12 @@ __all__ = [
 ]
 
 #: Mapper modes a job may name.
-MODES = ("dag", "tree")
+MODES = ("dag", "tree", "recover", "multi")
+
+#: Relative job-cost multipliers for the engine's size sharding: area
+#: recovery adds a required-time pass over the labeled cover, multimap
+#: runs one full mapping per decomposition style.
+MODE_WEIGHT: Dict[str, int] = {"dag": 1, "tree": 1, "recover": 2, "multi": 3}
 
 
 @dataclass(frozen=True)
@@ -77,14 +82,22 @@ class CampaignJob:
             ``("blif", path)`` or ``("seed", seed, generator_json)``
             (the generator knobs as canonical JSON, so the job is
             self-contained and reproducible in any worker).
-        library: respawnable library spec (builtin name or genlib path).
-        mode: ``"dag"`` or ``"tree"``.
+        library: respawnable library spec (builtin name, genlib path or
+            ``base@...`` variant spec — see :mod:`repro.library.variants`).
+        mode: ``"dag"``, ``"tree"``, ``"recover"`` (area recovery under
+            a delay budget) or ``"multi"`` (multi-decomposition stitch).
         kind: match kind for the DAG mapper.
         engine: matcher candidate engine (``structural``/``cuts``).
         max_variants: pattern variants per gate.
         verify: simulate the mapped netlist against its source.
-        check: run the mapping certificate inside the worker.
-        decompose: subject decomposition style.
+        check: run the mapping certificate inside the worker (for
+            ``recover`` this is the target-aware recovered-cover
+            certificate; for ``multi`` every per-style run is certified).
+        decompose: subject decomposition style (ignored by ``multi``,
+            which maps every style).
+        target: ``recover``-mode delay budget as a slack multiplier on
+            the optimal delay (``1.0`` = recover area at zero delay
+            cost); ignored by the other modes.
         weight: size hint for the engine's large/small sharding.
     """
 
@@ -98,6 +111,7 @@ class CampaignJob:
     verify: bool = False
     check: bool = False
     decompose: str = "balanced"
+    target: float = 1.0
     weight: int = 0
 
     def bundle(self) -> Tuple[object, ...]:
@@ -131,6 +145,9 @@ class CampaignRow:
             source network.
         cpu_s: worker-side wall-clock of the mapping run (the only
             field excluded from :meth:`stable`).
+        target: absolute delay budget a ``recover`` job resolved its
+            slack multiplier to (``0.0`` for the other modes; defaulted
+            so pre-existing journals replay).
     """
 
     label: str
@@ -147,6 +164,7 @@ class CampaignRow:
     cover: str
     verified: bool
     cpu_s: float
+    target: float = 0.0
 
     #: Duck-typing marker matching ComparisonRow/CellFailure handling.
     failed = False
@@ -195,25 +213,69 @@ def _run_campaign_job(job: CampaignJob, patterns: object) -> CampaignRow:
     from repro.network.mapped_io import dumps_mapped_blif
 
     net = _build_network(job)
-    subject = decompose_network(net, style=job.decompose)
-    if job.mode == "dag":
-        result = map_dag(
-            subject, patterns, kind=MatchKind(job.kind),
-            cache=True, check=job.check, engine=job.engine,
+    kind = MatchKind(job.kind)
+    target = 0.0
+    if job.mode == "multi":
+        from repro.core.multimap import map_multi_decomposition
+
+        multi = map_multi_decomposition(
+            net, patterns, kind=kind, engine=job.engine,  # type: ignore[arg-type]
         )
+        if job.check:
+            from repro.check.certificate import attach_certificate
+
+            for style_result in multi.per_style.values():
+                attach_certificate(style_result)
+        netlist = multi.netlist
+        delay, area, cpu_s = multi.delay, multi.area, multi.cpu_seconds
+        subject_gates = max(
+            r.labels.subject.n_gates for r in multi.per_style.values()
+        )
+        n_matches = sum(r.n_matches for r in multi.per_style.values())
     else:
-        result = map_tree(
-            subject, patterns, cache=True, check=job.check,
-            engine=job.engine,
-        )
+        subject = decompose_network(net, style=job.decompose)
+        if job.mode == "tree":
+            result = map_tree(
+                subject, patterns, cache=True, check=job.check,
+                engine=job.engine,
+            )
+        else:
+            result = map_dag(
+                subject, patterns, kind=kind, cache=True,
+                check=job.check and job.mode == "dag", engine=job.engine,
+            )
+        netlist = result.netlist
+        delay, area, cpu_s = result.delay, result.area, result.cpu_seconds
+        subject_gates = subject.n_gates
+        n_matches = result.n_matches
+        if job.mode == "recover":
+            from dataclasses import replace as dc_replace
+
+            from repro.core.area_recovery import recover_area_result
+
+            target = result.delay * max(1.0, float(job.target))
+            recovery = recover_area_result(
+                result.labels, patterns, kind=kind, target=target,  # type: ignore[arg-type]
+            )
+            netlist = recovery.netlist
+            delay, area = recovery.delay, recovery.area
+            cpu_s += recovery.cpu_seconds
+            if job.check:
+                from repro.check.certificate import attach_certificate
+
+                attach_certificate(
+                    dc_replace(result, netlist=netlist, delay=delay, area=area),
+                    selection=recovery.selection,
+                    target=target,
+                )
     verified = False
     if job.verify:
         from repro.network.simulate import check_equivalent
 
-        check_equivalent(net, result.netlist)
+        check_equivalent(net, netlist)
         verified = True
     cover = hashlib.sha256(
-        dumps_mapped_blif(result.netlist).encode("utf-8")
+        dumps_mapped_blif(netlist).encode("utf-8")
     ).hexdigest()[:16]
     return CampaignRow(
         label=job.label,
@@ -222,14 +284,15 @@ def _run_campaign_job(job: CampaignJob, patterns: object) -> CampaignRow:
         kind=job.kind,
         engine=job.engine,
         library=job.library,
-        subject_gates=subject.n_gates,
-        delay=result.delay,
-        area=result.area,
-        gates=result.netlist.gate_count(),
-        n_matches=result.n_matches,
+        subject_gates=subject_gates,
+        delay=delay,
+        area=area,
+        gates=netlist.gate_count(),
+        n_matches=n_matches,
         cover=cover,
         verified=verified,
-        cpu_s=result.cpu_seconds,
+        cpu_s=cpu_s,
+        target=target,
     )
 
 
@@ -298,8 +361,10 @@ def load_manifest(
     ``nodes``/``outputs``/``reconvergence``/``fanout_skew``/
     ``depth_bias``) — plus optional per-job overrides (``label``,
     ``library``, ``mode``, ``kind``, ``engine``, ``max_variants``,
-    ``verify``, ``check``, ``decompose``, ``weight``).  The keyword
-    arguments are the defaults a line inherits.
+    ``verify``, ``check``, ``decompose``, ``target``, ``weight``).  The
+    keyword arguments are the defaults a line inherits.  An entry's
+    effective weight is scaled by its mode's :data:`MODE_WEIGHT`
+    multiplier (recovery and multimap jobs cost more than plain runs).
 
     Raises:
         RunnerConfigError: unreadable file or malformed entry (``R002``).
@@ -352,18 +417,20 @@ def load_manifest(
             stem = f"s{int(entry['seed'])}"
             if not weight:
                 weight = int(entry.get("nodes", 0))
+        job_mode = str(entry.get("mode", mode))
         jobs.append(CampaignJob(
             label=str(entry.get("label", f"j{lineno}-{stem}")),
             source=source,
             library=str(entry.get("library", library)),
-            mode=str(entry.get("mode", mode)),
+            mode=job_mode,
             kind=str(entry.get("kind", kind)),
             engine=str(entry.get("engine", engine)),
             max_variants=int(entry.get("max_variants", max_variants)),
             verify=bool(entry.get("verify", verify)),
             check=bool(entry.get("check", check)),
             decompose=str(entry.get("decompose", "balanced")),
-            weight=weight,
+            target=float(entry.get("target", 1.0)),
+            weight=weight * MODE_WEIGHT.get(job_mode, 1),
         ))
     if not jobs:
         raise RunnerConfigError(
@@ -419,7 +486,7 @@ def seed_ensemble(
             max_variants=max_variants,
             verify=verify,
             check=check,
-            weight=big if is_large else nodes,
+            weight=(big if is_large else nodes) * MODE_WEIGHT.get(mode, 1),
         ))
     return jobs
 

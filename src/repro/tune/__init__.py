@@ -1,0 +1,57 @@
+"""Library-tuning search campaigns over the streaming mapping engine.
+
+:mod:`repro.tune` turns the campaign machinery of :mod:`repro.perf`
+into a *search* layer: generate deterministic library variants
+(:mod:`repro.library.variants`), sweep delay targets and matcher knobs
+over a circuit ensemble, and reduce the resulting rows into per-circuit
+delay/area Pareto fronts — plus a hill-climbing refinement loop around
+the front points and a scalar-objective tuner in the spirit of the
+MapTune line of work.
+
+Entry points:
+
+* :func:`run_pareto` — the ``repro-map pareto`` engine: (variant,
+  circuit, target) job lattice, non-dominated reduction, optional
+  refinement under a job budget.
+* :func:`tune_search` — the ``repro-map tune`` engine: greedy
+  hill-climbing over variant specs against a normalised
+  delay/area objective.
+* :func:`front_csv` / :func:`front_json` — deterministic emission
+  (byte-identical across reruns and worker counts).
+"""
+
+from repro.tune.campaign import (
+    DEFAULT_TARGETS,
+    LatticeConfig,
+    ParetoOutcome,
+    TuneOutcome,
+    lattice_jobs,
+    run_pareto,
+    seed_sources,
+    suite_sources,
+    tune_search,
+)
+from repro.tune.pareto import (
+    ParetoPoint,
+    front_csv,
+    front_json,
+    fronts_by_circuit,
+    pareto_front,
+)
+
+__all__ = [
+    "DEFAULT_TARGETS",
+    "LatticeConfig",
+    "ParetoOutcome",
+    "ParetoPoint",
+    "TuneOutcome",
+    "front_csv",
+    "front_json",
+    "fronts_by_circuit",
+    "lattice_jobs",
+    "pareto_front",
+    "run_pareto",
+    "seed_sources",
+    "suite_sources",
+    "tune_search",
+]

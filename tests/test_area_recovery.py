@@ -3,7 +3,7 @@
 import pytest
 
 from repro.bench import circuits
-from repro.core.area_recovery import recover_area
+from repro.core.area_recovery import recover_area, recover_area_result
 from repro.core.dag_mapper import map_dag
 from repro.core.labeling import compute_labels
 from repro.core.match import MatchKind
@@ -71,3 +71,95 @@ class TestRecovery:
         dag = map_dag(subject, patterns)
         recovered = recover_area(dag.labels, patterns, name="custom")
         assert recovered.name == "custom"
+
+
+class TestEdgeCases:
+    def test_target_exactly_at_optimum(self, patterns):
+        net = circuits.carry_lookahead_adder(8)
+        subject = decompose_network(net)
+        dag = map_dag(subject, patterns)
+        result = recover_area_result(dag.labels, patterns, target=dag.delay)
+        assert result.target == pytest.approx(dag.delay)
+        assert result.delay <= dag.delay + _EPS
+        assert result.area <= result.plain_area + _EPS
+        assert result.plain_area == pytest.approx(dag.area)
+        assert result.saving >= -_EPS
+        check_equivalent(net, result.netlist)
+
+    def test_result_matches_thin_wrapper(self, patterns):
+        subject = decompose_network(circuits.alu(4))
+        dag = map_dag(subject, patterns)
+        rich = recover_area_result(dag.labels, patterns, target=dag.delay * 1.2)
+        thin = recover_area(dag.labels, patterns, target=dag.delay * 1.2)
+        assert rich.netlist.gate_count() == thin.gate_count()
+        assert rich.area == pytest.approx(thin.area())
+
+    def test_no_feasible_match_falls_back_to_optimal(
+        self, patterns, monkeypatch
+    ):
+        import repro.core.area_recovery as ar
+
+        subject = decompose_network(circuits.c17())
+        dag = map_dag(subject, patterns)
+        # No alternatives at any node: the pass must fall back to the
+        # labeling's optimal matches and reproduce the plain cover.
+        monkeypatch.setattr(
+            ar.Matcher, "matches_at", lambda self, node: []
+        )
+        result = recover_area_result(dag.labels, patterns, target=dag.delay)
+        assert result.area == pytest.approx(result.plain_area)
+        assert result.delay <= dag.delay + _EPS
+
+    def test_missing_best_match_raises_coded_error(
+        self, patterns, monkeypatch
+    ):
+        import repro.core.area_recovery as ar
+
+        subject = decompose_network(circuits.c17())
+        dag = map_dag(subject, patterns)
+        monkeypatch.setattr(
+            ar.Matcher, "matches_at", lambda self, node: []
+        )
+        dag.labels.best[:] = [None] * len(dag.labels.best)
+        with pytest.raises(MappingError, match=r"\[M004\]"):
+            recover_area(dag.labels, patterns)
+
+    def test_deterministic_across_reruns(self, patterns):
+        net = circuits.alu(4)
+        subject = decompose_network(net)
+        dag = map_dag(subject, patterns)
+        from repro.network.mapped_io import dumps_mapped_blif
+
+        first = recover_area(dag.labels, patterns, target=dag.delay * 1.3)
+        second = recover_area(dag.labels, patterns, target=dag.delay * 1.3)
+        assert dumps_mapped_blif(first) == dumps_mapped_blif(second)
+
+
+class TestRecoveryProperty:
+    """The 'never worse' guarantee over fuzz-generated circuits."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("slack", (1.0, 1.3))
+    def test_contract_on_fuzzed_circuits(self, patterns, seed, slack):
+        from repro.check import certify_mapping
+        from repro.fuzz.generator import FuzzConfig, random_dag
+
+        net = random_dag(
+            FuzzConfig(n_inputs=6, n_nodes=24).with_seed(seed)
+        )
+        subject = decompose_network(net)
+        dag = map_dag(subject, patterns)
+        target = dag.delay * slack
+        result = recover_area_result(dag.labels, patterns, target=target)
+        assert result.delay <= target + _EPS
+        assert result.area <= result.plain_area + _EPS
+        check_equivalent(net, result.netlist)
+        from dataclasses import replace
+
+        cert = certify_mapping(
+            replace(dag, netlist=result.netlist, delay=result.delay,
+                    area=result.area),
+            selection=result.selection,
+            target=result.target,
+        )
+        assert not cert.has_errors, cert.format()

@@ -106,6 +106,65 @@ class TestJobConstruction:
             load_manifest(str(path))
 
 
+class TestCampaignModes:
+    """The recover and multi campaign modes added for library tuning."""
+
+    def _mode_jobs(self):
+        base = seed_ensemble(range(2), ["mini"], nodes=10, inputs=4)
+        jobs = []
+        for job in base:
+            jobs.append(CampaignJob(
+                label=job.label + "-rec", source=job.source, library="mini",
+                mode="recover", target=1.2, check=True, verify=True,
+            ))
+            jobs.append(CampaignJob(
+                label=job.label + "-multi", source=job.source,
+                library="mini", mode="multi", check=True, verify=True,
+            ))
+        return jobs
+
+    def test_recover_rows_meet_their_budget(self):
+        out = run_mapping_campaign(self._mode_jobs(), workers=1)
+        assert out.ok
+        recs = [r for r in out.rows if r.label.endswith("-rec")]
+        assert recs
+        for row in recs:
+            assert row.target > 0.0
+            assert row.delay <= row.target + 1e-9
+            assert row.verified
+
+    def test_multi_rows_have_zero_target(self):
+        out = run_mapping_campaign(self._mode_jobs(), workers=1)
+        multis = [r for r in out.rows if r.label.endswith("-multi")]
+        assert multis
+        for row in multis:
+            assert row.target == 0.0
+            assert row.verified
+
+    def test_modes_warm_cold_byte_identical(self):
+        jobs = self._mode_jobs()
+        warm = run_mapping_campaign(jobs, workers=2, warm=True)
+        cold = run_mapping_campaign(jobs, workers=2, warm=False)
+        assert warm.ok and cold.ok
+        for a, b in zip(warm.rows, cold.rows):
+            assert a.stable() == b.stable()
+
+    def test_manifest_target_and_mode_weight(self, tmp_path):
+        from repro.perf.campaign import MODE_WEIGHT
+
+        path = tmp_path / "jobs.jsonl"
+        path.write_text(
+            '{"seed": 1, "nodes": 8, "inputs": 4, "mode": "recover",'
+            ' "target": 1.3}\n'
+            '{"seed": 2, "nodes": 8, "inputs": 4, "mode": "multi"}\n'
+        )
+        jobs = load_manifest(str(path), library="mini")
+        assert jobs[0].mode == "recover"
+        assert jobs[0].target == 1.3
+        assert jobs[0].weight == 8 * MODE_WEIGHT["recover"]
+        assert jobs[1].weight == 8 * MODE_WEIGHT["multi"]
+
+
 class TestValidation:
     def test_bad_library_fails_before_spawning(self):
         jobs = [CampaignJob(label="x", source=("suite", "C432s"),

@@ -162,6 +162,61 @@ class TestMutations:
 # ----------------------------------------------------------------------
 # The mappers' check= hook.
 # ----------------------------------------------------------------------
+class TestTargetAware:
+    """Certification of recovered covers (``target=`` mode)."""
+
+    @pytest.fixture(scope="module")
+    def recovered(self, good_run):
+        from repro.core.area_recovery import recover_area_result
+
+        result, patterns = good_run
+        recovery = recover_area_result(
+            result.labels, patterns, target=result.delay * 1.2
+        )
+        out = copy.copy(result)
+        out.netlist = recovery.netlist
+        out.delay = recovery.delay
+        out.area = recovery.area
+        return out, recovery
+
+    def test_recovered_cover_certifies_clean(self, recovered):
+        result, recovery = recovered
+        report = certify_mapping(
+            result, selection=recovery.selection, target=recovery.target
+        )
+        assert not report.has_errors, report.format()
+
+    def test_missed_budget_rejected_c011(self, recovered):
+        result, recovery = recovered
+        # Claim a budget the recovered cover cannot actually meet.
+        report = certify_mapping(
+            result,
+            selection=recovery.selection,
+            target=recovery.delay * 0.5,
+        )
+        assert "C011" in codes(report)
+
+    def test_doctored_delay_rejected_c006(self, recovered):
+        result, recovery = recovered
+        broken = copy.copy(result)
+        broken.delay = result.delay + 1.0
+        report = certify_mapping(
+            broken, selection=recovery.selection, target=recovery.target
+        )
+        assert "C006" in codes(report)
+
+    def test_replay_beating_labels_rejected_c004(self, recovered):
+        result, recovery = recovered
+        uid = first_covered_uid(result)
+        arrival = list(result.labels.arrival)
+        arrival[uid] += 10.0
+        broken = mutated(result, arrival=arrival)
+        report = certify_mapping(
+            broken, selection=recovery.selection, target=recovery.target
+        )
+        assert "C004" in codes(report)
+
+
 class TestCheckHook:
     def test_map_dag_check_attaches_clean_certificate(self):
         patterns = PatternSet(mini_library(), max_variants=8)

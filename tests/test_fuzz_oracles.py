@@ -118,6 +118,83 @@ class TestEngineAgreement:
         assert "F009" not in _codes(report), report.format()
 
 
+class TestRecoveryAndMultimapContract:
+    """F010: area recovery and multimap must honour their contracts."""
+
+    def test_clean_circuits_pass_contract(self, patterns):
+        net = random_dag(FuzzConfig(n_nodes=30, seed=7))
+        report = run_battery(net, patterns=patterns)
+        assert "F010" not in _codes(report), report.format()
+
+    def test_recovery_budget_violation_caught(self, monkeypatch, patterns):
+        from dataclasses import replace
+
+        import repro.core.area_recovery as ar
+
+        real = ar.recover_area_result
+
+        def lying(labels, pats, **kwargs):
+            recovery = real(labels, pats, **kwargs)
+            return replace(recovery, delay=recovery.target * 2.0)
+
+        monkeypatch.setattr(ar, "recover_area_result", lying)
+        net = random_dag(FuzzConfig(n_nodes=25, seed=1))
+        report = run_battery(net, patterns=patterns)
+        codes = _codes(report)
+        assert "F010" in codes, report.format()
+        assert any("target" in d.message for d in report.errors()
+                   if d.code == "F010")
+
+    def test_never_worse_violation_caught(self, monkeypatch, patterns):
+        from dataclasses import replace
+
+        import repro.core.area_recovery as ar
+
+        real = ar.recover_area_result
+
+        def bloated(labels, pats, **kwargs):
+            recovery = real(labels, pats, **kwargs)
+            return replace(recovery, area=recovery.plain_area * 2.0 + 1.0)
+
+        monkeypatch.setattr(ar, "recover_area_result", bloated)
+        net = random_dag(FuzzConfig(n_nodes=25, seed=1))
+        report = run_battery(net, patterns=patterns)
+        assert any("never-worse" in d.message for d in report.errors()
+                   if d.code == "F010"), report.format()
+
+    def test_multimap_slower_than_single_style_caught(
+        self, monkeypatch, patterns
+    ):
+        from dataclasses import replace
+
+        import repro.core.multimap as mm
+
+        real = mm.map_multi_decomposition
+
+        def sluggish(net, pats, **kwargs):
+            multi = real(net, pats, **kwargs)
+            return replace(multi, delay=multi.delay * 3.0 + 1.0)
+
+        monkeypatch.setattr(mm, "map_multi_decomposition", sluggish)
+        net = random_dag(FuzzConfig(n_nodes=25, seed=2))
+        report = run_battery(net, patterns=patterns)
+        assert any("best single style" in d.message for d in report.errors()
+                   if d.code == "F010"), report.format()
+
+    def test_contract_gated_by_subject_size(self, monkeypatch, patterns):
+        import repro.core.area_recovery as ar
+
+        def boom(labels, pats, **kwargs):
+            raise RuntimeError("should never be called")
+
+        monkeypatch.setattr(ar, "recover_area_result", boom)
+        net = random_dag(FuzzConfig(n_nodes=25, seed=1))
+        report = run_battery(
+            net, OracleConfig(contract_max_gates=0), patterns=patterns
+        )
+        assert "F010" not in _codes(report), report.format()
+
+
 class TestStructuralGate:
     def test_broken_network_reports_f007_and_stops(self, patterns):
         net = BooleanNetwork("bad")

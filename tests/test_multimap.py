@@ -63,6 +63,51 @@ class TestComposite:
         assert "MultiMapResult" in repr(result)
 
 
+class TestMissingPoSelection:
+    """Regression: styles that disagree on PO coverage (the old code
+    defaulted a missing ``po_arrival`` to 0.0 inside ``min(...)``, so a
+    decomposition that never produced an output could win its PO)."""
+
+    def _doctored_map_dag(self, monkeypatch, drop_po, drop_calls):
+        """Wrap map_dag so call #i deletes ``drop_po`` from its labels."""
+        import repro.core.multimap as mm
+
+        real_map_dag = mm.map_dag
+        calls = []
+
+        def doctored(subject, pats, **kwargs):
+            result = real_map_dag(subject, pats, **kwargs)
+            calls.append(subject.name)
+            if len(calls) in drop_calls:
+                del result.labels.po_arrival[drop_po]
+            return result
+
+        monkeypatch.setattr(mm, "map_dag", doctored)
+
+    def test_style_missing_a_po_cannot_win_it(self, patterns, monkeypatch):
+        net = FACTORIES["cla12"]()
+        po = net.combinational_outputs()[0]
+        # Styles are mapped in order ("balanced", "linear"): drop the PO
+        # from the first style's labeling only.
+        self._doctored_map_dag(monkeypatch, po, drop_calls={1})
+        result = map_multi_decomposition(net, patterns)
+        # Pre-fix, "balanced" won this PO with a phantom 0.0 arrival;
+        # the fix must elect the style that actually drives it.
+        assert result.po_style[po] == "linear"
+        expected = result.per_style["linear"].labels.po_arrival[po]
+        assert result.delay >= expected - _EPS
+        check_equivalent(net, result.netlist)
+
+    def test_po_driven_by_no_style_raises_coded_error(
+        self, patterns, monkeypatch
+    ):
+        net = FACTORIES["cla12"]()
+        po = net.combinational_outputs()[0]
+        self._doctored_map_dag(monkeypatch, po, drop_calls={1, 2})
+        with pytest.raises(MappingError, match=r"\[M003\]"):
+            map_multi_decomposition(net, patterns)
+
+
 class TestSizedLibrary:
     def test_strength_variants(self):
         from repro.library.builtin import lib2_like, lib2_sized

@@ -1,0 +1,237 @@
+"""Tests for the library-tuning campaign layer (repro.tune)."""
+
+import pytest
+
+from repro.cli import main
+from repro.errors import RunnerConfigError
+from repro.tune import (
+    LatticeConfig,
+    ParetoPoint,
+    front_csv,
+    front_json,
+    fronts_by_circuit,
+    lattice_jobs,
+    pareto_front,
+    run_pareto,
+    seed_sources,
+    suite_sources,
+    tune_search,
+)
+
+_EPS = 1e-9
+
+
+def _pt(delay, area, library="lib2", target=0.0, label="x", circuit="c"):
+    return ParetoPoint(
+        circuit=circuit, delay=delay, area=area, library=library,
+        target=target, label=label, cover="deadbeef",
+    )
+
+
+class TestParetoFront:
+    def test_dominated_points_removed(self):
+        points = [
+            _pt(1.0, 10.0, label="a"),
+            _pt(2.0, 5.0, label="b"),
+            _pt(2.0, 12.0, label="dominated-by-a"),
+            _pt(3.0, 5.0, label="dominated-by-b"),
+            _pt(1.5, 20.0, label="dominated-by-a-too"),
+        ]
+        front = pareto_front(points)
+        assert [p.label for p in front] == ["a", "b"]
+
+    def test_sorted_by_ascending_delay(self):
+        front = pareto_front([
+            _pt(3.0, 1.0, label="slow-small"),
+            _pt(1.0, 9.0, label="fast-big"),
+            _pt(2.0, 4.0, label="mid"),
+        ])
+        assert [p.delay for p in front] == [1.0, 2.0, 3.0]
+        assert [p.area for p in front] == [9.0, 4.0, 1.0]
+
+    def test_coordinate_ties_collapse_deterministically(self):
+        a = _pt(1.0, 2.0, library="lib2", label="zz")
+        b = _pt(1.0, 2.0, library="lib2", label="aa")
+        assert pareto_front([a, b]) == pareto_front([b, a]) == [b]
+
+    def test_empty(self):
+        assert pareto_front([]) == []
+
+    def test_order_independent(self):
+        points = [_pt(float(d), float(10 - d), label=f"p{d}")
+                  for d in range(1, 6)]
+        assert pareto_front(points) == pareto_front(points[::-1])
+
+
+class TestEmission:
+    def _fronts(self):
+        return {
+            "c1": [_pt(1.0, 3.5, circuit="c1"), _pt(2.0, 1.25, circuit="c1")],
+            "c0": [_pt(0.5, 9.0, circuit="c0")],
+        }
+
+    def test_csv_shape(self):
+        text = front_csv(self._fronts())
+        lines = text.splitlines()
+        assert lines[0] == "circuit,delay,area,library,target,label,cover"
+        # Circuits sorted: c0 first.
+        assert lines[1].startswith("c0,0.5,9.0,")
+        assert len(lines) == 4
+        assert text.endswith("\n")
+
+    def test_json_shape(self):
+        import json
+
+        text = front_json(self._fronts())
+        payload = json.loads(text)
+        assert payload["format"] == "repro-pareto/1"
+        assert list(payload["circuits"]) == ["c0", "c1"]
+        assert payload["circuits"]["c1"][1]["area"] == 1.25
+
+    def test_emission_is_pure(self):
+        fronts = self._fronts()
+        assert front_csv(fronts) == front_csv(fronts)
+        assert front_json(fronts) == front_json(fronts)
+
+
+class TestSources:
+    def test_suite_sources(self):
+        sources = suite_sources(["C432s", "C880s"])
+        assert [s[0] for s in sources] == ["C432s", "C880s"]
+        assert sources[0][1] == ("suite", "C432s")
+
+    def test_unknown_suite_name(self):
+        with pytest.raises(RunnerConfigError, match=r"\[R002\]"):
+            suite_sources(["nope"])
+
+    def test_seed_sources(self):
+        sources = seed_sources([3, 5], nodes=12, inputs=5)
+        assert [s[0] for s in sources] == ["s3", "s5"]
+        kind, seed, gen_json = sources[0][1]
+        assert kind == "seed" and seed == "3"
+        assert '"n_nodes": 12' in gen_json
+
+    def test_empty_ensemble_rejected(self):
+        with pytest.raises(RunnerConfigError, match=r"\[R002\]"):
+            lattice_jobs([], "lib2")
+
+    def test_duplicate_stems_rejected(self):
+        sources = seed_sources([1]) + seed_sources([1])
+        with pytest.raises(RunnerConfigError, match=r"duplicate"):
+            lattice_jobs(sources, "lib2")
+
+
+class TestLattice:
+    def test_labels_encode_coordinates(self):
+        config = LatticeConfig(
+            variants=2, targets=(1.0, 1.25), max_variants=(4, 8), seed=0
+        )
+        jobs = lattice_jobs(seed_sources([7]), "lib2", config)
+        assert len(jobs) == 2 * 2 * 2
+        labels = {j.label for j in jobs}
+        assert "s7.v0.m4.t1" in labels
+        assert "s7.v1.m8.t1.25" in labels
+        for job in jobs:
+            assert job.mode == "recover"
+            assert job.label.rsplit(".t", 1)[1] == format(job.target, "g")
+
+    def test_first_variant_is_base(self):
+        jobs = lattice_jobs(
+            seed_sources([0]), "lib2", LatticeConfig(variants=2, seed=1)
+        )
+        v0 = [j for j in jobs if ".v0." in j.label]
+        assert all(j.library == "lib2" for j in v0)
+        v1 = [j for j in jobs if ".v1." in j.label]
+        assert all(j.library.startswith("lib2@") for j in v1)
+
+
+_SMALL = LatticeConfig(
+    variants=2, drop=0.2, delay_jitter=0.05, area_jitter=0.05,
+    targets=(1.0, 1.2), max_variants=(6,), seed=3,
+)
+
+
+class TestRunPareto:
+    def test_fronts_are_scheduling_invariant(self):
+        sources = seed_sources([1, 4], nodes=14, inputs=5)
+        serial = run_pareto(sources, "lib2", _SMALL, workers=1)
+        pooled = run_pareto(sources, "lib2", _SMALL, workers=2)
+        assert serial.ok and pooled.ok
+        assert serial.jobs_run == 2 * 2 * 2 == pooled.jobs_run
+        assert front_csv(serial.fronts) == front_csv(pooled.fronts)
+        assert front_json(serial.fronts) == front_json(pooled.fronts)
+
+    def test_rows_record_absolute_targets(self):
+        outcome = run_pareto(
+            seed_sources([2], nodes=12, inputs=5), "lib2", _SMALL, workers=1
+        )
+        assert outcome.ok
+        for row in outcome.rows:
+            assert row.target > 0.0
+            assert row.delay <= row.target + _EPS
+        for points in outcome.fronts.values():
+            areas = [p.area for p in points]
+            assert areas == sorted(areas, reverse=True)
+
+    def test_refinement_extends_not_breaks(self):
+        sources = seed_sources([5], nodes=12, inputs=5)
+        plain = run_pareto(sources, "lib2", _SMALL, workers=1)
+        refined = run_pareto(
+            sources, "lib2", _SMALL, workers=1, refine_budget=4
+        )
+        assert refined.ok
+        assert refined.refine_jobs <= 4
+        assert refined.jobs_run == plain.jobs_run + refined.refine_jobs
+        # Refinement can only improve (or keep) each front point's area
+        # at equal delay; re-running is still deterministic.
+        again = run_pareto(
+            sources, "lib2", _SMALL, workers=2, refine_budget=4
+        )
+        assert front_csv(refined.fronts) == front_csv(again.fronts)
+
+
+class TestTuneSearch:
+    def test_smoke_and_baseline_score(self):
+        sources = seed_sources([0, 3], nodes=12, inputs=5)
+        outcome = tune_search(
+            sources, "lib2", alpha=0.5, rounds=1,
+            config=_SMALL, workers=1, budget=12,
+        )
+        assert outcome.history[0][0] == "lib2"
+        assert outcome.history[0][1] == pytest.approx(1.5)
+        assert outcome.best_score <= outcome.history[0][1] + _EPS
+        assert outcome.jobs_run <= 12
+        assert not outcome.failures
+
+
+class TestCli:
+    def test_pareto_reruns_byte_identical(self, tmp_path, capsys):
+        args = [
+            "pareto", "--seeds", "0:2", "--nodes", "12", "--inputs", "5",
+            "--lib-variants", "2", "--targets", "1,1.2", "--variants", "6",
+            "--seed", "3", "-q",
+        ]
+        a_csv, a_json = tmp_path / "a.csv", tmp_path / "a.json"
+        b_csv, b_json = tmp_path / "b.csv", tmp_path / "b.json"
+        assert main(args + ["-j", "1", "--csv", str(a_csv),
+                            "--json", str(a_json)]) == 0
+        assert main(args + ["-j", "2", "--csv", str(b_csv),
+                            "--json", str(b_json)]) == 0
+        assert a_csv.read_bytes() == b_csv.read_bytes()
+        assert a_json.read_bytes() == b_json.read_bytes()
+        assert a_csv.read_text().startswith("circuit,delay,area,")
+
+    def test_pareto_requires_exactly_one_ensemble(self):
+        with pytest.raises(SystemExit):
+            main(["pareto"])
+        with pytest.raises(SystemExit):
+            main(["pareto", "--circuits", "C432s", "--seeds", "0:2"])
+
+    def test_tune_smoke(self, capsys):
+        code = main([
+            "tune", "--seeds", "0:2", "--nodes", "10", "--inputs", "4",
+            "--rounds", "1", "--budget", "8", "--seed", "1", "-j", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best" in out

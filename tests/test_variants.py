@@ -1,0 +1,156 @@
+"""Tests for library-variant generation (repro.library.variants)."""
+
+import pytest
+
+from repro.errors import LibraryError, UnknownLibrarySpecError
+from repro.library.builtin import lib2_like
+from repro.library.variants import (
+    VariantSpec,
+    apply_variant,
+    generate_variants,
+    neighbor_specs,
+    parse_variant_spec,
+)
+from repro.perf.parallel import resolve_library
+
+
+class TestSpecParsing:
+    def test_roundtrip(self):
+        spec = VariantSpec(
+            base="lib2", drop=0.2, delay=0.1, area=0.05, seed=3
+        )
+        assert spec.encode() == "lib2@drop=0.2+delay=0.1+area=0.05+seed=3"
+        assert parse_variant_spec(spec.encode()) == spec
+
+    def test_identity_encodes_as_base(self):
+        spec = VariantSpec(base="lib2")
+        assert spec.is_identity
+        assert spec.encode() == "lib2"
+        assert parse_variant_spec("lib2") == spec
+
+    def test_zero_amplitudes_omitted(self):
+        spec = VariantSpec(base="mini", drop=0.3, seed=7)
+        assert spec.encode() == "mini@drop=0.3+seed=7"
+        assert parse_variant_spec(spec.encode()) == spec
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "lib2@drop",  # no value
+            "lib2@wobble=0.1",  # unknown key
+            "lib2@drop=xyz",  # not a number
+            "lib2@drop=0.1+drop=0.2",  # duplicate
+            "lib2@drop=1.5",  # out of range
+            "lib2@delay=-0.1",  # negative amplitude
+        ],
+    )
+    def test_malformed_specs_rejected(self, bad):
+        with pytest.raises(LibraryError):
+            parse_variant_spec(bad)
+
+    def test_out_of_range_amplitude_in_constructor(self):
+        with pytest.raises(LibraryError):
+            VariantSpec(base="lib2", drop=1.0)
+
+
+class TestApplyVariant:
+    def test_identity_returns_library_unchanged(self):
+        base = lib2_like()
+        assert apply_variant(base, VariantSpec(base="lib2")) is base
+
+    def test_deterministic(self):
+        base = lib2_like()
+        spec = parse_variant_spec("lib2@drop=0.3+delay=0.1+area=0.1+seed=5")
+        a = apply_variant(base, spec)
+        b = apply_variant(base, spec)
+        assert [g.name for g in a.gates] == [g.name for g in b.gates]
+        assert [g.area for g in a.gates] == [g.area for g in b.gates]
+        for ga, gb in zip(a.gates, b.gates):
+            for pa, pb in zip(ga.pins, gb.pins):
+                assert pa.rise_block == pb.rise_block
+                assert pa.fall_block == pb.fall_block
+
+    def test_different_seeds_differ(self):
+        base = lib2_like()
+        a = apply_variant(base, parse_variant_spec("lib2@drop=0.4+seed=1"))
+        b = apply_variant(base, parse_variant_spec("lib2@drop=0.4+seed=2"))
+        assert [g.name for g in a.gates] != [g.name for g in b.gates]
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_stays_complete_under_heavy_drop(self, seed):
+        base = lib2_like()
+        spec = VariantSpec(base="lib2", drop=0.9, seed=seed)
+        variant = apply_variant(base, spec)
+        variant.check_complete()
+        names = {g.name for g in variant.gates}
+        assert base.inverter().name in names
+        assert base.nand2().name in names
+
+    def test_variant_is_named_after_spec(self):
+        spec = parse_variant_spec("lib2@area=0.2+seed=9")
+        variant = apply_variant(lib2_like(), spec)
+        assert variant.name == spec.encode()
+
+
+class TestGenerateVariants:
+    def test_first_entry_is_base(self):
+        specs = generate_variants("lib2", 4, drop=0.2, seed=10)
+        assert specs[0] == "lib2"
+        assert len(specs) == 4
+        assert len(set(specs)) == 4
+        for i, spec in enumerate(specs[1:]):
+            assert parse_variant_spec(spec).seed == 10 + i
+
+    def test_count_one_is_just_base(self):
+        assert generate_variants("lib2", 1, drop=0.5) == ["lib2"]
+
+    def test_bad_count(self):
+        with pytest.raises(LibraryError):
+            generate_variants("lib2", 0)
+
+
+class TestNeighborSpecs:
+    def test_identity_gets_drop_neighbors(self):
+        out = neighbor_specs("lib2", steps=2)
+        assert out
+        for spec in out:
+            parsed = parse_variant_spec(spec)
+            assert parsed.drop == pytest.approx(0.2)
+
+    def test_scaling_and_reseeding(self):
+        spec = "lib2@drop=0.2+seed=4"
+        out = neighbor_specs(spec, steps=2)
+        assert spec not in out
+        assert len(out) == len(set(out))
+        parsed = [parse_variant_spec(s) for s in out]
+        seeds = {p.seed for p in parsed if p.drop == pytest.approx(0.2)}
+        assert {5, 6} <= seeds
+        drops = {round(p.drop, 6) for p in parsed}
+        assert 0.25 in drops and 0.15 in drops
+
+    def test_amplitude_clamped(self):
+        out = neighbor_specs("lib2@drop=0.9+seed=0")
+        for spec in out:
+            assert parse_variant_spec(spec).drop <= 0.95
+
+
+class TestResolveLibraryVariants:
+    def test_at_spec_resolves_to_variant(self):
+        variant = resolve_library("lib2@drop=0.3+seed=2")
+        assert variant.name == "lib2@drop=0.3+seed=2"
+        assert len(variant.gates) < len(lib2_like().gates)
+        variant.check_complete()
+
+    def test_identity_suffix_equals_builtin(self):
+        plain = resolve_library("lib2")
+        assert {g.name for g in plain.gates} == {
+            g.name for g in lib2_like().gates
+        }
+
+    def test_bad_base_is_coded(self):
+        with pytest.raises(UnknownLibrarySpecError, match=r"\[R001\]"):
+            resolve_library("nolib@drop=0.2+seed=1")
+
+    def test_bad_suffix_raises_library_error(self):
+        with pytest.raises(LibraryError):
+            resolve_library("lib2@frob=0.2")
