@@ -8,7 +8,9 @@ Three passes over the data structures the mapper trusts implicitly:
   generated pattern sets (``L###`` codes);
 * :func:`certify_mapping` — an independent certificate checker for one
   mapping run: cover legality, arrival self-consistency, functional
-  equivalence, and the delay bound (``C###`` codes).
+  equivalence, and the delay bound (``C###`` codes);
+* :func:`certify_patch` — the cheap structural certificate for one
+  incremental (ECO) remap's spliced cover (``E###`` codes).
 
 All passes return a :class:`CheckReport` of coded, located
 :class:`Diagnostic` records; none of them raises on bad input.  The
@@ -17,6 +19,7 @@ mappers are thin wrappers over these entry points.
 """
 
 from repro.check.certificate import certify_mapping
+from repro.check.eco import certify_patch
 from repro.check.diagnostics import (
     CODES,
     CheckReport,
@@ -46,6 +49,7 @@ __all__ = [
     "Severity",
     "SourceLoc",
     "certify_mapping",
+    "certify_patch",
     "lint_blif_file",
     "lint_blif_source",
     "lint_genlib_file",

@@ -39,7 +39,7 @@ from typing import Dict, Optional, Sequence, Set
 
 from repro.check.diagnostics import CheckReport
 from repro.core.cover import signal_name
-from repro.core.match import Match, MatchKind, verify_match
+from repro.core.match import Match, MatchKind, subject_uses, verify_match
 from repro.core.result import MappingResult
 from repro.errors import CertificateError, MappingError, NetworkError
 from repro.library.patterns import PatternSet
@@ -135,6 +135,7 @@ def certify_mapping(
     # build_cover, but checking instead of constructing).
     covered: Set[int] = set()
     chosen: Dict[int, Match] = {}
+    uses = subject_uses(subject) if kind is MatchKind.EXACT else None
     queue = deque(driver for _, driver in subject.pos)
     while queue:
         node = queue.popleft()
@@ -156,7 +157,7 @@ def certify_mapping(
         chosen[node.uid] = match
 
         # C003 (+ C101..C106): the match satisfies its class definition.
-        verification = verify_match(match, subject, kind)
+        verification = verify_match(match, subject, kind, uses=uses)
         if not verification.ok:
             report.add(
                 "C003",

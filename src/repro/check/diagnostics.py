@@ -120,6 +120,13 @@ CODES: Dict[str, CodeInfo] = _catalog(
         ("F008", Severity.WARNING, "shrinker could not preserve the failure"),
         ("F009", Severity.ERROR, "structural and cut matching engines disagree"),
         ("F010", Severity.ERROR, "area recovery or multimap violates its contract"),
+        ("F011", Severity.ERROR, "incremental (eco) remap differs from from-scratch"),
+        # ---------------- eco patch certification (E###) ---------------
+        ("E001", Severity.ERROR, "spliced match structurally invalid in edited subject"),
+        ("E002", Severity.ERROR, "remapped (dirty-region) match structurally invalid"),
+        ("E003", Severity.ERROR, "arrival label inconsistent at patched cover node"),
+        ("E004", Severity.ERROR, "primary output missing from patched cover"),
+        ("E005", Severity.ERROR, "eco run metadata diverges from base mapping"),
         # ---------------- source static analysis (S###) ----------------
         ("S000", Severity.ERROR, "source file does not parse"),
         ("S101", Severity.ERROR, "module-level random API call (unseeded)"),

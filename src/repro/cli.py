@@ -3,6 +3,7 @@
 Subcommands::
 
     map         map a BLIF file with the DAG or tree mapper
+    eco         incrementally remap an edited BLIF against a base mapping
     flowmap     k-LUT FPGA mapping (FlowMap)
     table       regenerate one of the paper's Tables 1-3
     bench       list or emit the benchmark suite as BLIF
@@ -130,6 +131,55 @@ def _cmd_map(args: argparse.Namespace) -> int:
         else:
             write_blif(mapped_to_network(result.netlist), args.output)
         print(f"written   : {args.output} ({args.format})")
+    return 0
+
+
+def _cmd_eco(args: argparse.Namespace) -> int:
+    from repro.eco import eco_remap
+
+    base_net = read_blif(args.base)
+    edited_net = read_blif(args.edited)
+    library = _load_library(args.library)
+    kind = MatchKind(args.match)
+    arrivals = _parse_arrivals(args.arrivals)
+    base = map_dag(decompose_network(base_net, style=args.decompose),
+                   library, kind=kind, max_variants=args.variants,
+                   arrival_times=arrivals, engine=args.engine)
+    eco = eco_remap(base, edited_net, library, arrival_times=arrivals,
+                    max_variants=args.variants, decompose=args.decompose)
+    result = eco.result
+    print(f"base      : {base_net.name} "
+          f"(delay {base.delay:.3f}, area {base.area:.2f})")
+    print(f"edited    : {edited_net.name}")
+    print(f"mode      : {result.mode} ({result.match_kind} matches)")
+    print(f"engine    : {result.engine}")
+    print(f"library   : {result.library}")
+    print(f"reused    : {eco.nodes_reused} nodes "
+          f"({100.0 * eco.reuse_fraction:.1f}% clean)")
+    print(f"remapped  : {eco.nodes_remapped} nodes")
+    print(f"delay     : {result.delay:.3f}")
+    print(f"area      : {result.area:.2f} ({result.netlist.gate_count()} gates)")
+    print(f"cpu       : {eco.cpu_seconds:.3f}s ({result.n_matches} matches)")
+    if args.verify:
+        from repro.network.mapped_io import dumps_mapped_blif
+
+        scratch = map_dag(decompose_network(edited_net, style=args.decompose),
+                          library, kind=kind, max_variants=args.variants,
+                          arrival_times=arrivals, engine=args.engine)
+        identical = (result.delay == scratch.delay
+                     and result.area == scratch.area
+                     and dumps_mapped_blif(result.netlist)
+                     == dumps_mapped_blif(scratch.netlist))
+        if not identical:
+            print("verify    : MISMATCH against the from-scratch mapping")
+            return 1
+        print(f"verify    : byte-identical to the from-scratch mapping "
+              f"(scratch cpu {scratch.cpu_seconds:.3f}s)")
+    if args.output:
+        from repro.network.mapped_io import write_mapped_blif
+
+        write_mapped_blif(result.netlist, args.output)
+        print(f"written   : {args.output}")
     return 0
 
 
@@ -816,6 +866,40 @@ def build_parser() -> argparse.ArgumentParser:
                             "highlighted")
     p_map.set_defaults(func=_cmd_map)
 
+    p_eco = sub.add_parser(
+        "eco",
+        help="incrementally remap an edited BLIF against a base mapping",
+        description="Map the base BLIF from scratch, then remap the "
+                    "edited BLIF incrementally: labels of subject nodes "
+                    "whose fanin cone (and leaf arrivals) are unchanged "
+                    "are spliced from the base run and only the dirty "
+                    "region is re-matched.  The result is byte-identical "
+                    "to a from-scratch mapping of the edited netlist "
+                    "(--verify asserts this).",
+    )
+    p_eco.add_argument("base", help="base BLIF netlist")
+    p_eco.add_argument("edited", help="edited BLIF netlist")
+    p_eco.add_argument("--library", "-l", default="lib2",
+                       help="builtin name (lib2, 44-1, 44-3, mini) or "
+                            "genlib path")
+    p_eco.add_argument("--match", choices=("standard", "exact", "extended"),
+                       default="standard")
+    p_eco.add_argument("--engine", choices=("structural", "cuts"),
+                       default="structural")
+    p_eco.add_argument("--variants", type=int, default=8,
+                       help="pattern decomposition variants per gate")
+    p_eco.add_argument("--decompose", choices=("balanced", "linear"),
+                       default="balanced")
+    p_eco.add_argument("--arrivals",
+                       help="PI arrival times, e.g. 'a=1.5,b=2'")
+    p_eco.add_argument("--verify", action="store_true",
+                       help="also map the edited netlist from scratch and "
+                            "fail unless delay, area and cover are "
+                            "byte-identical")
+    p_eco.add_argument("--output", "-o",
+                       help="write the patched mapped netlist (.gate BLIF)")
+    p_eco.set_defaults(func=_cmd_eco)
+
     p_fm = sub.add_parser("flowmap", help="k-LUT FPGA mapping (FlowMap)")
     p_fm.add_argument("blif")
     p_fm.add_argument("-k", type=int, default=4)
@@ -976,7 +1060,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fz.add_argument("--shrink-evals", type=int, default=400,
                       help="oracle evaluations budgeted per minimization")
     p_fz.add_argument("--inject",
-                      choices=("delay", "cover", "corrupt", "engine"),
+                      choices=("delay", "cover", "corrupt", "engine", "eco"),
                       default=None,
                       help="deterministic fault injection (self-test; "
                            "REPRO_FUZZ_INJECT is the env equivalent)")
@@ -1008,7 +1092,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_cg.add_argument("--library", "-l", default="lib2",
                       help="default library for manifest entries that "
                            "name none (default lib2)")
-    p_cg.add_argument("--mode", choices=("dag", "tree"), default="dag")
+    p_cg.add_argument("--mode", choices=("dag", "tree", "eco"), default="dag")
     p_cg.add_argument("--match", choices=("standard", "exact", "extended"),
                       default="standard")
     p_cg.add_argument("--engine", choices=("structural", "cuts"),

@@ -14,7 +14,7 @@ import time
 from typing import Dict, Optional, Union
 
 from repro.core.cover import build_cover
-from repro.core.labeling import compute_labels
+from repro.core.labeling import ReuseHook, compute_labels
 from repro.core.match import Matcher, MatchKind
 from repro.core.result import MappingResult
 from repro.library.gate import GateLibrary
@@ -41,6 +41,7 @@ def map_dag(
     matcher: Optional[Matcher] = None,
     check: bool = False,
     engine: str = "structural",
+    reuse: Optional[ReuseHook] = None,
 ) -> MappingResult:
     """Map a subject DAG directly, without tree decomposition.
 
@@ -67,6 +68,9 @@ def map_dag(
         engine: candidate-pattern engine when ``matcher`` is ``None`` —
             ``'structural'`` or ``'cuts'`` (NPN-table cut filter, same
             result, rejects EXTENDED; see :class:`~repro.core.match.Matcher`).
+        reuse: optional ECO splice hook forwarded to
+            :func:`repro.core.labeling.compute_labels`; used by
+            :func:`repro.eco.eco_remap` to retain labels of clean cones.
 
     Returns:
         A :class:`MappingResult`; ``result.delay`` equals the labeling's
@@ -83,6 +87,7 @@ def map_dag(
         cache=cache,
         matcher=matcher,
         engine=engine,
+        reuse=reuse,
     )
     netlist = build_cover(labels, name=f"{subject.name}_dag")
     elapsed = time.perf_counter() - start

@@ -27,16 +27,21 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.errors import MappingError
 from repro.core.match import Match, Matcher, MatchKind
 from repro.library.patterns import PatternSet
 from repro.network.subject import SubjectGraph, SubjectNode
 
-__all__ = ["Labels", "compute_labels"]
+__all__ = ["Labels", "ReuseHook", "compute_labels"]
 
 _EPS = 1e-9
+
+#: Signature of the ECO reuse hook: given an internal subject node, return
+#: ``(arrival, area_flow, match)`` to splice a previous run's label in, or
+#: ``None`` to run ordinary matching at that node.
+ReuseHook = Callable[[SubjectNode], Optional[Tuple[float, float, Match]]]
 
 
 @dataclass
@@ -93,6 +98,7 @@ def compute_labels(
     cache: bool = True,
     matcher: Optional[Matcher] = None,
     engine: str = "structural",
+    reuse: Optional[ReuseHook] = None,
 ) -> Labels:
     """Label every subject node with its optimal cost and best match.
 
@@ -120,12 +126,23 @@ def compute_labels(
             ``'structural'`` (try every pattern) or ``'cuts'`` (the
             NPN-table cut filter of :class:`~repro.core.match.Matcher`).
             Both produce identical labels; ``'cuts'`` rejects EXTENDED.
+        reuse: optional ECO splice hook (:data:`ReuseHook`).  Consulted
+            for every internal node *before* matching; when it returns a
+            ``(arrival, area_flow, match)`` triple the node's label is
+            taken verbatim and the matcher is never invoked there.  The
+            caller (:func:`repro.eco.eco_remap`) guarantees the spliced
+            label equals what matching would have produced.  Incompatible
+            with ``keep_matches`` (reused nodes have no match list).
 
     Raises:
         MappingError: if some node has no match (library lacks INV/NAND2).
+        ValueError: on an unknown objective, or ``reuse`` with
+            ``keep_matches``.
     """
     if objective not in ("delay", "area"):
         raise ValueError(f"unknown objective {objective!r}")
+    if reuse is not None and keep_matches:
+        raise ValueError("reuse hook is incompatible with keep_matches")
     arrival_times = arrival_times or {}
 
     # A PO whose driver is not a member of the graph would silently label
@@ -160,6 +177,13 @@ def compute_labels(
             arrival[node.uid] = float(arrival_times.get(node.name, 0.0))
             area_flow[node.uid] = 0.0
             continue
+        if reuse is not None:
+            spliced = reuse(node)
+            if spliced is not None:
+                arrival[node.uid], area_flow[node.uid], best[node.uid] = spliced
+                matcher.stats.eco_nodes_reused += 1
+                continue
+            matcher.stats.eco_nodes_remapped += 1
         matches = matcher.matches_at(node)
         n_matches += len(matches)
         if all_matches is not None:

@@ -849,8 +849,28 @@ class MatchVerification:
         return f"MatchVerification({self.codes()})"
 
 
+def subject_uses(subject: SubjectGraph) -> Dict[int, int]:
+    """Per-uid fanout-use counts (fanin edges plus PO references).
+
+    The out-degree side of Definition 3 (exact matches).  Callers that
+    verify many matches against one subject should compute this once and
+    pass it to :func:`verify_match` via ``uses=`` — recomputing it per
+    match makes every verification O(|subject|).
+    """
+    uses: Dict[int, int] = {}
+    for snode in subject.nodes:
+        for fanin in snode.fanins:
+            uses[fanin.uid] = uses.get(fanin.uid, 0) + 1
+    for _, driver in subject.pos:
+        uses[driver.uid] = uses.get(driver.uid, 0) + 1
+    return uses
+
+
 def verify_match(
-    match: Match, subject: SubjectGraph, kind: MatchKind
+    match: Match,
+    subject: SubjectGraph,
+    kind: MatchKind,
+    uses: Optional[Dict[int, int]] = None,
 ) -> MatchVerification:
     """Independently check a match against Definitions 1-3.
 
@@ -858,6 +878,8 @@ def verify_match(
     otherwise a collection of coded :class:`MatchViolation` records.
     Used by the test suite as an oracle for the matcher and by
     :mod:`repro.check` as the certificate primitive for cover legality.
+    ``uses`` optionally supplies :func:`subject_uses` precomputed (only
+    consulted for exact matches).
     """
     problems = MatchVerification()
     pattern = match.pattern
@@ -869,15 +891,15 @@ def verify_match(
     if problems:
         return problems
 
-    # Condition 1: edge preservation.
-    subject_edges = set()
-    for snode in subject.nodes:
-        for fanin in snode.fanins:
-            subject_edges.add((fanin.uid, snode.uid))
+    # Condition 1: edge preservation.  Subject fanins are NAND2/INV
+    # (at most two), so each pattern edge is checked directly against
+    # the bound parent's fanin list — materialising the subject's whole
+    # edge set here made every verification O(|subject|).
     for pnode in pattern.nodes:
         for fanin in pnode.fanins:
-            edge = (binding[fanin.uid].uid, binding[pnode.uid].uid)
-            if edge not in subject_edges:
+            child_uid = binding[fanin.uid].uid
+            parent = binding[pnode.uid]
+            if all(f.uid != child_uid for f in parent.fanins):
                 problems.add(
                     "C102",
                     f"pattern edge {fanin.uid}->{pnode.uid} not preserved",
@@ -922,12 +944,8 @@ def verify_match(
         for pnode in pattern.nodes:
             for fanin in pnode.fanins:
                 pattern_fanout[fanin.uid] = pattern_fanout.get(fanin.uid, 0) + 1
-        uses: Dict[int, int] = {}
-        for snode in subject.nodes:
-            for fanin in snode.fanins:
-                uses[fanin.uid] = uses.get(fanin.uid, 0) + 1
-        for _, driver in subject.pos:
-            uses[driver.uid] = uses.get(driver.uid, 0) + 1
+        if uses is None:
+            uses = subject_uses(subject)
         for pnode in pattern.nodes:
             if pnode.is_leaf or pattern_fanout.get(pnode.uid, 0) == 0:
                 continue

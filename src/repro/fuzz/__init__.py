@@ -11,7 +11,14 @@ campaigns — serial or fanned out over the fault-tolerant pool — and
 """
 
 from repro.fuzz.corpus import CorpusEntry, load_corpus, replay, save_entry
-from repro.fuzz.generator import FuzzConfig, config_from_dict, random_dag
+from repro.fuzz.generator import (
+    FuzzConfig,
+    config_from_dict,
+    derive_edit_seed,
+    random_dag,
+    random_edit_pair,
+    random_edit_script,
+)
 from repro.fuzz.oracles import (
     FUZZ_INJECT_ENV,
     INJECT_MODES,
@@ -36,10 +43,13 @@ __all__ = [
     "SeedOutcome",
     "ShrinkResult",
     "config_from_dict",
+    "derive_edit_seed",
     "load_corpus",
     "network_size",
     "parse_seed_spec",
     "random_dag",
+    "random_edit_pair",
+    "random_edit_script",
     "replay",
     "run_battery",
     "run_campaign",

@@ -23,9 +23,18 @@ import random
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
+from repro.errors import NetworkError
 from repro.network.bnet import BooleanNetwork
+from repro.network.edits import EDIT_OPS, Edit, EditScript
 
-__all__ = ["FuzzConfig", "random_dag", "config_from_dict"]
+__all__ = [
+    "FuzzConfig",
+    "random_dag",
+    "config_from_dict",
+    "derive_edit_seed",
+    "random_edit_script",
+    "random_edit_pair",
+]
 
 #: The 2-input gate alphabet; expression templates over signals x, y.
 DEFAULT_OPS: Tuple[str, ...] = (
@@ -221,3 +230,120 @@ def random_dag(config: FuzzConfig, name: Optional[str] = None) -> BooleanNetwork
     for sig in chosen:
         net.add_po(sig)
     return net
+
+
+# ----------------------------------------------------------------------
+# Seeded edit-pair generation (the ECO differential harness's input).
+# ----------------------------------------------------------------------
+
+#: Candidate draws per edit before giving up on extending the script.
+_EDIT_ATTEMPTS = 32
+
+
+def derive_edit_seed(net: BooleanNetwork) -> int:
+    """The canonical edit-script seed derived from a network's shape.
+
+    Used wherever an edit script must be reproducible from the network
+    alone (oracle F011, the ``eco`` campaign mode): shrinking a failing
+    base network re-derives a valid script for every candidate.
+    """
+    return len(net.pis) * 7919 + net.n_nodes
+
+
+def _candidate_edit(
+    net: BooleanNetwork, rng: random.Random, fresh: int
+) -> Tuple[Optional[Edit], int]:
+    """Draw one candidate edit; applicability is checked by the caller."""
+    op = rng.choice(EDIT_OPS)
+    node_names = [node.name for node in net.nodes()]
+    signals = list(net.pis) + node_names
+    if not node_names:
+        return None, fresh
+    if op == "rewire":
+        target = rng.choice(node_names)
+        node = net.node(target)
+        if not node.fanins:
+            return None, fresh
+        pin = rng.randrange(len(node.fanins))
+        source = rng.choice(signals)
+        return Edit("rewire", target, f"{pin}:{source}"), fresh
+    if op == "insert":
+        target = rng.choice(node_names)
+        node = net.node(target)
+        if not node.fanins:
+            return None, fresh
+        pin = rng.randrange(len(node.fanins))
+        while net.has_signal(f"e{fresh}"):
+            fresh += 1
+        polarity = rng.choice(("inv", "buf"))
+        return Edit("insert", target, f"{pin}:e{fresh}:{polarity}"), fresh + 1
+    if op == "delete":
+        target = rng.choice(node_names)
+        node = net.node(target)
+        if not node.fanins:
+            return None, fresh
+        pin = rng.randrange(len(node.fanins))
+        return Edit("delete", target, str(pin)), fresh
+    if op == "po":
+        return Edit("po", rng.choice(signals)), fresh
+    # stuck
+    target = rng.choice(node_names)
+    return Edit("stuck", target, rng.choice(("0", "1"))), fresh
+
+
+def random_edit_script(
+    net: BooleanNetwork, seed: int = 0, n_edits: int = 2
+) -> EditScript:
+    """Derive a seeded, applicable, typed edit script for ``net``.
+
+    Each edit is drawn from :data:`repro.network.edits.EDIT_OPS` and
+    validated by actually applying it to a working copy, so the returned
+    script always applies cleanly to ``net``.  The script may be shorter
+    than ``n_edits`` when the network is too constrained to extend it.
+
+    Raises:
+        NetworkError: when the network has latches or not even one
+            applicable edit exists.
+    """
+    if net.latches:
+        raise NetworkError("edit scripts support combinational networks only")
+    rng = random.Random(seed)
+    current = net
+    chosen: List[Edit] = []
+    fresh = 0
+    for _ in range(n_edits):
+        applied: Optional[Edit] = None
+        for _attempt in range(_EDIT_ATTEMPTS):
+            candidate, fresh = _candidate_edit(current, rng, fresh)
+            if candidate is None:
+                continue
+            try:
+                trial = EditScript((candidate,)).apply(current, name=current.name)
+            except NetworkError:
+                continue
+            applied = candidate
+            current = trial
+            break
+        if applied is None:
+            break
+        chosen.append(applied)
+    if not chosen:
+        raise NetworkError(f"no applicable edit found for network {net.name!r}")
+    return EditScript(tuple(chosen))
+
+
+def random_edit_pair(
+    config: FuzzConfig, seed: Optional[int] = None, n_edits: int = 2
+) -> Tuple[BooleanNetwork, BooleanNetwork, EditScript]:
+    """Generate a ``(base, edited, script)`` ECO pair from one config.
+
+    The edited network's *name* encodes the script
+    (:meth:`~repro.network.edits.EditScript.edited_name`), so any failure
+    replays from the name alone: regenerate the base from its own
+    knob-encoded name, then re-apply the decoded script.
+    """
+    base = random_dag(config)
+    script = random_edit_script(
+        base, seed=config.seed if seed is None else seed, n_edits=n_edits
+    )
+    return base, script.apply(base), script

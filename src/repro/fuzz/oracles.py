@@ -28,7 +28,12 @@ repository has accumulated, and every disagreement becomes a coded
           cover fails the target-aware mapping certificate, misses its
           delay budget or is larger than the plain cover, or the
           multi-decomposition composite is not simulation-equivalent to
-          the source network (or slower than its best single style).
+          the source network (or slower than its best single style);
+``F011``  incremental remapping diverges from from-scratch: a seeded
+          edit script is derived from the circuit, applied, and
+          :func:`repro.eco.eco_remap` of the edited network against the
+          unmutated base mapping must be byte-identical (delay, area,
+          mapped-BLIF cover) to a fresh ``map_dag`` — per engine.
 
 The battery never raises on a failing circuit; it reports.  Deterministic
 fault injection for tests and CI mirrors the suite runner's
@@ -38,6 +43,7 @@ fault injection for tests and CI mirrors the suite runner's
     REPRO_FUZZ_INJECT=cover    # corrupt one selected match (F004, F002)
     REPRO_FUZZ_INJECT=corrupt  # functionally corrupt one output (F002)
     REPRO_FUZZ_INJECT=engine   # skew the cut-engine re-map (F009)
+    REPRO_FUZZ_INJECT=eco      # skew the incremental re-map (F011)
 
 Each mutation is applied to the mapping result *inside* the battery, so
 a reproducer replayed under the same environment fails identically.
@@ -75,7 +81,7 @@ __all__ = ["OracleConfig", "run_battery", "INJECT_MODES", "FUZZ_INJECT_ENV"]
 FUZZ_INJECT_ENV = "REPRO_FUZZ_INJECT"
 
 #: The supported mutation classes (see the module docstring).
-INJECT_MODES: Tuple[str, ...] = ("delay", "cover", "corrupt", "engine")
+INJECT_MODES: Tuple[str, ...] = ("delay", "cover", "corrupt", "engine", "eco")
 
 _EPS = 1e-9
 
@@ -200,8 +206,8 @@ def _apply_injection(
     patterns: PatternSet,
     report: CheckReport,
 ) -> None:
-    if mode is None or mode == "engine":
-        return  # "engine" is applied inside _check_engine_agreement
+    if mode is None or mode in ("engine", "eco"):
+        return  # "engine"/"eco" are applied inside their own oracles
     if mode == "delay":
         what = _inject_delay(result)
     elif mode == "cover":
@@ -346,6 +352,115 @@ def _check_engine_agreement(
                 f"{tag} cover diverges between engines "
                 f"(same delay/area, different gate selection)",
                 obj=subject.name,
+            )
+
+
+def _check_eco(
+    report: CheckReport,
+    net: BooleanNetwork,
+    subject: SubjectGraph,
+    patterns: PatternSet,
+    kind: MatchKind,
+    config: OracleConfig,
+    dag_result: MappingResult,
+    inject: Optional[str],
+) -> None:
+    """F011: incremental remapping must equal from-scratch, byte for byte.
+
+    Derives a deterministic edit script from the circuit's own shape
+    (:func:`repro.fuzz.generator.derive_edit_seed`, so shrunken
+    candidates re-derive valid scripts), applies it, and compares
+    ``eco_remap`` against a fresh ``map_dag`` of the edited network —
+    with exact ``==`` on delay, area and the mapped-BLIF text, per
+    engine.  Runs *before* any result mutation, against the unmutated
+    structural base; the ``eco`` injection mode skews the incremental
+    result inside this oracle only.
+    """
+    from repro.eco import eco_remap
+    from repro.errors import NetworkError
+    from repro.fuzz.generator import derive_edit_seed, random_edit_script
+    from repro.network.mapped_io import dumps_mapped_blif
+
+    try:
+        script = random_edit_script(net, seed=derive_edit_seed(net), n_edits=2)
+        edited = script.apply(net)
+    except NetworkError as exc:
+        report.meta["eco_skipped"] = str(exc)
+        return
+    report.meta["eco_script"] = script.encode()
+
+    engines = ["structural"]
+    if config.cross_engines and kind is not MatchKind.EXTENDED:
+        engines.append("cuts")
+    for engine in engines:
+        if engine == "structural":
+            base = dag_result
+        else:
+            try:
+                base = map_dag(subject, patterns, kind=kind, engine="cuts")
+            except Exception as exc:
+                report.add(
+                    "F011",
+                    f"cuts base mapping raised {type(exc).__name__}: {exc}",
+                    obj=net.name,
+                )
+                continue
+        try:
+            eco = eco_remap(
+                base, edited, patterns, decompose=config.decompose
+            )
+        except Exception as exc:
+            report.add(
+                "F011",
+                f"{engine} eco remap raised {type(exc).__name__}: {exc}",
+                obj=net.name,
+            )
+            continue
+        try:
+            scratch = map_dag(
+                decompose_network(edited, style=config.decompose),
+                patterns,
+                kind=kind,
+                engine=engine,
+            )
+        except Exception as exc:
+            report.add(
+                "F011",
+                f"{engine} from-scratch remap raised "
+                f"{type(exc).__name__}: {exc}",
+                obj=net.name,
+            )
+            continue
+        result = eco.result
+        if inject == "eco" and engine == engines[0]:
+            result.delay += 1.0
+            report.meta["inject"] = "eco"
+            report.meta["inject_detail"] = (
+                "incremental reported delay inflated by 1.0"
+            )
+        if result.delay != scratch.delay:
+            report.add(
+                "F011",
+                f"{engine} delay diverges: eco {result.delay!r} != "
+                f"from-scratch {scratch.delay!r} "
+                f"(reused {eco.nodes_reused}/{eco.nodes_reused + eco.nodes_remapped})",
+                obj=net.name,
+            )
+        elif result.area != scratch.area:
+            report.add(
+                "F011",
+                f"{engine} area diverges: eco {result.area!r} != "
+                f"from-scratch {scratch.area!r}",
+                obj=net.name,
+            )
+        elif dumps_mapped_blif(result.netlist) != dumps_mapped_blif(
+            scratch.netlist
+        ):
+            report.add(
+                "F011",
+                f"{engine} cover diverges between incremental and "
+                f"from-scratch mapping (same delay/area)",
+                obj=net.name,
             )
 
 
@@ -611,6 +726,13 @@ def run_battery(
     if config.cross_engines:
         _check_engine_agreement(
             report, subject, patterns, kind, tree_result, dag_result, inject
+        )
+
+    # F011 also runs before mutation: eco reuses the unmutated dag_result
+    # as its base mapping, and only the "eco" mode skews it (inside).
+    if subject.n_gates <= config.contract_max_gates:
+        _check_eco(
+            report, net, subject, patterns, kind, config, dag_result, inject
         )
 
     _apply_injection(inject, dag_result, patterns, report)

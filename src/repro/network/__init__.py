@@ -15,6 +15,7 @@ from repro.network.expr import Expr, parse_expr
 from repro.network.bnet import BooleanNetwork, Node, Latch
 from repro.network.subject import SubjectGraph, SubjectNode, NodeType
 from repro.network.decompose import decompose_network
+from repro.network.edits import Edit, EditScript, script_from_name
 from repro.network.blif import read_blif, write_blif
 from repro.network.npn import npn_canonical, npn_classes, npn_equivalent
 from repro.network.transform import extract_cone, sweep
@@ -39,6 +40,9 @@ __all__ = [
     "SubjectNode",
     "NodeType",
     "decompose_network",
+    "Edit",
+    "EditScript",
+    "script_from_name",
     "read_blif",
     "write_blif",
     "dumps_mapped_blif",

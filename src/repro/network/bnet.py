@@ -127,6 +127,22 @@ class BooleanNetwork:
         self._nodes[name] = Node(name, fanins, tt)
         return name
 
+    def replace_node(self, name: str, func: FuncLike, fanins: Sequence[str]) -> Node:
+        """Replace an existing logic node's function and fanin list in place.
+
+        The node keeps its output signal name, so readers and POs are
+        unaffected; the caller is responsible for keeping the network
+        acyclic (``check()`` validates).  Used by the ECO edit engine.
+        """
+        if name not in self._nodes:
+            raise NetworkError(f"no logic node named {name!r}")
+        if isinstance(func, str):
+            func = parse_expr(func)
+        tt = func.to_tt(list(fanins)) if isinstance(func, Expr) else func
+        node = Node(name, fanins, tt)
+        self._nodes[name] = node
+        return node
+
     def remove_node(self, name: str) -> None:
         """Remove a logic node (caller must ensure it is unused)."""
         for user in self._nodes.values():

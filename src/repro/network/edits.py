@@ -1,0 +1,267 @@
+"""Typed netlist edits for incremental (ECO) remapping.
+
+An :class:`EditScript` is an ordered list of small, structure-preserving
+modifications to a combinational :class:`BooleanNetwork`:
+
+* ``rewire``  — repoint one fanin pin of a node to another existing signal,
+* ``insert``  — break an edge with a new inverter or buffer node,
+* ``delete``  — bypass a node, rerouting its readers to one of its fanins,
+* ``po``      — toggle primary-output status of a signal,
+* ``stuck``   — replace a node's function with a constant of the same arity.
+
+Every edit validates the invariants the rest of the pipeline relies on
+(acyclicity, no duplicate fanins, no dangling references, at least one PO),
+so an applied script always yields a network that ``check()`` accepts and
+that technology decomposition can consume.
+
+Scripts serialise to a compact string (:meth:`EditScript.encode`) which the
+edit-pair fuzz generator embeds in the edited network's *name*; a replay
+tool can recover the exact edit sequence from the name alone with
+:func:`script_from_name`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+from urllib.parse import quote, unquote
+
+from repro.errors import NetworkError
+from repro.network.bnet import BooleanNetwork
+from repro.network.functions import TruthTable
+
+__all__ = [
+    "EDIT_OPS",
+    "Edit",
+    "EditScript",
+    "NAME_MARKER",
+    "script_from_name",
+]
+
+#: The supported edit operations, in a fixed order (the generator indexes it).
+EDIT_OPS: Tuple[str, ...] = ("rewire", "insert", "delete", "po", "stuck")
+
+#: Separator between the base network name and the encoded script.
+NAME_MARKER = "__eco__"
+
+_FIELD_SEP = ":"
+_EDIT_SEP = "+"
+
+_BUF_TT = TruthTable.variable(0, 1)
+_INV_TT = ~TruthTable.variable(0, 1)
+
+
+def _q(text: str) -> str:
+    """Percent-escape a field so separators never collide with signal names."""
+    return quote(text, safe="")
+
+
+@dataclass(frozen=True)
+class Edit:
+    """One atomic edit: an operation, a target signal, and an argument.
+
+    The argument grammar per op (fields separated by ``:`` in encoded form):
+
+    * ``rewire``: ``"{pin}:{signal}"`` — fanin pin index and the new source.
+    * ``insert``: ``"{pin}:{new_name}:{inv|buf}"`` — break ``target``'s pin
+      with a fresh inverter/buffer named ``new_name``.
+    * ``delete``: ``"{pin}"`` — readers of ``target`` are rerouted to its
+      fanin at that index.
+    * ``po``: ``""`` — toggle PO status of ``target``.
+    * ``stuck``: ``"0"`` or ``"1"`` — constant value.
+    """
+
+    op: str
+    target: str
+    arg: str = ""
+
+    def __post_init__(self) -> None:
+        if self.op not in EDIT_OPS:
+            raise NetworkError(f"unknown edit op {self.op!r}")
+
+    def encode(self) -> str:
+        return _FIELD_SEP.join((self.op, _q(self.target), _q(self.arg)))
+
+    @classmethod
+    def decode(cls, text: str) -> "Edit":
+        parts = text.split(_FIELD_SEP)
+        if len(parts) != 3:
+            raise NetworkError(f"malformed edit encoding {text!r}")
+        return cls(parts[0], unquote(parts[1]), unquote(parts[2]))
+
+
+@dataclass(frozen=True)
+class EditScript:
+    """An ordered, replayable sequence of :class:`Edit` operations."""
+
+    edits: Tuple[Edit, ...]
+
+    def __len__(self) -> int:
+        return len(self.edits)
+
+    def encode(self) -> str:
+        return _EDIT_SEP.join(edit.encode() for edit in self.edits)
+
+    @classmethod
+    def decode(cls, text: str) -> "EditScript":
+        if not text:
+            return cls(edits=())
+        return cls(edits=tuple(Edit.decode(part) for part in text.split(_EDIT_SEP)))
+
+    def edited_name(self, base_name: str) -> str:
+        """The canonical name of the edited network: replayable via the name."""
+        return f"{base_name}{NAME_MARKER}{self.encode()}"
+
+    def apply(self, net: BooleanNetwork, name: Optional[str] = None) -> BooleanNetwork:
+        """Apply the script to a copy of ``net`` and validate the result.
+
+        Args:
+            net: the base network (combinational; latches are rejected).
+            name: name for the edited network; defaults to
+                :meth:`edited_name` so the script replays from the name.
+
+        Raises:
+            NetworkError: when an edit is inapplicable (bad pin, duplicate
+                fanin, cycle, last PO removed, ...); the base network is
+                never modified.
+        """
+        if net.latches:
+            raise NetworkError("edit scripts support combinational networks only")
+        out = net.copy(name if name is not None else self.edited_name(net.name))
+        for i, edit in enumerate(self.edits):
+            try:
+                _apply_one(out, edit)
+            except NetworkError as exc:
+                raise NetworkError(f"edit {i} ({edit.op} {edit.target!r}): {exc}") from exc
+        if not out.pos:
+            raise NetworkError("edit script removed every primary output")
+        out.check()
+        return out
+
+
+def script_from_name(name: str) -> Tuple[str, EditScript]:
+    """Recover ``(base_name, script)`` from an edited network's name."""
+    base, sep, encoded = name.rpartition(NAME_MARKER)
+    if not sep:
+        raise NetworkError(f"network name {name!r} carries no encoded edit script")
+    return base, EditScript.decode(encoded)
+
+
+def _require_node(net: BooleanNetwork, target: str) -> None:
+    if net.is_pi(target):
+        raise NetworkError(f"target {target!r} is a primary input, not a logic node")
+
+
+def _pin_index(net: BooleanNetwork, target: str, text: str) -> int:
+    node = net.node(target)
+    try:
+        pin = int(text)
+    except ValueError:
+        raise NetworkError(f"bad pin index {text!r}") from None
+    if not 0 <= pin < len(node.fanins):
+        raise NetworkError(f"pin {pin} out of range for {len(node.fanins)} fanins")
+    return pin
+
+
+def _apply_rewire(net: BooleanNetwork, edit: Edit) -> None:
+    pin_text, _, signal = edit.arg.partition(_FIELD_SEP)
+    _require_node(net, edit.target)
+    pin = _pin_index(net, edit.target, pin_text)
+    node = net.node(edit.target)
+    if not net.has_signal(signal):
+        raise NetworkError(f"rewire source {signal!r} does not exist")
+    fanins = list(node.fanins)
+    if signal == fanins[pin]:
+        raise NetworkError("rewire is a no-op (same source)")
+    if signal in fanins:
+        raise NetworkError(f"rewire would duplicate fanin {signal!r}")
+    fanins[pin] = signal
+    net.replace_node(edit.target, node.tt, fanins)
+
+
+def _apply_insert(net: BooleanNetwork, edit: Edit) -> None:
+    fields = edit.arg.split(_FIELD_SEP)
+    if len(fields) != 3 or fields[2] not in ("inv", "buf"):
+        raise NetworkError(f"bad insert argument {edit.arg!r}")
+    pin_text, new_name, polarity = fields
+    _require_node(net, edit.target)
+    pin = _pin_index(net, edit.target, pin_text)
+    node = net.node(edit.target)
+    if net.has_signal(new_name):
+        raise NetworkError(f"insert name {new_name!r} already exists")
+    source = node.fanins[pin]
+    tt = _INV_TT if polarity == "inv" else _BUF_TT
+    net.add_node(new_name, tt, fanins=[source])
+    fanins = list(node.fanins)
+    if new_name in fanins:
+        raise NetworkError(f"insert would duplicate fanin {new_name!r}")
+    fanins[pin] = new_name
+    net.replace_node(edit.target, node.tt, fanins)
+
+
+def _apply_delete(net: BooleanNetwork, edit: Edit) -> None:
+    _require_node(net, edit.target)
+    node = net.node(edit.target)
+    if not node.fanins:
+        raise NetworkError("cannot bypass a constant node (no fanins)")
+    pin = _pin_index(net, edit.target, edit.arg or "0")
+    replacement = node.fanins[pin]
+    # Reroute readers first; refuse when a reader already reads the
+    # replacement (Node rejects duplicate fanins).
+    readers: List[Tuple[str, List[str]]] = []
+    for user in net.nodes():
+        if edit.target not in user.fanins:
+            continue
+        fanins = list(user.fanins)
+        if replacement in fanins:
+            raise NetworkError(
+                f"delete would duplicate fanin {replacement!r} at {user.name!r}"
+            )
+        readers.append((user.name, [replacement if f == edit.target else f for f in fanins]))
+    for user_name, fanins in readers:
+        net.replace_node(user_name, net.node(user_name).tt, fanins)
+    if edit.target in net.pos:
+        if replacement in net.pos:
+            net.pos = [po for po in net.pos if po != edit.target]
+        else:
+            net.pos = [replacement if po == edit.target else po for po in net.pos]
+    net.remove_node(edit.target)
+
+
+def _apply_po(net: BooleanNetwork, edit: Edit) -> None:
+    if edit.target in net.pos:
+        if len(net.pos) <= 1:
+            raise NetworkError("cannot drop the last primary output")
+        net.pos.remove(edit.target)
+        return
+    if not net.has_signal(edit.target):
+        raise NetworkError(f"cannot expose undefined signal {edit.target!r} as PO")
+    net.add_po(edit.target)
+
+
+def _apply_stuck(net: BooleanNetwork, edit: Edit) -> None:
+    if edit.arg not in ("0", "1"):
+        raise NetworkError(f"bad stuck value {edit.arg!r}")
+    _require_node(net, edit.target)
+    node = net.node(edit.target)
+    n_vars = len(node.fanins)
+    tt = TruthTable.const1(n_vars) if edit.arg == "1" else TruthTable.const0(n_vars)
+    net.replace_node(edit.target, tt, node.fanins)
+
+
+def _apply_one(net: BooleanNetwork, edit: Edit) -> None:
+    if edit.op == "rewire":
+        _apply_rewire(net, edit)
+    elif edit.op == "insert":
+        _apply_insert(net, edit)
+    elif edit.op == "delete":
+        _apply_delete(net, edit)
+    elif edit.op == "po":
+        _apply_po(net, edit)
+    elif edit.op == "stuck":
+        _apply_stuck(net, edit)
+    else:  # pragma: no cover - __post_init__ already rejects unknown ops
+        raise NetworkError(f"unknown edit op {edit.op!r}")
+    # Cycle / dangling-reference validation after every step so the first
+    # offending edit is reported, not a confusing aggregate at the end.
+    net.topological_order()

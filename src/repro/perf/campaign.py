@@ -64,12 +64,15 @@ __all__ = [
 ]
 
 #: Mapper modes a job may name.
-MODES = ("dag", "tree", "recover", "multi")
+MODES = ("dag", "tree", "recover", "multi", "eco")
 
 #: Relative job-cost multipliers for the engine's size sharding: area
 #: recovery adds a required-time pass over the labeled cover, multimap
-#: runs one full mapping per decomposition style.
-MODE_WEIGHT: Dict[str, int] = {"dag": 1, "tree": 1, "recover": 2, "multi": 3}
+#: runs one full mapping per decomposition style, eco maps the base from
+#: scratch plus the incremental and the from-scratch comparison run.
+MODE_WEIGHT: Dict[str, int] = {
+    "dag": 1, "tree": 1, "recover": 2, "multi": 3, "eco": 3,
+}
 
 
 @dataclass(frozen=True)
@@ -85,7 +88,10 @@ class CampaignJob:
         library: respawnable library spec (builtin name, genlib path or
             ``base@...`` variant spec — see :mod:`repro.library.variants`).
         mode: ``"dag"``, ``"tree"``, ``"recover"`` (area recovery under
-            a delay budget) or ``"multi"`` (multi-decomposition stitch).
+            a delay budget), ``"multi"`` (multi-decomposition stitch) or
+            ``"eco"`` (derive a seeded edit pair from the circuit,
+            remap incrementally, and fail unless the result is
+            byte-identical to a from-scratch remap of the edited net).
         kind: match kind for the DAG mapper.
         engine: matcher candidate engine (``structural``/``cuts``).
         max_variants: pattern variants per gate.
@@ -232,6 +238,43 @@ def _run_campaign_job(job: CampaignJob, patterns: object) -> CampaignRow:
             r.labels.subject.n_gates for r in multi.per_style.values()
         )
         n_matches = sum(r.n_matches for r in multi.per_style.values())
+    elif job.mode == "eco":
+        from repro.eco import eco_remap
+        from repro.errors import MappingError
+        from repro.fuzz.generator import derive_edit_seed, random_edit_script
+
+        subject = decompose_network(net, style=job.decompose)
+        base = map_dag(
+            subject, patterns, kind=kind, cache=True, engine=job.engine,
+        )
+        script = random_edit_script(net, seed=derive_edit_seed(net), n_edits=2)  # type: ignore[arg-type]
+        edited = script.apply(net)  # type: ignore[arg-type]
+        eco = eco_remap(
+            base, edited, patterns, decompose=job.decompose, check=job.check,  # type: ignore[arg-type]
+        )
+        scratch = map_dag(
+            decompose_network(edited, style=job.decompose), patterns,
+            kind=kind, cache=True, engine=job.engine,
+        )
+        if (
+            eco.result.delay != scratch.delay
+            or eco.result.area != scratch.area
+            or dumps_mapped_blif(eco.result.netlist)
+            != dumps_mapped_blif(scratch.netlist)
+        ):
+            raise MappingError(
+                f"[M007] eco campaign divergence on {edited.name!r}: "
+                f"incremental (delay {eco.result.delay!r}, area "
+                f"{eco.result.area!r}) != from-scratch (delay "
+                f"{scratch.delay!r}, area {scratch.area!r}), or covers "
+                f"differ"
+            )
+        net = edited  # the row (and verify) describe the edited circuit
+        netlist = eco.result.netlist
+        delay, area = eco.result.delay, eco.result.area
+        cpu_s = eco.cpu_seconds
+        subject_gates = eco.result.labels.subject.n_gates
+        n_matches = eco.result.n_matches
     else:
         subject = decompose_network(net, style=job.decompose)
         if job.mode == "tree":

@@ -49,6 +49,11 @@ class MatchStats:
             binding enumeration.
         cut_tainted_nodes: nodes where the cut enumerator hit its per-node
             cap and the filter fell back to allowing every pattern.
+        eco_nodes_reused: subject nodes whose label/match was spliced in
+            from a previous mapping by the ECO reuse hook
+            (:func:`repro.eco.eco_remap`) without consulting the matcher.
+        eco_nodes_remapped: subject nodes the reuse hook declined (dirty
+            region) and that went through ordinary matching.
     """
 
     signature_hits: int = 0
@@ -62,6 +67,8 @@ class MatchStats:
     cut_filter_nodes: int = 0
     cut_patterns_pruned: int = 0
     cut_tainted_nodes: int = 0
+    eco_nodes_reused: int = 0
+    eco_nodes_remapped: int = 0
 
     @property
     def signature_hit_rate(self) -> float:

@@ -330,3 +330,59 @@ class TestCli:
 
         with pytest.raises(SystemExit):
             main(["campaign"])
+
+
+class TestEcoMode:
+    """The eco campaign mode: incremental remap, byte-checked in-worker."""
+
+    def _eco_jobs(self, engine="structural"):
+        base = seed_ensemble(range(3), ["mini"], nodes=14, inputs=5)
+        return [CampaignJob(
+            label=job.label + "-eco", source=job.source, library="mini",
+            mode="eco", engine=engine, verify=True, check=True,
+        ) for job in base]
+
+    @pytest.mark.parametrize("engine", ["structural", "cuts"])
+    def test_rows_describe_the_edited_circuit(self, engine):
+        out = run_mapping_campaign(self._eco_jobs(engine), workers=1)
+        assert out.ok, [f.error for f in out.failures]
+        for row in out.rows:
+            assert row.mode == "eco"
+            assert "__eco__" in row.circuit  # name encodes the edit script
+            assert row.verified  # simulated against the *edited* network
+            assert row.delay > 0 and row.cover
+
+    def test_warm_and_cold_rows_byte_identical(self):
+        jobs = self._eco_jobs()
+        warm = run_mapping_campaign(jobs, workers=2, warm=True)
+        cold = run_mapping_campaign(jobs, workers=2, warm=False)
+        assert warm.ok and cold.ok
+        for a, b in zip(warm.rows, cold.rows):
+            assert a.stable() == b.stable()
+
+    def test_divergence_is_a_coded_mapping_error(self, monkeypatch):
+        import repro.eco
+        from repro.errors import MappingError
+        from repro.library.builtin import mini_library
+        from repro.library.patterns import PatternSet
+        from repro.perf.campaign import _run_campaign_job
+
+        real = repro.eco.eco_remap
+
+        def skewed(*args, **kwargs):
+            out = real(*args, **kwargs)
+            out.result.delay += 1.0
+            return out
+
+        # The worker body imports eco_remap from the package namespace, so
+        # patching repro.eco reaches the in-process job runner.
+        monkeypatch.setattr(repro.eco, "eco_remap", skewed)
+        patterns = PatternSet(mini_library(), max_variants=8)
+        with pytest.raises(MappingError, match=r"\[M007\]"):
+            _run_campaign_job(self._eco_jobs()[0], patterns)
+
+    def test_eco_mode_weight(self):
+        from repro.perf.campaign import MODE_WEIGHT, MODES
+
+        assert "eco" in MODES
+        assert MODE_WEIGHT["eco"] >= 2  # maps the circuit three times

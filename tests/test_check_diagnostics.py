@@ -22,14 +22,14 @@ class TestSeverity:
 class TestCatalog:
     def test_codes_well_formed(self):
         for code, info in CODES.items():
-            assert re.fullmatch(r"[NLCFS]\d{3}", code), code
+            assert re.fullmatch(r"[NLCFSE]\d{3}", code), code
             assert info.code == code
             assert isinstance(info.severity, Severity)
             assert info.title
 
     def test_series_prefixes(self):
         series = {code[0] for code in CODES}
-        assert series == {"N", "L", "C", "F", "S"}
+        assert series == {"N", "L", "C", "F", "S", "E"}
 
     def test_parse_errors_are_errors(self):
         assert CODES["N000"].severity is Severity.ERROR

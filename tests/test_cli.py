@@ -165,3 +165,50 @@ class TestParser:
     def test_unknown_bench(self):
         with pytest.raises(SystemExit):
             main(["bench", "nope"])
+
+
+class TestEco:
+    @pytest.fixture(scope="class")
+    def pair_files(self, tmp_path_factory):
+        from repro.fuzz.generator import FuzzConfig, random_edit_pair
+        from repro.network.blif import write_blif
+
+        tmp = tmp_path_factory.mktemp("eco")
+        base, edited, _ = random_edit_pair(
+            FuzzConfig(n_inputs=6, n_nodes=24, seed=7)
+        )
+        base_path = tmp / "base.blif"
+        edited_path = tmp / "edited.blif"
+        write_blif(base, base_path)
+        write_blif(edited, edited_path)
+        return str(base_path), str(edited_path)
+
+    def test_eco_remap_verified(self, pair_files, capsys):
+        base, edited = pair_files
+        assert main(["eco", base, edited, "-l", "mini", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "reused" in out and "remapped" in out
+        assert "byte-identical to the from-scratch mapping" in out
+
+    def test_eco_writes_mapped_blif(self, pair_files, tmp_path, capsys):
+        from repro.library.builtin import mini_library
+        from repro.network.mapped_io import read_mapped_blif
+
+        base, edited = pair_files
+        out_path = tmp_path / "patched.blif"
+        assert main(["eco", base, edited, "-l", "mini",
+                     "-o", str(out_path)]) == 0
+        netlist = read_mapped_blif(out_path, mini_library())
+        assert netlist.gate_count() > 0
+
+    def test_eco_cuts_engine_and_match_kinds(self, pair_files, capsys):
+        base, edited = pair_files
+        assert main(["eco", base, edited, "-l", "mini", "--engine", "cuts",
+                     "--match", "exact", "--verify"]) == 0
+        assert "byte-identical" in capsys.readouterr().out
+
+    def test_campaign_eco_mode(self, capsys):
+        assert main(["campaign", "--seeds", "0:4", "--mode", "eco",
+                     "--libraries", "mini", "--nodes", "12", "--inputs",
+                     "5", "-q"]) == 0
+        assert "4 ok, 0 failed" in capsys.readouterr().out

@@ -53,6 +53,7 @@ class TestInjectedMutations:
             ("cover", "F004"),    # rewired pin breaks cover replay (C002)
             ("corrupt", "F002"),  # complemented PO breaks equivalence
             ("engine", "F009"),   # inflated cut re-map delay: engines diverge
+            ("eco", "F011"),      # skewed incremental delay: eco diverges
         ],
     )
     def test_mode_is_caught(self, mode, expected, patterns):
@@ -80,7 +81,8 @@ class TestInjectedMutations:
     def test_unknown_mode_rejected(self):
         with pytest.raises(ValueError, match="unknown fuzz injection"):
             OracleConfig(inject="nonsense").resolved_inject()
-        assert set(INJECT_MODES) == {"delay", "cover", "corrupt", "engine"}
+        assert set(INJECT_MODES) == {"delay", "cover", "corrupt", "engine",
+                                     "eco"}
 
 
 class TestEngineAgreement:
@@ -223,3 +225,42 @@ class TestConfigSurface:
             net, OracleConfig(library="44-1"), patterns=lib441_patterns
         )
         assert _codes(report) == [], report.format()
+
+
+class TestEcoOracle:
+    """F011: incremental remapping must equal from-scratch, byte for byte."""
+
+    def test_clean_run_records_replayable_script(self, patterns):
+        from repro.network.edits import EditScript
+
+        net = random_dag(FuzzConfig(n_nodes=25, seed=1))
+        report = run_battery(net, patterns=patterns)
+        assert "F011" not in _codes(report), report.format()
+        script = EditScript.decode(report.meta["eco_script"])
+        assert len(script) >= 1
+        script.apply(net)  # the recorded script must replay on the base
+
+    def test_eco_inject_reports_f011_only_there(self, patterns):
+        net = random_dag(FuzzConfig(n_nodes=25, seed=3))
+        report = run_battery(net, OracleConfig(inject="eco"),
+                             patterns=patterns)
+        assert _codes(report) == ["F011"], report.format()
+        assert report.meta["inject"] == "eco"
+        assert "delay inflated" in report.meta["inject_detail"]
+
+    def test_runs_for_extended_kind_structural_only(self, lib441_patterns):
+        net = random_dag(FuzzConfig(n_nodes=20, seed=6))
+        report = run_battery(
+            net, OracleConfig(library="44-1", kind="extended"),
+            patterns=lib441_patterns,
+        )
+        assert "F011" not in _codes(report), report.format()
+        assert "eco_script" in report.meta
+
+    def test_gated_by_contract_max_gates(self, patterns):
+        net = random_dag(FuzzConfig(n_nodes=25, seed=2))
+        report = run_battery(
+            net, OracleConfig(contract_max_gates=0), patterns=patterns
+        )
+        assert "eco_script" not in report.meta
+        assert "F011" not in _codes(report)
